@@ -1,0 +1,171 @@
+// Command cobrasim runs one spreading process on one graph and reports
+// cover or hitting times over independent trials.
+//
+// Usage:
+//
+//	cobrasim -graph grid:2,33 -process cobra -k 2 -trials 20
+//	cobrasim -graph lollipop:32,32 -process rw -target 63 -trials 10
+//	cobrasim -graph regular:1024,5 -process push -trials 20
+//
+// Processes: cobra (k-cobra walk), walt (Section 4 process, -pebbles),
+// rw (simple random walk), parallel (-walkers independent walks), push,
+// pushpull (gossip). If -target is set, the hitting time to that vertex
+// is measured instead of the cover time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/walk"
+	"repro/internal/walt"
+)
+
+func main() {
+	var (
+		graphSpec = flag.String("graph", "grid:2,33", "graph specification (family:params); families: "+strings.Join(cli.Families(), " "))
+		process   = flag.String("process", "cobra", "process: cobra|walt|rw|parallel|push|pushpull")
+		k         = flag.Int("k", 2, "cobra branching factor")
+		pebbles   = flag.Int("pebbles", 0, "walt pebble count (default n/2)")
+		walkers   = flag.Int("walkers", 8, "parallel walker count")
+		start     = flag.Int("start", 0, "start vertex")
+		target    = flag.Int("target", -1, "hitting-time target vertex (-1 = measure cover time)")
+		trials    = flag.Int("trials", 20, "independent trials")
+		seed      = flag.Uint64("seed", 1, "root random seed")
+		maxSteps  = flag.Int("max-steps", 0, "step cap per trial (0 = auto)")
+	)
+	flag.Parse()
+
+	g, err := cli.ParseGraph(*graphSpec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if !graph.IsConnected(g) {
+		fatal(fmt.Errorf("cobrasim: %s is disconnected; walks cannot cover it", g))
+	}
+	if *start < 0 || *start >= g.N() {
+		fatal(fmt.Errorf("cobrasim: start vertex %d out of range [0,%d)", *start, g.N()))
+	}
+	if *target >= g.N() {
+		fatal(fmt.Errorf("cobrasim: target vertex %d out of range [0,%d)", *target, g.N()))
+	}
+	cap := *maxSteps
+	if cap == 0 {
+		cap = core.DefaultMaxSteps(g.N())
+	}
+
+	sample, err := sim.RunTrials(*trials, *seed, func(trial int, src *rng.Source) (float64, error) {
+		steps, ok, err := runOnce(g, *process, *k, *pebbles, *walkers,
+			int32(*start), int32(*target), cap, src)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, fmt.Errorf("cobrasim: trial %d exceeded %d steps", trial, cap)
+		}
+		return float64(steps), nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	s := stats.Summarize(sample)
+	mean, hw := stats.MeanCI(sample)
+	kind := "cover"
+	if *target >= 0 {
+		kind = fmt.Sprintf("hit(%d)", *target)
+	}
+	fmt.Printf("graph     %s\n", g)
+	fmt.Printf("process   %s\n", describeProcess(*process, *k, *pebbles, *walkers, g.N()))
+	fmt.Printf("measure   %s time over %d trials (seed %d)\n", kind, *trials, *seed)
+	fmt.Printf("mean      %.1f ± %.1f (95%% CI)\n", mean, hw)
+	fmt.Printf("median    %.1f   [q25 %.1f, q75 %.1f]\n", s.Median, s.Q25, s.Q75)
+	fmt.Printf("min/max   %.0f / %.0f\n", s.Min, s.Max)
+}
+
+func describeProcess(process string, k, pebbles, walkers, n int) string {
+	switch process {
+	case "cobra":
+		return fmt.Sprintf("%d-cobra walk", k)
+	case "walt":
+		if pebbles == 0 {
+			pebbles = n / 2
+		}
+		return fmt.Sprintf("walt process (%d pebbles, lazy)", pebbles)
+	case "parallel":
+		return fmt.Sprintf("%d parallel random walks", walkers)
+	default:
+		return process
+	}
+}
+
+func runOnce(g *graph.Graph, process string, k, pebbles, walkers int,
+	start, target int32, cap int, src *rng.Source) (int, bool, error) {
+	switch process {
+	case "cobra":
+		w := core.New(g, core.Config{K: k, MaxSteps: cap}, src)
+		w.Reset(start)
+		if target >= 0 {
+			steps, ok := w.RunUntilHit(target)
+			return steps, ok, nil
+		}
+		steps, ok := w.RunUntilCovered()
+		return steps, ok, nil
+	case "walt":
+		if pebbles == 0 {
+			pebbles = g.N() / 2
+			if pebbles < 1 {
+				pebbles = 1
+			}
+		}
+		p := walt.NewAtVertex(g, pebbles, start, walt.Config{Lazy: true, MaxSteps: cap}, src)
+		if target >= 0 {
+			steps, ok := p.HittingTime(target)
+			return steps, ok, nil
+		}
+		steps, ok := p.CoverTime()
+		return steps, ok, nil
+	case "rw":
+		s := walk.NewSimple(g, start, src)
+		if target >= 0 {
+			steps, ok := s.HittingTime(target, cap)
+			return steps, ok, nil
+		}
+		steps, ok := s.CoverTime(cap)
+		return steps, ok, nil
+	case "parallel":
+		p := walk.NewParallel(g, walkers, start, src)
+		if target >= 0 {
+			return 0, false, fmt.Errorf("cobrasim: hitting time not supported for parallel walks")
+		}
+		steps, ok := p.CoverTime(cap)
+		return steps, ok, nil
+	case "push", "pushpull":
+		mode := gossip.Push
+		if process == "pushpull" {
+			mode = gossip.PushPull
+		}
+		p := gossip.New(g, mode, start, src)
+		if target >= 0 {
+			return 0, false, fmt.Errorf("cobrasim: hitting time not supported for gossip")
+		}
+		steps, ok := p.CompletionTime(cap)
+		return steps, ok, nil
+	default:
+		return 0, false, fmt.Errorf("cobrasim: unknown process %q", process)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

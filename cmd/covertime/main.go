@@ -1,0 +1,112 @@
+// Command covertime sweeps a graph family over a size list, measures
+// k-cobra cover times, fits the scaling exponent, and renders the
+// results as text, Markdown, or CSV.
+//
+// Usage:
+//
+//	covertime -family grid:2 -sizes 8,16,32,64 -k 2 -trials 20
+//	covertime -family cycle -sizes 128,256,512 -k 2 -format csv
+//	covertime -family regular:5 -sizes 512,1024,2048 -trials 30
+//
+// The -family argument is a cli graph spec with the size parameter
+// omitted; covertime appends each size. For two-parameter families the
+// size is substituted for the marked position: "grid:2" sweeps the side,
+// "regular:5" sweeps n with degree 5, "lollipop" sweeps n with
+// clique = path = n/2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "grid:2", "family sweep spec: grid:<d> | torus:<d> | cycle | path | star | complete | hypercube | margulis | kary:<k> | lollipop | regular:<d>")
+		sizes  = flag.String("sizes", "8,16,32", "comma-separated size list")
+		k      = flag.Int("k", 2, "cobra branching factor")
+		trials = flag.Int("trials", 20, "independent trials per size")
+		seed   = flag.Uint64("seed", 1, "root random seed")
+		format = flag.String("format", "text", "output format: text|markdown|csv")
+	)
+	flag.Parse()
+
+	sizeList, err := cli.ParseSizes(*sizes)
+	if err != nil {
+		fatal(err)
+	}
+
+	table := sim.NewTable(
+		fmt.Sprintf("%d-cobra cover time sweep: %s", *k, *family),
+		"size", "n", "m", "cover mean", "95% CI", "cover max")
+	var points []sim.Point
+	for si, size := range sizeList {
+		g, err := buildFamily(*family, size, rng.Stream(*seed, 9000+si))
+		if err != nil {
+			fatal(err)
+		}
+		sample, err := sim.RunTrials(*trials, rng.Stream(*seed, si),
+			func(trial int, src *rng.Source) (float64, error) {
+				w := core.New(g, core.Config{K: *k}, src)
+				w.Reset(0)
+				steps, ok := w.RunUntilCovered()
+				if !ok {
+					return 0, fmt.Errorf("covertime: step cap exceeded on %s", g)
+				}
+				return float64(steps), nil
+			})
+		if err != nil {
+			fatal(err)
+		}
+		mean, ci, max := sim.SummaryCells(sample)
+		table.AddRowf(size, g.N(), g.M(), mean, ci, max)
+		points = append(points, sim.Point{X: float64(size), Sample: sample})
+	}
+
+	switch *format {
+	case "markdown":
+		fmt.Print(table.Markdown())
+	case "csv":
+		fmt.Print(table.CSV())
+	default:
+		table.Fprint(os.Stdout)
+	}
+	if len(points) >= 2 {
+		fit := sim.FitExponent(points)
+		fmt.Printf("\nscaling fit: cover ≈ %.3g · size^%.3f   (R² = %.4f)\n",
+			fit.Constant, fit.Exponent, fit.R2)
+	}
+}
+
+// buildFamily interprets the sweep spec for one size.
+func buildFamily(family string, size int, seed uint64) (*graph.Graph, error) {
+	switch {
+	case family == "cycle", family == "path", family == "star",
+		family == "complete", family == "hypercube", family == "margulis":
+		return cli.ParseGraph(fmt.Sprintf("%s:%d", family, size), seed)
+	case family == "lollipop":
+		return cli.ParseGraph(fmt.Sprintf("lollipop:%d,%d", size/2, size-size/2), seed)
+	case len(family) > 5 && family[:5] == "grid:":
+		return cli.ParseGraph(fmt.Sprintf("grid:%s,%d", family[5:], size), seed)
+	case len(family) > 6 && family[:6] == "torus:":
+		return cli.ParseGraph(fmt.Sprintf("torus:%s,%d", family[6:], size), seed)
+	case len(family) > 5 && family[:5] == "kary:":
+		return cli.ParseGraph(fmt.Sprintf("kary:%s,%d", family[5:], size), seed)
+	case len(family) > 8 && family[:8] == "regular:":
+		return cli.ParseGraph(fmt.Sprintf("regular:%d,%s", size, family[8:]), seed)
+	default:
+		return nil, fmt.Errorf("covertime: unknown family sweep spec %q", family)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+// Command experiments regenerates the paper-reproduction tables indexed
+// in DESIGN.md and recorded in EXPERIMENTS.md: one experiment per
+// theorem, lemma-level mechanism, or remark of "Better Bounds for
+// Coalescing-Branching Random Walks".
+//
+// Usage:
+//
+//	experiments                     # run everything at quick scale
+//	experiments -scale full         # the EXPERIMENTS.md configuration
+//	experiments -only E1,E9         # a subset
+//	experiments -markdown           # emit Markdown tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleFlag = flag.String("scale", "quick", "experiment scale: quick|full")
+		only      = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		seed      = flag.Uint64("seed", 1, "root random seed")
+		markdown  = flag.Bool("markdown", false, "emit Markdown tables")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		outDir    = flag.String("out", "", "also write one Markdown file per experiment to this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fatal(fmt.Errorf("experiments: unknown scale %q", *scaleFlag))
+	}
+
+	runners := experiments.All()
+	if *only != "" {
+		wanted := map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+		var filtered []experiments.Runner
+		for _, r := range runners {
+			if wanted[r.ID] {
+				filtered = append(filtered, r)
+				delete(wanted, r.ID)
+			}
+		}
+		if len(wanted) > 0 {
+			fatal(fmt.Errorf("experiments: unknown IDs requested: %v", keys(wanted)))
+		}
+		runners = filtered
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		res, err := r.Run(scale, *seed)
+		if err != nil {
+			fatal(fmt.Errorf("%s failed: %w", r.ID, err))
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		fmt.Printf("\n########## %s — %s [%s scale, %v]\n", res.ID, r.Name, scale, elapsed)
+		fmt.Printf("claim: %s\n\n", res.Claim)
+		for _, tb := range res.Tables {
+			if *markdown {
+				fmt.Println(tb.Markdown())
+			} else {
+				tb.Fprint(os.Stdout)
+				fmt.Println()
+			}
+		}
+		for _, f := range res.Findings {
+			fmt.Printf("finding: %s\n", f)
+		}
+		if *outDir != "" {
+			if err := writeMarkdown(*outDir, r.Name, res, scale, *seed); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+// writeMarkdown renders one experiment as a standalone Markdown file.
+func writeMarkdown(dir, name string, res *experiments.Result, scale experiments.Scale, seed uint64) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n\n", res.ID, name)
+	fmt.Fprintf(&b, "*Claim:* %s\n\n", res.Claim)
+	fmt.Fprintf(&b, "*Configuration:* scale=%s, seed=%d.\n\n", scale, seed)
+	for _, tb := range res.Tables {
+		b.WriteString(tb.Markdown())
+		b.WriteString("\n")
+	}
+	b.WriteString("## Findings\n\n")
+	for _, f := range res.Findings {
+		fmt.Fprintf(&b, "- %s\n", f)
+	}
+	path := filepath.Join(dir, res.ID+".md")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

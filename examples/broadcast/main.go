@@ -1,0 +1,81 @@
+// Broadcast: the paper's second motivation is message dissemination —
+// a vertex may forward k copies of a message per round. This example
+// compares the 2-cobra walk against the related-work protocols on an
+// expander (the topology of real peer-to-peer overlays): push gossip,
+// push-pull gossip, a budget of 16 parallel random walks, and a single
+// random walk. It prints a completion-time table and each protocol's
+// per-round message budget, the trade-off the introduction discusses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const n = 4096
+	g, err := repro.RandomRegular(n, 5, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overlay: %s\n", g)
+	spec := repro.AnalyzeSpectrum(g)
+	fmt.Printf("spectral gap %.3f, conductance ∈ [%.3f, %.3f] — a genuine expander\n\n",
+		spec.Gap, spec.PhiLow, spec.PhiHigh)
+
+	const trials = 15
+	type row struct {
+		name   string
+		budget string
+		run    func(trial int, src *repro.Rand) (float64, error)
+	}
+	rows := []row{
+		{"2-cobra walk", "2 msgs per active vertex", func(trial int, src *repro.Rand) (float64, error) {
+			w := repro.NewCobraWalk(g, repro.CobraConfig{K: 2}, src)
+			w.Reset(0)
+			steps, ok := w.RunUntilCovered()
+			return float64(steps), okErr(ok)
+		}},
+		{"push gossip", "1 msg per informed vertex", func(trial int, src *repro.Rand) (float64, error) {
+			p := repro.NewGossip(g, repro.Push, 0, src)
+			steps, ok := p.CompletionTime(1000 * n)
+			return float64(steps), okErr(ok)
+		}},
+		{"push-pull gossip", "1 msg per vertex (all n)", func(trial int, src *repro.Rand) (float64, error) {
+			p := repro.NewGossip(g, repro.PushPull, 0, src)
+			steps, ok := p.CompletionTime(1000 * n)
+			return float64(steps), okErr(ok)
+		}},
+		{"16 parallel walks", "16 msgs total", func(trial int, src *repro.Rand) (float64, error) {
+			p := repro.NewParallelWalks(g, 16, 0, src)
+			steps, ok := p.CoverTime(1000 * n * n)
+			return float64(steps), okErr(ok)
+		}},
+		{"single random walk", "1 msg total", func(trial int, src *repro.Rand) (float64, error) {
+			s := repro.NewSimpleWalk(g, 0, src)
+			steps, ok := s.CoverTime(1000 * n * n)
+			return float64(steps), okErr(ok)
+		}},
+	}
+
+	fmt.Printf("%-20s %-28s %12s %10s\n", "protocol", "per-round budget", "mean rounds", "95% CI")
+	for i, r := range rows {
+		sample, err := repro.RunTrials(trials, uint64(10+i), r.run)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean, hw := repro.MeanCI(sample)
+		fmt.Printf("%-20s %-28s %12.1f %10s\n", r.name, r.budget, mean, fmt.Sprintf("±%.1f", hw))
+	}
+	fmt.Println("\nThe cobra walk needs no vertex state (unlike gossip, which must")
+	fmt.Println("remember being informed) yet covers the expander in polylog rounds.")
+}
+
+func okErr(ok bool) error {
+	if !ok {
+		return fmt.Errorf("step cap exceeded")
+	}
+	return nil
+}

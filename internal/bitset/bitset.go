@@ -1,0 +1,229 @@
+// Package bitset implements a dense fixed-size bitset used for frontier
+// and coverage bookkeeping in the walk simulators.
+//
+// The representation is a []uint64 with the i-th bit of word i/64 holding
+// element i. All operations are branch-light and allocation-free except
+// for construction and Clone, which makes the set suitable for per-round
+// use inside simulation hot loops.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitset over the universe [0, Len()).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for n elements.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity of the set (the size of its universe).
+func (s *Set) Len() int { return s.n }
+
+// Add inserts i into the set. It panics if i is out of range.
+func (s *Set) Add(i int) {
+	if uint(i) >= uint(s.n) {
+		panic("bitset: Add out of range")
+	}
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove deletes i from the set. It panics if i is out of range.
+func (s *Set) Remove(i int) {
+	if uint(i) >= uint(s.n) {
+		panic("bitset: Remove out of range")
+	}
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether i is in the set. It panics if i is out of range.
+func (s *Set) Contains(i int) bool {
+	if uint(i) >= uint(s.n) {
+		panic("bitset: Contains out of range")
+	}
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// TestAndAdd inserts i and reports whether it was already present. It is
+// the fused operation used by coverage tracking.
+func (s *Set) TestAndAdd(i int) bool {
+	if uint(i) >= uint(s.n) {
+		panic("bitset: TestAndAdd out of range")
+	}
+	w, b := i/wordBits, uint64(1)<<(uint(i)%wordBits)
+	old := s.words[w]
+	s.words[w] = old | b
+	return old&b != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear removes all elements, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill inserts every element of the universe.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim clears any bits beyond the universe in the last word.
+func (s *Set) trim() {
+	if extra := s.n % wordBits; extra != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(extra)) - 1
+	}
+}
+
+// CopyFrom overwrites s with the contents of other. The sets must have the
+// same capacity.
+func (s *Set) CopyFrom(other *Set) {
+	if s.n != other.n {
+		panic("bitset: CopyFrom size mismatch")
+	}
+	copy(s.words, other.words)
+}
+
+// Clone returns a new independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// Union adds every element of other to s. The sets must have the same
+// capacity.
+func (s *Set) Union(other *Set) {
+	if s.n != other.n {
+		panic("bitset: Union size mismatch")
+	}
+	for i, w := range other.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect removes from s every element not in other. The sets must have
+// the same capacity.
+func (s *Set) Intersect(other *Set) {
+	if s.n != other.n {
+		panic("bitset: Intersect size mismatch")
+	}
+	for i, w := range other.words {
+		s.words[i] &= w
+	}
+}
+
+// Difference removes from s every element of other. The sets must have the
+// same capacity.
+func (s *Set) Difference(other *Set) {
+	if s.n != other.n {
+		panic("bitset: Difference size mismatch")
+	}
+	for i, w := range other.words {
+		s.words[i] &^= w
+	}
+}
+
+// Equal reports whether s and other contain exactly the same elements.
+func (s *Set) Equal(other *Set) bool {
+	if s.n != other.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubset reports whether every element of s is also in other.
+func (s *Set) IsSubset(other *Set) bool {
+	if s.n != other.n {
+		panic("bitset: IsSubset size mismatch")
+	}
+	for i, w := range s.words {
+		if w&^other.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Any reports whether the set is non-empty.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for each element in increasing order. It is the
+// frontier-iteration primitive; fn must not modify s.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(base + tz)
+			w &= w - 1
+		}
+	}
+}
+
+// AppendTo appends the elements of s in increasing order to dst and
+// returns the extended slice. Passing a reused dst[:0] avoids allocation.
+func (s *Set) AppendTo(dst []int32) []int32 {
+	for wi, w := range s.words {
+		base := int32(wi * wordBits)
+		for w != 0 {
+			tz := int32(bits.TrailingZeros64(w))
+			dst = append(dst, base+tz)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// NextAfter returns the smallest element >= i, or -1 if there is none.
+func (s *Set) NextAfter(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}

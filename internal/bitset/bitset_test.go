@@ -1,0 +1,322 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("fresh set contains %d", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("set missing %d after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("still contains 64 after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(*Set)
+	}{
+		{"Add", func(s *Set) { s.Add(10) }},
+		{"AddNeg", func(s *Set) { s.Add(-1) }},
+		{"Remove", func(s *Set) { s.Remove(10) }},
+		{"Contains", func(s *Set) { s.Contains(10) }},
+		{"TestAndAdd", func(s *Set) { s.TestAndAdd(10) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn(New(10))
+		})
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestTestAndAdd(t *testing.T) {
+	s := New(100)
+	if s.TestAndAdd(42) {
+		t.Fatal("TestAndAdd reported present on empty set")
+	}
+	if !s.TestAndAdd(42) {
+		t.Fatal("TestAndAdd reported absent after insertion")
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+}
+
+func TestClearAndFill(t *testing.T) {
+	s := New(70)
+	s.Fill()
+	if got := s.Count(); got != 70 {
+		t.Fatalf("Fill count = %d, want 70", got)
+	}
+	// Bits beyond the universe must not be set (trim).
+	if s.words[1]>>uint(70-64) != 0 {
+		t.Fatal("Fill set bits beyond universe")
+	}
+	s.Clear()
+	if s.Any() {
+		t.Fatal("set non-empty after Clear")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(200)
+	b := New(200)
+	for i := 0; i < 200; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 200; i += 3 {
+		b.Add(i)
+	}
+
+	u := a.Clone()
+	u.Union(b)
+	i := a.Clone()
+	i.Intersect(b)
+	d := a.Clone()
+	d.Difference(b)
+
+	for v := 0; v < 200; v++ {
+		inA, inB := v%2 == 0, v%3 == 0
+		if u.Contains(v) != (inA || inB) {
+			t.Fatalf("union wrong at %d", v)
+		}
+		if i.Contains(v) != (inA && inB) {
+			t.Fatalf("intersection wrong at %d", v)
+		}
+		if d.Contains(v) != (inA && !inB) {
+			t.Fatalf("difference wrong at %d", v)
+		}
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(a, b *Set)
+	}{
+		{"Union", func(a, b *Set) { a.Union(b) }},
+		{"Intersect", func(a, b *Set) { a.Intersect(b) }},
+		{"Difference", func(a, b *Set) { a.Difference(b) }},
+		{"CopyFrom", func(a, b *Set) { a.CopyFrom(b) }},
+		{"IsSubset", func(a, b *Set) { a.IsSubset(b) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic on size mismatch", tc.name)
+				}
+			}()
+			tc.fn(New(10), New(20))
+		})
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := New(90)
+	a.Add(3)
+	a.Add(89)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal to original")
+	}
+	b.Add(5)
+	if a.Equal(b) {
+		t.Fatal("mutating clone affected equality")
+	}
+	if a.Equal(New(91)) {
+		t.Fatal("sets of different capacity reported equal")
+	}
+}
+
+func TestIsSubset(t *testing.T) {
+	a := New(64)
+	b := New(64)
+	a.Add(1)
+	a.Add(2)
+	b.Add(1)
+	b.Add(2)
+	b.Add(3)
+	if !a.IsSubset(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.IsSubset(a) {
+		t.Fatal("b should not be subset of a")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(300)
+	want := []int{0, 5, 63, 64, 128, 256, 299}
+	for _, v := range want {
+		s.Add(v)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d elements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestAppendTo(t *testing.T) {
+	s := New(150)
+	s.Add(7)
+	s.Add(77)
+	s.Add(149)
+	buf := make([]int32, 0, 8)
+	out := s.AppendTo(buf)
+	if len(out) != 3 || out[0] != 7 || out[1] != 77 || out[2] != 149 {
+		t.Fatalf("AppendTo = %v", out)
+	}
+	// Reuse must not allocate beyond capacity growth.
+	out2 := s.AppendTo(out[:0])
+	if &out2[0] != &out[0] {
+		t.Fatal("AppendTo reallocated despite sufficient capacity")
+	}
+}
+
+func TestNextAfter(t *testing.T) {
+	s := New(200)
+	s.Add(10)
+	s.Add(64)
+	s.Add(199)
+	cases := []struct{ in, want int }{
+		{-5, 10}, {0, 10}, {10, 10}, {11, 64}, {64, 64}, {65, 199},
+		{199, 199}, {200, -1},
+	}
+	for _, c := range cases {
+		if got := s.NextAfter(c.in); got != c.want {
+			t.Fatalf("NextAfter(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := New(50).NextAfter(0); got != -1 {
+		t.Fatalf("NextAfter on empty = %d, want -1", got)
+	}
+}
+
+func TestCountMatchesForEachProperty(t *testing.T) {
+	f := func(elems []uint16) bool {
+		s := New(1 << 16)
+		for _, e := range elems {
+			s.Add(int(e))
+		}
+		visited := 0
+		s.ForEach(func(int) { visited++ })
+		return visited == s.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionCommutesProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a1, b1 := New(256), New(256)
+		for _, x := range xs {
+			a1.Add(int(x))
+		}
+		for _, y := range ys {
+			b1.Add(int(y))
+		}
+		left := a1.Clone()
+		left.Union(b1)
+		right := b1.Clone()
+		right.Union(a1)
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	// |A ∪ B| + |A ∩ B| == |A| + |B|
+	f := func(xs, ys []uint8) bool {
+		a, b := New(256), New(256)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		u := a.Clone()
+		u.Union(b)
+		i := a.Clone()
+		i.Intersect(b)
+		return u.Count()+i.Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	s := New(0)
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("zero-capacity set should be empty")
+	}
+	s.Fill()
+	if s.Count() != 0 {
+		t.Fatal("Fill on zero-capacity set added elements")
+	}
+	if s.NextAfter(0) != -1 {
+		t.Fatal("NextAfter on zero-capacity set should be -1")
+	}
+}
+
+func BenchmarkForEachDense(b *testing.B) {
+	s := New(1 << 16)
+	for i := 0; i < s.Len(); i += 2 {
+		s.Add(i)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(v int) { sink += v })
+	}
+	_ = sink
+}
+
+func BenchmarkTestAndAdd(b *testing.B) {
+	s := New(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TestAndAdd(i & 0xffff)
+	}
+}

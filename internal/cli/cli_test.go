@@ -1,0 +1,108 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseGraphFamilies(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+	}{
+		{"grid:2,5", 25},
+		{"torus:2,4", 16},
+		{"cycle:12", 12},
+		{"path:7", 7},
+		{"complete:6", 6},
+		{"star:9", 9},
+		{"wheel:8", 8},
+		{"lollipop:4,3", 7},
+		{"barbell:3,2", 8},
+		{"kary:2,3", 15},
+		{"hypercube:4", 16},
+		{"margulis:4", 16},
+		{"circulant:10,1,2", 10},
+		{"regular:20,3", 20},
+		{"gnp:30,0.2", 30},
+		{"powerlaw:50,2.5", 50},
+		{"rgg:50,0.3", 50},
+	}
+	for _, c := range cases {
+		g, err := ParseGraph(c.spec, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if g.N() != c.n {
+			t.Fatalf("%s: n=%d want %d", c.spec, g.N(), c.n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+	}
+}
+
+func TestParseGraphErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"nonsense:5",
+		"grid:2",
+		"grid:2,x",
+		"cycle:",
+		"circulant:10",
+		"gnp:10",
+		"gnp:x,0.5",
+		"gnp:10,y",
+		"powerlaw:10",
+		"rgg:10",
+	}
+	for _, spec := range bad {
+		if _, err := ParseGraph(spec, 1); err == nil {
+			t.Fatalf("%q accepted", spec)
+		}
+	}
+}
+
+func TestParseGraphDeterministicRandom(t *testing.T) {
+	a, err := ParseGraph("regular:30,4", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseGraph("regular:30,4", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < 30; v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatal("same seed gave different random graphs")
+			}
+		}
+	}
+}
+
+func TestFamiliesListed(t *testing.T) {
+	fams := Families()
+	if len(fams) < 15 {
+		t.Fatalf("family list too short: %v", fams)
+	}
+	for _, f := range fams {
+		if strings.TrimSpace(f) == "" {
+			t.Fatal("empty family name")
+		}
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	sizes, err := ParseSizes("8, 16,32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 3 || sizes[0] != 8 || sizes[2] != 32 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if _, err := ParseSizes("8,x"); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}

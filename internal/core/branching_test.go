@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestConstantBranchingMatchesWalk(t *testing.T) {
+	// A GeneralWalk with ConstantBranching(2) and a Walk with K=2 driven
+	// by the same random stream must produce identical cover times.
+	g := graph.Grid(2, 10)
+	for seed := uint64(0); seed < 5; seed++ {
+		w := New(g, Config{K: 2}, rng.New(seed))
+		w.Reset(0)
+		a, okA := w.RunUntilCovered()
+
+		gw := NewGeneral(g, ConstantBranching(2), 0, rng.New(seed))
+		gw.Reset(0)
+		b, okB := gw.RunUntilCovered()
+		if okA != okB || a != b {
+			t.Fatalf("seed %d: Walk=%d GeneralWalk=%d", seed, a, b)
+		}
+	}
+}
+
+func TestBernoulliBranchingInterpolates(t *testing.T) {
+	// Mean cover time with Bernoulli(1,2,p) branching should sit between
+	// the K=1 and K=2 cover times and move toward K=2 as p grows.
+	g := graph.Cycle(64)
+	mean := func(bf BranchingFunc, seed uint64) float64 {
+		var sum float64
+		const trials = 25
+		for i := 0; i < trials; i++ {
+			w := NewGeneral(g, bf, 0, rng.NewStream(seed, i))
+			w.Reset(0)
+			steps, ok := w.RunUntilCovered()
+			if !ok {
+				t.Fatal("cover cap exceeded")
+			}
+			sum += float64(steps)
+		}
+		return sum / trials
+	}
+	k1 := mean(ConstantBranching(1), 1)
+	k2 := mean(ConstantBranching(2), 2)
+	half := mean(BernoulliBranching(1, 2, 0.5), 3)
+	if !(k2 < half && half < k1) {
+		t.Fatalf("interpolation failed: k1=%.0f half=%.0f k2=%.0f", k1, half, k2)
+	}
+	low := mean(BernoulliBranching(1, 2, 0.15), 4)
+	high := mean(BernoulliBranching(1, 2, 0.85), 5)
+	if high >= low {
+		t.Fatalf("more branching probability should cover faster: p=.85 %.0f vs p=.15 %.0f", high, low)
+	}
+}
+
+func TestDegreeCappedBranching(t *testing.T) {
+	// On a star, leaves have degree 1: capped branching samples once
+	// there (zero redundancy) but still twice at the hub.
+	g := graph.Star(20)
+	bf := DegreeCappedBranching(g, 2)
+	if got := bf(0, 0, nil); got != 2 {
+		t.Fatalf("hub branching %d, want 2", got)
+	}
+	if got := bf(5, 0, nil); got != 1 {
+		t.Fatalf("leaf branching %d, want 1", got)
+	}
+	w := NewGeneral(g, bf, 0, rng.New(7))
+	w.Reset(0)
+	if _, ok := w.RunUntilCovered(); !ok {
+		t.Fatal("capped walk did not cover")
+	}
+}
+
+func TestPeriodicBranching(t *testing.T) {
+	bf := PeriodicBranching(3, 4)
+	if bf(0, 0, nil) != 3 || bf(0, 4, nil) != 3 {
+		t.Fatal("burst rounds wrong")
+	}
+	if bf(0, 1, nil) != 1 || bf(0, 3, nil) != 1 {
+		t.Fatal("quiet rounds wrong")
+	}
+	g := graph.Cycle(32)
+	w := NewGeneral(g, bf, 0, rng.New(9))
+	w.Reset(0)
+	if _, ok := w.RunUntilCovered(); !ok {
+		t.Fatal("periodic walk did not cover")
+	}
+}
+
+func TestGeneralWalkHitting(t *testing.T) {
+	g := graph.Path(30)
+	w := NewGeneral(g, ConstantBranching(2), 0, rng.New(3))
+	w.Reset(0)
+	steps, ok := w.RunUntilHit(29)
+	if !ok || steps < 29 {
+		t.Fatalf("hit steps=%d ok=%v", steps, ok)
+	}
+}
+
+func TestGeneralWalkCap(t *testing.T) {
+	g := graph.Cycle(100)
+	w := NewGeneral(g, ConstantBranching(1), 5, rng.New(1))
+	w.Reset(0)
+	if _, ok := w.RunUntilCovered(); ok {
+		t.Fatal("impossible cover reported ok")
+	}
+}
+
+func TestBranchingValidation(t *testing.T) {
+	g := graph.Cycle(5)
+	for name, fn := range map[string]func(){
+		"constZero":    func() { ConstantBranching(0) },
+		"bernKZero":    func() { BernoulliBranching(0, 2, 0.5) },
+		"bernBadP":     func() { BernoulliBranching(1, 2, 1.5) },
+		"cappedZero":   func() { DegreeCappedBranching(g, 0) },
+		"periodicZero": func() { PeriodicBranching(0, 2) },
+		"nilFunc":      func() { NewGeneral(g, nil, 0, rng.New(1)) },
+		"badReturn": func() {
+			w := NewGeneral(g, func(int32, int, *rng.Source) int { return 0 }, 0, rng.New(1))
+			w.Reset(0)
+			w.Step()
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBernoulliMeanBranchingBeatsDeterministicOneOnGrid(t *testing.T) {
+	// Even a small probability of branching (mean factor 1.2) must beat
+	// the plain random walk decisively on a grid.
+	g := graph.Grid(2, 12)
+	var bern, plain []float64
+	for i := 0; i < 10; i++ {
+		w := NewGeneral(g, BernoulliBranching(1, 2, 0.2), 0, rng.NewStream(11, i))
+		w.Reset(0)
+		steps, ok := w.RunUntilCovered()
+		if !ok {
+			t.Fatal("cover cap exceeded")
+		}
+		bern = append(bern, float64(steps))
+
+		w2 := NewGeneral(g, ConstantBranching(1), 0, rng.NewStream(12, i))
+		w2.Reset(0)
+		steps2, ok := w2.RunUntilCovered()
+		if !ok {
+			t.Fatal("cover cap exceeded")
+		}
+		plain = append(plain, float64(steps2))
+	}
+	if stats.Mean(bern) >= stats.Mean(plain)/2 {
+		t.Fatalf("bernoulli (%.0f) should be far faster than plain RW (%.0f)",
+			stats.Mean(bern), stats.Mean(plain))
+	}
+}

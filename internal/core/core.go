@@ -1,0 +1,290 @@
+// Package core implements the paper's central object: the
+// coalescing-branching random walk (cobra walk).
+//
+// A k-cobra walk starts with a pebble on a start vertex. In every round,
+// each active vertex chooses k neighbors independently and uniformly at
+// random with replacement; the chosen vertices form the next round's
+// active set. Choosing the same vertex twice coalesces automatically
+// because the active set is a set. The cover time is the expected number
+// of rounds until every vertex has been active at least once.
+//
+// The engine keeps the frontier both as a vertex list (for iteration) and
+// a bitset (for deduplication), performs no allocation per round, and is
+// deterministic given a seed, which makes trials reproducible and
+// embarrassingly parallel.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Config parameterizes a cobra walk.
+type Config struct {
+	// K is the branching factor: the number of neighbors sampled by each
+	// active vertex per round (with replacement). K = 1 reduces to the
+	// simple random walk; the paper studies K = 2.
+	K int
+	// MaxSteps caps a run; runs exceeding it report ok = false. Zero
+	// selects DefaultMaxSteps(n).
+	MaxSteps int
+}
+
+// DefaultMaxSteps returns the safety cap used when Config.MaxSteps is
+// zero: generous enough for every experiment in this repository (the
+// paper's worst bound is O(n^{11/4} log n)).
+func DefaultMaxSteps(n int) int {
+	if n < 2 {
+		return 1
+	}
+	steps := 200 * n * n
+	if steps < 100000 {
+		steps = 100000
+	}
+	return steps
+}
+
+// Walk is a running cobra walk on a fixed graph. It is not safe for
+// concurrent use; parallel trials each construct their own Walk.
+type Walk struct {
+	g   *graph.Graph
+	cfg Config
+	rnd *rng.Source
+
+	active    []int32     // current frontier (unique vertices)
+	next      []int32     // next frontier under construction
+	nextSet   *bitset.Set // membership for next
+	covered   *bitset.Set
+	nCovered  int
+	steps     int
+	messages  int64 // neighbor samples drawn (protocol message cost)
+	activeLog []int // per-round active set sizes, if recording
+	recording bool
+}
+
+// New constructs a Walk on g. It panics if g has an isolated vertex
+// (pebbles would have no move) or if cfg.K < 1. The walk is initially
+// empty; call Reset or ResetSet before stepping.
+func New(g *graph.Graph, cfg Config, rnd *rng.Source) *Walk {
+	if cfg.K < 1 {
+		panic("core: cobra walk needs K >= 1")
+	}
+	if g.N() == 0 {
+		panic("core: empty graph")
+	}
+	if g.MinDegree() == 0 && g.N() > 1 {
+		panic("core: graph has an isolated vertex")
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps(g.N())
+	}
+	return &Walk{
+		g:       g,
+		cfg:     cfg,
+		rnd:     rnd,
+		active:  make([]int32, 0, g.N()),
+		next:    make([]int32, 0, g.N()),
+		nextSet: bitset.New(g.N()),
+		covered: bitset.New(g.N()),
+	}
+}
+
+// Reset restarts the walk with a single pebble at start.
+func (w *Walk) Reset(start int32) {
+	w.ResetSet([]int32{start})
+}
+
+// ResetSet restarts the walk with pebbles at every vertex of starts
+// (duplicates are coalesced). It panics if starts is empty.
+func (w *Walk) ResetSet(starts []int32) {
+	if len(starts) == 0 {
+		panic("core: empty start set")
+	}
+	w.active = w.active[:0]
+	w.next = w.next[:0]
+	w.nextSet.Clear()
+	w.covered.Clear()
+	w.nCovered = 0
+	w.steps = 0
+	w.messages = 0
+	w.activeLog = w.activeLog[:0]
+	for _, v := range starts {
+		if !w.covered.TestAndAdd(int(v)) {
+			w.nCovered++
+			w.active = append(w.active, v)
+		}
+	}
+	if w.recording {
+		w.activeLog = append(w.activeLog, len(w.active))
+	}
+}
+
+// SetRecording enables per-round active-set-size logging (E12 trajectory
+// experiments). Must be called before Reset to capture round 0.
+func (w *Walk) SetRecording(on bool) { w.recording = on }
+
+// ActiveLog returns the recorded active-set sizes (round 0 first). The
+// slice aliases internal storage.
+func (w *Walk) ActiveLog() []int { return w.activeLog }
+
+// Steps returns the number of rounds executed since the last reset.
+func (w *Walk) Steps() int { return w.steps }
+
+// CoveredCount returns the number of distinct vertices covered so far.
+func (w *Walk) CoveredCount() int { return w.nCovered }
+
+// Covered reports whether v has been active at any time since reset.
+func (w *Walk) Covered(v int32) bool { return w.covered.Contains(int(v)) }
+
+// ActiveCount returns the current number of active vertices.
+func (w *Walk) ActiveCount() int { return len(w.active) }
+
+// AppendActive appends the current active vertices to dst and returns the
+// extended slice.
+func (w *Walk) AppendActive(dst []int32) []int32 {
+	return append(dst, w.active...)
+}
+
+// MessagesSent returns the cumulative number of neighbor samples drawn
+// since the last reset — the message cost of the walk viewed as a
+// dissemination protocol (K messages per active vertex per round).
+func (w *Walk) MessagesSent() int64 { return w.messages }
+
+// Step executes one cobra round: every active vertex samples K random
+// neighbors with replacement; the sampled vertices form the new active
+// set.
+func (w *Walk) Step() {
+	g, k := w.g, w.cfg.K
+	w.messages += int64(k) * int64(len(w.active))
+	for _, v := range w.active {
+		deg := g.Degree(v)
+		for j := 0; j < k; j++ {
+			u := g.Neighbor(v, w.rnd.Int31n(deg))
+			if !w.nextSet.TestAndAdd(int(u)) {
+				w.next = append(w.next, u)
+				if !w.covered.TestAndAdd(int(u)) {
+					w.nCovered++
+				}
+			}
+		}
+	}
+	// Swap frontiers; clear nextSet bits via the new frontier list so the
+	// cost is O(|frontier|), not O(n).
+	w.active, w.next = w.next, w.active[:0]
+	for _, u := range w.active {
+		w.nextSet.Remove(int(u))
+	}
+	w.steps++
+	if w.recording {
+		w.activeLog = append(w.activeLog, len(w.active))
+	}
+}
+
+// RunUntilCovered steps until all n vertices are covered, returning the
+// number of rounds. ok is false if MaxSteps was exceeded.
+func (w *Walk) RunUntilCovered() (steps int, ok bool) {
+	n := w.g.N()
+	for w.nCovered < n {
+		if w.steps >= w.cfg.MaxSteps {
+			return w.steps, false
+		}
+		w.Step()
+	}
+	return w.steps, true
+}
+
+// RunUntilHit steps until target is covered, returning the number of
+// rounds (0 if the start set already contains target). ok is false if
+// MaxSteps was exceeded.
+func (w *Walk) RunUntilHit(target int32) (steps int, ok bool) {
+	for !w.covered.Contains(int(target)) {
+		if w.steps >= w.cfg.MaxSteps {
+			return w.steps, false
+		}
+		w.Step()
+	}
+	return w.steps, true
+}
+
+// RunUntilCoveredFraction steps until at least frac of all vertices are
+// covered. ok is false if MaxSteps was exceeded.
+func (w *Walk) RunUntilCoveredFraction(frac float64) (steps int, ok bool) {
+	want := int(frac * float64(w.g.N()))
+	if want < 1 {
+		want = 1
+	}
+	for w.nCovered < want {
+		if w.steps >= w.cfg.MaxSteps {
+			return w.steps, false
+		}
+		w.Step()
+	}
+	return w.steps, true
+}
+
+// CoverTime runs a fresh k-cobra walk from start and returns the number
+// of rounds to cover g. ok is false if the cap was exceeded.
+func CoverTime(g *graph.Graph, k int, start int32, seed uint64) (steps int, ok bool) {
+	w := New(g, Config{K: k}, rng.New(seed))
+	w.Reset(start)
+	return w.RunUntilCovered()
+}
+
+// HittingTime runs a fresh k-cobra walk from start and returns the number
+// of rounds until target becomes active. ok is false if the cap was
+// exceeded.
+func HittingTime(g *graph.Graph, k int, start, target int32, seed uint64) (steps int, ok bool) {
+	w := New(g, Config{K: k}, rng.New(seed))
+	w.Reset(start)
+	return w.RunUntilHit(target)
+}
+
+// MeanCoverTime estimates the expected cover time from start by averaging
+// trials independent runs (trial i uses stream i of seed). It returns the
+// sample of cover times for downstream statistics. An error is returned
+// if any trial exceeds the step cap.
+func MeanCoverTime(g *graph.Graph, k int, start int32, trials int, seed uint64) ([]float64, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("core: trials must be >= 1")
+	}
+	out := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		w := New(g, Config{K: k}, rng.NewStream(seed, i))
+		w.Reset(start)
+		steps, ok := w.RunUntilCovered()
+		if !ok {
+			return nil, fmt.Errorf("core: trial %d exceeded step cap %d on %s", i, w.cfg.MaxSteps, g)
+		}
+		out[i] = float64(steps)
+	}
+	return out, nil
+}
+
+// MaxHittingTime estimates h_max = max_{u,v} H(u, v) by measuring mean
+// hitting times over the given pairs with trials runs each, returning the
+// largest mean. Used by the Matthews-relation experiment (Theorem 1).
+func MaxHittingTime(g *graph.Graph, k int, pairs [][2]int32, trials int, seed uint64) (float64, error) {
+	if len(pairs) == 0 || trials < 1 {
+		return 0, fmt.Errorf("core: need pairs and trials")
+	}
+	worst := 0.0
+	for pi, p := range pairs {
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			w := New(g, Config{K: k}, rng.NewStream(seed, pi*trials+i))
+			w.Reset(p[0])
+			steps, ok := w.RunUntilHit(p[1])
+			if !ok {
+				return 0, fmt.Errorf("core: hitting pair %v exceeded step cap", p)
+			}
+			sum += float64(steps)
+		}
+		if mean := sum / float64(trials); mean > worst {
+			worst = mean
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Property-based tests over randomized graph/seed combinations: the
+// structural invariants of the cobra walk that must hold on every graph,
+// every seed, every branching factor.
+
+// arbitraryGraph deterministically maps a byte to one of the generator
+// families at small size, giving quick.Check a varied graph supply.
+func arbitraryGraph(selector uint8) *graph.Graph {
+	switch selector % 7 {
+	case 0:
+		return graph.Cycle(8 + int(selector)%24)
+	case 1:
+		return graph.Complete(4 + int(selector)%12)
+	case 2:
+		return graph.Grid(2, 3+int(selector)%5)
+	case 3:
+		return graph.Star(5 + int(selector)%20)
+	case 4:
+		return graph.KAryTree(2, 2+int(selector)%3)
+	case 5:
+		return graph.Lollipop(4+int(selector)%4, 3+int(selector)%4)
+	default:
+		return graph.MustRandomRegular(10+2*(int(selector)%8), 3, uint64(selector))
+	}
+}
+
+func TestPropertyCoverVisitsEverything(t *testing.T) {
+	f := func(sel uint8, seed uint16) bool {
+		g := arbitraryGraph(sel)
+		w := New(g, Config{K: 2}, rng.New(uint64(seed)))
+		w.Reset(0)
+		if _, ok := w.RunUntilCovered(); !ok {
+			return false
+		}
+		if w.CoveredCount() != g.N() {
+			return false
+		}
+		for v := int32(0); v < int32(g.N()); v++ {
+			if !w.Covered(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCoverAtLeastEccentricity(t *testing.T) {
+	// Pebbles move one hop per round, so covering takes at least the
+	// start vertex's eccentricity.
+	f := func(sel uint8, seed uint16) bool {
+		g := arbitraryGraph(sel)
+		ecc := int(graph.Eccentricity(g, 0))
+		w := New(g, Config{K: 2}, rng.New(uint64(seed)))
+		w.Reset(0)
+		steps, ok := w.RunUntilCovered()
+		return ok && steps >= ecc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHittingAtLeastDistance(t *testing.T) {
+	f := func(sel uint8, seed uint16, rawTarget uint8) bool {
+		g := arbitraryGraph(sel)
+		target := int32(int(rawTarget) % g.N())
+		dist := graph.BFS(g, 0)
+		w := New(g, Config{K: 2}, rng.New(uint64(seed)))
+		w.Reset(0)
+		steps, ok := w.RunUntilHit(target)
+		return ok && steps >= int(dist[target])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyActiveSetWithinBranchingEnvelope(t *testing.T) {
+	// 1 <= |S_{t+1}| <= K|S_t| for every round.
+	f := func(sel uint8, seed uint16, rawK uint8) bool {
+		g := arbitraryGraph(sel)
+		k := 1 + int(rawK)%4
+		w := New(g, Config{K: k}, rng.New(uint64(seed)))
+		w.Reset(0)
+		prev := w.ActiveCount()
+		for i := 0; i < 50; i++ {
+			w.Step()
+			cur := w.ActiveCount()
+			if cur < 1 || cur > k*prev || cur > g.N() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCoveredCountMonotone(t *testing.T) {
+	f := func(sel uint8, seed uint16) bool {
+		g := arbitraryGraph(sel)
+		w := New(g, Config{K: 2}, rng.New(uint64(seed)))
+		w.Reset(0)
+		prev := w.CoveredCount()
+		for i := 0; i < 60; i++ {
+			w.Step()
+			if w.CoveredCount() < prev {
+				return false
+			}
+			prev = w.CoveredCount()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyActiveVerticesAreCovered(t *testing.T) {
+	// Every active vertex must be marked covered.
+	f := func(sel uint8, seed uint16) bool {
+		g := arbitraryGraph(sel)
+		w := New(g, Config{K: 2}, rng.New(uint64(seed)))
+		w.Reset(0)
+		var buf []int32
+		for i := 0; i < 30; i++ {
+			w.Step()
+			buf = w.AppendActive(buf[:0])
+			for _, v := range buf {
+				if !w.Covered(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyActiveVerticesDistinct(t *testing.T) {
+	// The active list must never contain duplicates (coalescing).
+	f := func(sel uint8, seed uint16) bool {
+		g := arbitraryGraph(sel)
+		w := New(g, Config{K: 3}, rng.New(uint64(seed)))
+		w.Reset(0)
+		var buf []int32
+		for i := 0; i < 30; i++ {
+			w.Step()
+			buf = w.AppendActive(buf[:0])
+			seen := map[int32]bool{}
+			for _, v := range buf {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyActiveNeighborsOfPrevious(t *testing.T) {
+	// Every active vertex at round t+1 must be a neighbor of some vertex
+	// active at round t (pebbles move along edges).
+	f := func(sel uint8, seed uint16) bool {
+		g := arbitraryGraph(sel)
+		w := New(g, Config{K: 2}, rng.New(uint64(seed)))
+		w.Reset(0)
+		var prev, cur []int32
+		prev = w.AppendActive(prev[:0])
+		for i := 0; i < 25; i++ {
+			w.Step()
+			cur = w.AppendActive(cur[:0])
+			for _, v := range cur {
+				ok := false
+				for _, u := range prev {
+					if g.HasEdge(u, v) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+			prev = append(prev[:0], cur...)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGeneralWalkMatchesEnvelope(t *testing.T) {
+	// The generalized engine obeys the same envelope with per-round
+	// random branching in {1, 2, 3}.
+	f := func(sel uint8, seed uint16) bool {
+		g := arbitraryGraph(sel)
+		bf := func(_ int32, _ int, src *rng.Source) int { return 1 + src.Intn(3) }
+		w := NewGeneral(g, bf, 0, rng.New(uint64(seed)))
+		w.Reset(0)
+		prev := w.ActiveCount()
+		for i := 0; i < 40; i++ {
+			w.Step()
+			cur := w.ActiveCount()
+			if cur < 1 || cur > 3*prev || cur > g.N() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// GridTracker simulates the pessimistic single-pebble chain used in the
+// proof of Theorem 3: a 2-cobra walk on the grid [0, side-1]^d where at
+// every round only one of the two spawned pebbles is followed, selected
+// by the paper's rules (§3):
+//
+//   - If both choices move in the same dimension, follow the one moving
+//     closer to the target, if one exists.
+//   - If the choices move in dimensions i and j with z_i = 0 and
+//     z_j != 0, follow the move in dimension j (and symmetrically).
+//   - If z_i = z_j = 0, or both moves get closer, or both get farther,
+//     follow a uniformly random one; otherwise follow the closer one.
+//
+// Here z_i is the coordinate-i distance from the tracked pebble to the
+// target. The chain's per-dimension drift is what Lemma 4 bounds, and
+// Experiments E2/E3 measure it directly.
+type GridTracker struct {
+	d, side int
+	pos     []int
+	target  []int
+	rnd     *rng.Source
+	steps   int
+}
+
+// move is a candidate single-coordinate step.
+type move struct {
+	dim, dir int
+}
+
+// NewGridTracker creates a tracker on Grid(d, side) with the pebble at
+// start and the given target, both as coordinate vectors.
+func NewGridTracker(d, side int, start, target []int, rnd *rng.Source) *GridTracker {
+	if d < 1 || side < 2 {
+		panic("core: GridTracker needs d >= 1 and side >= 2")
+	}
+	if len(start) != d || len(target) != d {
+		panic("core: GridTracker coordinate length mismatch")
+	}
+	t := &GridTracker{
+		d:      d,
+		side:   side,
+		pos:    append([]int(nil), start...),
+		target: append([]int(nil), target...),
+		rnd:    rnd,
+	}
+	for i := 0; i < d; i++ {
+		if start[i] < 0 || start[i] >= side || target[i] < 0 || target[i] >= side {
+			panic("core: GridTracker coordinates out of range")
+		}
+	}
+	return t
+}
+
+// Z returns the current distance to the target in dimension i.
+func (t *GridTracker) Z(i int) int {
+	z := t.pos[i] - t.target[i]
+	if z < 0 {
+		z = -z
+	}
+	return z
+}
+
+// TotalZ returns the Manhattan distance to the target.
+func (t *GridTracker) TotalZ() int {
+	sum := 0
+	for i := 0; i < t.d; i++ {
+		sum += t.Z(i)
+	}
+	return sum
+}
+
+// Steps returns the number of rounds executed.
+func (t *GridTracker) Steps() int { return t.steps }
+
+// Done reports whether the tracked pebble is at the target.
+func (t *GridTracker) Done() bool { return t.TotalZ() == 0 }
+
+// randomMove samples a uniformly random valid move of the pebble (one of
+// its grid neighbors, uniform).
+func (t *GridTracker) randomMove() move {
+	// Degree = number of valid (dim, dir) pairs.
+	deg := 0
+	for i := 0; i < t.d; i++ {
+		if t.pos[i] > 0 {
+			deg++
+		}
+		if t.pos[i] < t.side-1 {
+			deg++
+		}
+	}
+	k := t.rnd.Intn(deg)
+	for i := 0; i < t.d; i++ {
+		if t.pos[i] > 0 {
+			if k == 0 {
+				return move{i, -1}
+			}
+			k--
+		}
+		if t.pos[i] < t.side-1 {
+			if k == 0 {
+				return move{i, +1}
+			}
+			k--
+		}
+	}
+	panic("core: unreachable move selection")
+}
+
+// closer reports whether m decreases the distance to the target.
+func (t *GridTracker) closer(m move) bool {
+	z := t.pos[m.dim] - t.target[m.dim]
+	return (z > 0 && m.dir < 0) || (z < 0 && m.dir > 0)
+}
+
+// Step samples the 2-cobra pebble pair and follows one per the paper's
+// rules. It returns the executed move's dimension and the signed change
+// of z in that dimension (-1 closer, +1 farther).
+func (t *GridTracker) Step() (dim, delta int) {
+	c1 := t.randomMove()
+	c2 := t.randomMove()
+	chosen := t.choose(c1, c2)
+	wasZ := t.Z(chosen.dim)
+	t.pos[chosen.dim] += chosen.dir
+	t.steps++
+	return chosen.dim, t.Z(chosen.dim) - wasZ
+}
+
+func (t *GridTracker) choose(c1, c2 move) move {
+	if c1.dim == c2.dim {
+		cl1, cl2 := t.closer(c1), t.closer(c2)
+		switch {
+		case cl1 && !cl2:
+			return c1
+		case cl2 && !cl1:
+			return c2
+		default:
+			if t.rnd.Bool() {
+				return c1
+			}
+			return c2
+		}
+	}
+	z1, z2 := t.Z(c1.dim), t.Z(c2.dim)
+	switch {
+	case z1 == 0 && z2 != 0:
+		return c2
+	case z2 == 0 && z1 != 0:
+		return c1
+	case z1 == 0 && z2 == 0:
+		if t.rnd.Bool() {
+			return c1
+		}
+		return c2
+	}
+	cl1, cl2 := t.closer(c1), t.closer(c2)
+	switch {
+	case cl1 && !cl2:
+		return c1
+	case cl2 && !cl1:
+		return c2
+	default:
+		if t.rnd.Bool() {
+			return c1
+		}
+		return c2
+	}
+}
+
+// RunToTarget steps until the pebble reaches the target, returning the
+// number of rounds; ok is false if maxSteps was exceeded.
+func (t *GridTracker) RunToTarget(maxSteps int) (steps int, ok bool) {
+	for !t.Done() {
+		if t.steps >= maxSteps {
+			return t.steps, false
+		}
+		t.Step()
+	}
+	return t.steps, true
+}
+
+// MinActiveDistance returns the minimum, over the currently active
+// vertices of w, of dist[v]; dist is typically a BFS distance vector from
+// a target vertex. It returns -1 if the walk has no active vertices.
+// This is the X_t quantity in the Lemma 2 drift argument, generalized to
+// arbitrary graphs.
+func MinActiveDistance(w *Walk, dist []int32) int32 {
+	best := int32(-1)
+	for _, v := range w.active {
+		if best == -1 || dist[v] < best {
+			best = dist[v]
+		}
+	}
+	return best
+}
+
+// GridCoverTime is a convenience wrapper running a k-cobra walk on
+// Grid(d, side) from the origin and returning the cover time in rounds.
+func GridCoverTime(d, side, k int, seed uint64) (steps int, ok bool) {
+	g := graph.Grid(d, side)
+	return CoverTime(g, k, 0, seed)
+}

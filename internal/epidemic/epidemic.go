@@ -1,0 +1,210 @@
+// Package epidemic implements the SIS (susceptible-infected-susceptible)
+// contact process that the paper's introduction presents the cobra walk
+// as an idealization of: "in each time step, an infected agent infects k
+// random neighbors and recovers, but can be infected again".
+//
+// The general process has per-contact transmission probability Beta and
+// per-round recovery probability Gamma; each infected vertex draws K
+// random neighbor contacts (uniformly, with replacement) per round. With
+// Beta = 1 and Gamma = 1 the infected-set dynamics are exactly the
+// K-cobra walk of package core — a correspondence the tests verify
+// stream-for-stream.
+package epidemic
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Config parameterizes an SIS process.
+type Config struct {
+	// K is the number of neighbor contacts each infected vertex draws
+	// per round (with replacement).
+	K int
+	// Beta is the per-contact transmission probability.
+	Beta float64
+	// Gamma is the per-round recovery probability of an infected vertex
+	// (applied after its contacts). Gamma = 1 reproduces the paper's
+	// idealization: infect k neighbors, then recover.
+	Gamma float64
+	// MaxRounds caps runs; zero selects a generous default.
+	MaxRounds int
+}
+
+// validate panics on nonsensical configuration.
+func (c Config) validate() {
+	if c.K < 1 {
+		panic("epidemic: K must be >= 1")
+	}
+	if c.Beta < 0 || c.Beta > 1 || c.Gamma < 0 || c.Gamma > 1 {
+		panic("epidemic: Beta and Gamma must be in [0,1]")
+	}
+}
+
+// Process is a running SIS epidemic.
+type Process struct {
+	g   *graph.Graph
+	cfg Config
+	rnd *rng.Source
+
+	infected    []int32     // current infected vertices (unique)
+	next        []int32     // next round's infected under construction
+	nextSet     *bitset.Set // membership for next
+	everSet     *bitset.Set // ever-infected (exposure)
+	everCount   int
+	rounds      int
+	peak        int
+	totalInfect int64 // cumulative infection events (for attack-rate stats)
+}
+
+// New creates an SIS process with the given patient-zero set.
+func New(g *graph.Graph, patientZero []int32, cfg Config, rnd *rng.Source) *Process {
+	cfg.validate()
+	if len(patientZero) == 0 {
+		panic("epidemic: need at least one initially infected vertex")
+	}
+	if g.MinDegree() == 0 && g.N() > 1 {
+		panic("epidemic: graph has an isolated vertex")
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 200*g.N()*g.N() + 100000
+	}
+	p := &Process{
+		g:       g,
+		cfg:     cfg,
+		rnd:     rnd,
+		nextSet: bitset.New(g.N()),
+		everSet: bitset.New(g.N()),
+	}
+	seen := bitset.New(g.N())
+	for _, v := range patientZero {
+		if !seen.TestAndAdd(int(v)) {
+			p.infected = append(p.infected, v)
+			p.everSet.Add(int(v))
+			p.everCount++
+		}
+	}
+	p.peak = len(p.infected)
+	return p
+}
+
+// InfectedCount returns the current prevalence.
+func (p *Process) InfectedCount() int { return len(p.infected) }
+
+// EverInfectedCount returns the cumulative exposure (distinct vertices
+// ever infected).
+func (p *Process) EverInfectedCount() int { return p.everCount }
+
+// Rounds returns the number of rounds executed.
+func (p *Process) Rounds() int { return p.rounds }
+
+// Peak returns the largest prevalence observed so far.
+func (p *Process) Peak() int { return p.peak }
+
+// Extinct reports whether the infection has died out.
+func (p *Process) Extinct() bool { return len(p.infected) == 0 }
+
+// TotalInfections returns the cumulative count of infection events
+// (including reinfection of previously exposed vertices).
+func (p *Process) TotalInfections() int64 { return p.totalInfect }
+
+// Step executes one synchronous round: every infected vertex draws K
+// contacts, transmitting with probability Beta each; it then recovers
+// with probability Gamma, otherwise remaining infected next round.
+func (p *Process) Step() {
+	g := p.g
+	for _, v := range p.infected {
+		deg := g.Degree(v)
+		for j := 0; j < p.cfg.K; j++ {
+			if p.cfg.Beta < 1 && p.rnd.Float64() >= p.cfg.Beta {
+				continue
+			}
+			u := g.Neighbor(v, p.rnd.Int31n(deg))
+			if !p.nextSet.TestAndAdd(int(u)) {
+				p.next = append(p.next, u)
+				p.totalInfect++
+				if !p.everSet.TestAndAdd(int(u)) {
+					p.everCount++
+				}
+			}
+		}
+		if p.cfg.Gamma < 1 && p.rnd.Float64() >= p.cfg.Gamma {
+			// Stays infected.
+			if !p.nextSet.TestAndAdd(int(v)) {
+				p.next = append(p.next, v)
+			}
+		}
+	}
+	p.infected, p.next = p.next, p.infected[:0]
+	for _, u := range p.infected {
+		p.nextSet.Remove(int(u))
+	}
+	if len(p.infected) > p.peak {
+		p.peak = len(p.infected)
+	}
+	p.rounds++
+}
+
+// Outcome describes how a run ended.
+type Outcome int
+
+const (
+	// FullExposure: every vertex has been infected at least once.
+	FullExposure Outcome = iota
+	// Extinction: the infection died out before full exposure.
+	Extinction
+	// Timeout: the round cap was reached.
+	Timeout
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case FullExposure:
+		return "full-exposure"
+	case Extinction:
+		return "extinction"
+	default:
+		return "timeout"
+	}
+}
+
+// Run steps until full exposure, extinction, or the round cap, and
+// returns the outcome with the rounds taken.
+func (p *Process) Run() (Outcome, int) {
+	n := p.g.N()
+	for {
+		if p.everCount == n {
+			return FullExposure, p.rounds
+		}
+		if p.Extinct() {
+			return Extinction, p.rounds
+		}
+		if p.rounds >= p.cfg.MaxRounds {
+			return Timeout, p.rounds
+		}
+		p.Step()
+	}
+}
+
+// SurvivalProbability estimates, over trials independent runs from
+// patient zero, the probability that the epidemic reaches full exposure
+// rather than going extinct (runs hitting the cap count as survival, so
+// choose caps generously).
+func SurvivalProbability(g *graph.Graph, patientZero int32, cfg Config, trials int, seed uint64) (float64, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("epidemic: trials must be >= 1")
+	}
+	survived := 0
+	for i := 0; i < trials; i++ {
+		p := New(g, []int32{patientZero}, cfg, rng.NewStream(seed, i))
+		outcome, _ := p.Run()
+		if outcome != Extinction {
+			survived++
+		}
+	}
+	return float64(survived) / float64(trials), nil
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/walk"
+)
+
+// E8RegularHitting reproduces Theorem 15: the 2-cobra hitting time on
+// δ-regular graphs is O(n^{2-1/δ}). We sweep the cycle (δ=2, bound
+// n^1.5) and a 4-regular circulant band (bound n^1.75), fit measured
+// hitting-time exponents, and compare with the simple random walk, whose
+// hitting time on these families is Θ(n²).
+func E8RegularHitting(scale Scale, seed uint64) (*Result, error) {
+	res := &Result{
+		ID:    "E8",
+		Claim: "2-cobra hitting time on δ-regular graphs is O(n^{2-1/δ}), beating the RW's Θ(n²)",
+	}
+	trials := 15
+	sizes := []int{64, 128, 256, 512}
+	rwSizes := []int{32, 64, 128, 256}
+	if scale == Full {
+		trials = 40
+		sizes = []int{64, 128, 256, 512, 1024, 2048}
+		rwSizes = []int{32, 64, 128, 256, 512}
+	}
+
+	table := sim.NewTable("E8: antipodal hitting times on δ-regular rings",
+		"family", "n", "hit mean", "95% CI", "bound n^{2-1/δ}")
+	runSweep := func(name string, build func(n int) *graph.Graph, delta float64, streamBase int) ([]sim.Point, error) {
+		var points []sim.Point
+		for i, n := range sizes {
+			g := build(n)
+			target := int32(n / 2)
+			sample, err := sim.RunTrials(trials, rng.Stream(seed, streamBase+i),
+				func(trial int, src *rng.Source) (float64, error) {
+					w := core.New(g, core.Config{K: 2}, src)
+					w.Reset(0)
+					steps, ok := w.RunUntilHit(target)
+					if !ok {
+						return 0, fmt.Errorf("E8: hit cap exceeded on %s", g)
+					}
+					return float64(steps), nil
+				})
+			if err != nil {
+				return nil, err
+			}
+			mean, ci, _ := sim.SummaryCells(sample)
+			bound := math.Pow(float64(n), 2-1/delta)
+			table.AddRowf(name, n, mean, ci, bound)
+			points = append(points, sim.Point{X: float64(n), Sample: sample})
+		}
+		return points, nil
+	}
+
+	cyclePts, err := runSweep("cycle (δ=2)", func(n int) *graph.Graph { return graph.Cycle(n) }, 2, 600)
+	if err != nil {
+		return nil, err
+	}
+	circPts, err := runSweep("circulant±{1,2} (δ=4)",
+		func(n int) *graph.Graph { return graph.CirculantRegular(n, []int{1, 2}) }, 4, 700)
+	if err != nil {
+		return nil, err
+	}
+	res.Tables = append(res.Tables, table)
+
+	cf := sim.FitExponent(cyclePts)
+	xf := sim.FitExponent(circPts)
+	res.addFinding("cycle: cobra hitting ~ n^%.2f (Theorem 15 bound: 1.5; R²=%.3f)", cf.Exponent, cf.R2)
+	res.addFinding("circulant δ=4: cobra hitting ~ n^%.2f (bound: 1.75; R²=%.3f)", xf.Exponent, xf.R2)
+
+	// Baseline: simple random walk antipodal hitting on the cycle is
+	// exactly k(n-k) = n²/4.
+	rwTable := sim.NewTable("E8 baseline: simple RW antipodal hitting on the cycle",
+		"n", "hit mean", "95% CI", "theory n²/4")
+	var rwPoints []sim.Point
+	for i, n := range rwSizes {
+		g := graph.Cycle(n)
+		sample, err := walk.MeanSimpleHittingTime(g, 0, int32(n/2), trials, 1000*n*n, rng.Stream(seed, 800+i))
+		if err != nil {
+			return nil, err
+		}
+		mean, ci, _ := sim.SummaryCells(sample)
+		rwTable.AddRowf(n, mean, ci, float64(n*n)/4)
+		rwPoints = append(rwPoints, sim.Point{X: float64(n), Sample: sample})
+	}
+	rwFit := sim.FitExponent(rwPoints)
+	res.Tables = append(res.Tables, rwTable)
+	res.addFinding("baseline RW on cycle: hitting ~ n^%.2f (theory: 2)", rwFit.Exponent)
+	return res, nil
+}
+
+// E9Lollipop reproduces Theorem 20: the 2-cobra walk's hitting and cover
+// times on any graph are O(n^{11/4}) and O(n^{11/4} log n), strictly
+// beating the simple random walk's Θ(n³) worst case. The lollipop graph
+// (clique of n/2 plus path of n/2) realizes the RW worst case: hitting
+// from the clique to the path tip is Θ(n³). We sweep sizes, fit both
+// exponents, and verify cobra ≪ RW with a sub-2.75 exponent.
+func E9Lollipop(scale Scale, seed uint64) (*Result, error) {
+	res := &Result{
+		ID:    "E9",
+		Claim: "2-cobra hitting on the lollipop beats the RW's Θ(n³) worst case (Theorem 20 predicts O(n^{11/4}))",
+	}
+	trials := 12
+	sizes := []int{16, 24, 32, 48, 64}
+	rwSizes := []int{16, 24, 32, 48}
+	if scale == Full {
+		trials = 30
+		sizes = []int{16, 24, 32, 48, 64, 96, 128}
+		rwSizes = []int{16, 24, 32, 48, 64}
+	}
+	table := sim.NewTable("E9: lollipop clique→tail hitting times",
+		"process", "n", "hit mean", "95% CI")
+	var cobraPts []sim.Point
+	for i, n := range sizes {
+		g := graph.Lollipop(n/2, n/2)
+		tail := int32(g.N() - 1)
+		sample, err := sim.RunTrials(trials, rng.Stream(seed, 900+i),
+			func(trial int, src *rng.Source) (float64, error) {
+				w := core.New(g, core.Config{K: 2, MaxSteps: 4000 * n * n}, src)
+				w.Reset(1) // a clique vertex away from the junction
+				steps, ok := w.RunUntilHit(tail)
+				if !ok {
+					return 0, fmt.Errorf("E9: cobra hit cap exceeded on %s", g)
+				}
+				return float64(steps), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		mean, ci, _ := sim.SummaryCells(sample)
+		table.AddRowf("cobra k=2", g.N(), mean, ci)
+		cobraPts = append(cobraPts, sim.Point{X: float64(g.N()), Sample: sample})
+	}
+	var rwPts []sim.Point
+	for i, n := range rwSizes {
+		g := graph.Lollipop(n/2, n/2)
+		tail := int32(g.N() - 1)
+		sample, err := walk.MeanSimpleHittingTime(g, 1, tail, trials,
+			2000*n*n*n, rng.Stream(seed, 950+i))
+		if err != nil {
+			return nil, err
+		}
+		mean, ci, _ := sim.SummaryCells(sample)
+		table.AddRowf("simple RW", g.N(), mean, ci)
+		rwPts = append(rwPts, sim.Point{X: float64(g.N()), Sample: sample})
+	}
+	res.Tables = append(res.Tables, table)
+
+	cf := sim.FitExponent(cobraPts)
+	rf := sim.FitExponent(rwPts)
+	res.addFinding("cobra hitting ~ n^%.2f (Theorem 20 bound: 2.75; R²=%.3f)", cf.Exponent, cf.R2)
+	res.addFinding("RW hitting ~ n^%.2f (theory: 3)", rf.Exponent)
+	res.addFinding("cobra beats RW: exponent gap %.2f", rf.Exponent-cf.Exponent)
+	return res, nil
+}

@@ -1,0 +1,175 @@
+// Package gossip implements the classic randomized rumor-spreading
+// protocols the paper compares cobra walks against: push, pull, and
+// push-pull. In each synchronous round every vertex contacts one
+// uniformly random neighbor; informed vertices push the rumor, and (in
+// pull variants) uninformed vertices that contact an informed neighbor
+// learn it. Push completes on any connected graph in O(n log n) rounds
+// with high probability (Feige et al.), the baseline the paper's
+// O(n log n) cobra-walk conjecture references.
+package gossip
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Mode selects the protocol variant.
+type Mode int
+
+const (
+	// Push: informed vertices send the rumor to a random neighbor.
+	Push Mode = iota
+	// Pull: uninformed vertices ask a random neighbor.
+	Pull
+	// PushPull: both mechanisms each round.
+	PushPull
+)
+
+// String returns the protocol name.
+func (m Mode) String() string {
+	switch m {
+	case Push:
+		return "push"
+	case Pull:
+		return "pull"
+	case PushPull:
+		return "push-pull"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// notInformed marks a vertex that has not yet received the rumor.
+const notInformed = int32(-1)
+
+// Process is a running rumor-spreading protocol.
+type Process struct {
+	g        *graph.Graph
+	mode     Mode
+	rnd      *rng.Source
+	drop     float64 // per-message loss probability (fault model)
+	stamp    []int32 // round at which each vertex was informed, -1 if never
+	list     []int32 // informed vertices, in order of infection
+	count    int
+	rounds   int32
+	messages int64 // protocol messages sent (pushes + pull requests)
+}
+
+// New creates a process with the rumor at start.
+func New(g *graph.Graph, mode Mode, start int32, rnd *rng.Source) *Process {
+	return NewWithDrops(g, mode, start, 0, rnd)
+}
+
+// NewWithDrops creates a process whose messages (pushes and pull
+// replies) are each lost independently with probability drop — the
+// fault model of the paper's robustness motivation. Informed vertices
+// stay informed, so the protocol still completes for any drop < 1, just
+// more slowly.
+func NewWithDrops(g *graph.Graph, mode Mode, start int32, drop float64, rnd *rng.Source) *Process {
+	if g.MinDegree() == 0 && g.N() > 1 {
+		panic("gossip: graph has an isolated vertex")
+	}
+	if drop < 0 || drop >= 1 {
+		panic("gossip: drop probability must be in [0,1)")
+	}
+	p := &Process{
+		g:     g,
+		mode:  mode,
+		rnd:   rnd,
+		drop:  drop,
+		stamp: make([]int32, g.N()),
+		list:  make([]int32, 0, g.N()),
+	}
+	for i := range p.stamp {
+		p.stamp[i] = notInformed
+	}
+	p.stamp[start] = 0
+	p.list = append(p.list, start)
+	p.count = 1
+	return p
+}
+
+// delivered samples whether one message survives the fault model.
+func (p *Process) delivered() bool {
+	return p.drop == 0 || p.rnd.Float64() >= p.drop
+}
+
+// InformedCount returns the number of informed vertices.
+func (p *Process) InformedCount() int { return p.count }
+
+// Informed reports whether v holds the rumor.
+func (p *Process) Informed(v int32) bool { return p.stamp[v] != notInformed }
+
+// Rounds returns the number of rounds executed.
+func (p *Process) Rounds() int { return int(p.rounds) }
+
+// MessagesSent returns the cumulative protocol message count: one per
+// push by an informed vertex and one per pull request by an uninformed
+// vertex.
+func (p *Process) MessagesSent() int64 { return p.messages }
+
+// Step executes one synchronous round. A vertex informed during round r
+// participates (answers pulls, pushes) only from round r+1 on, the
+// standard synchronous-gossip convention.
+func (p *Process) Step() {
+	g := p.g
+	cur := p.rounds // stamps < cur+1 participate; new stamps get cur+1
+	if p.mode == Push || p.mode == PushPull {
+		// Only vertices informed before this round push.
+		informedAtStart := len(p.list)
+		p.messages += int64(informedAtStart)
+		for i := 0; i < informedAtStart; i++ {
+			v := p.list[i]
+			u := g.Neighbor(v, p.rnd.Int31n(g.Degree(v)))
+			if p.stamp[u] == notInformed && p.delivered() {
+				p.stamp[u] = cur + 1
+				p.list = append(p.list, u)
+				p.count++
+			}
+		}
+	}
+	if p.mode == Pull || p.mode == PushPull {
+		for v := int32(0); v < int32(g.N()); v++ {
+			if p.stamp[v] != notInformed {
+				continue
+			}
+			p.messages++
+			u := g.Neighbor(v, p.rnd.Int31n(g.Degree(v)))
+			if s := p.stamp[u]; s != notInformed && s <= cur && p.delivered() {
+				p.stamp[v] = cur + 1
+				p.list = append(p.list, v)
+				p.count++
+			}
+		}
+	}
+	p.rounds++
+}
+
+// CompletionTime steps until every vertex is informed; ok is false if
+// maxRounds is exceeded.
+func (p *Process) CompletionTime(maxRounds int) (int, bool) {
+	for p.count < p.g.N() {
+		if int(p.rounds) >= maxRounds {
+			return int(p.rounds), false
+		}
+		p.Step()
+	}
+	return int(p.rounds), true
+}
+
+// CompletionTimes runs trials independent processes and returns the
+// sample of completion rounds.
+func CompletionTimes(g *graph.Graph, mode Mode, start int32, trials, maxRounds int, seed uint64) ([]float64, error) {
+	out := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		p := New(g, mode, start, rng.NewStream(seed, i))
+		rounds, ok := p.CompletionTime(maxRounds)
+		if !ok {
+			return nil, fmt.Errorf("gossip: %v trial %d exceeded %d rounds on %s", mode, i, maxRounds, g)
+		}
+		out[i] = float64(rounds)
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestModeString(t *testing.T) {
+	if Push.String() != "push" || Pull.String() != "pull" || PushPull.String() != "push-pull" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should still format")
+	}
+}
+
+func TestPushCompletesOnCycle(t *testing.T) {
+	g := graph.Cycle(30)
+	p := New(g, Push, 0, rng.New(1))
+	rounds, ok := p.CompletionTime(1000000)
+	if !ok {
+		t.Fatal("push did not complete")
+	}
+	// The rumor spreads at most 1 hop per round on each side of the
+	// cycle, so at least ceil(29/2)=15 rounds are needed.
+	if rounds < 15 {
+		t.Fatalf("push completed C30 in %d rounds; impossible", rounds)
+	}
+	if p.InformedCount() != g.N() {
+		t.Fatal("not everyone informed at completion")
+	}
+}
+
+func TestInformedMonotone(t *testing.T) {
+	g := graph.MustRandomRegular(60, 4, 2)
+	p := New(g, PushPull, 0, rng.New(3))
+	prev := p.InformedCount()
+	for i := 0; i < 200 && p.InformedCount() < g.N(); i++ {
+		p.Step()
+		if p.InformedCount() < prev {
+			t.Fatal("informed count decreased")
+		}
+		prev = p.InformedCount()
+	}
+}
+
+func TestInformedQuery(t *testing.T) {
+	g := graph.Star(5)
+	p := New(g, Push, 0, rng.New(4))
+	if !p.Informed(0) {
+		t.Fatal("start not informed")
+	}
+	for v := int32(1); v < 5; v++ {
+		if p.Informed(v) {
+			t.Fatalf("leaf %d informed at start", v)
+		}
+	}
+}
+
+func TestPushDoublingOnComplete(t *testing.T) {
+	// On K_n push roughly doubles the informed set per round until
+	// saturation: completion in O(log n) + collision tail; for n=128
+	// expect < 40 rounds.
+	g := graph.Complete(128)
+	sample, err := CompletionTimes(g, Push, 0, 30, 100000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := stats.Mean(sample); m > 40 || m < math.Log2(128) {
+		t.Fatalf("K128 push completion mean %.1f, want within [7, 40]", m)
+	}
+}
+
+func TestPushPullFasterThanPushOnStar(t *testing.T) {
+	// On a star with the rumor at a leaf, pure push is slow (the hub must
+	// push to each leaf individually: coupon collector), while push-pull
+	// completes in 2 rounds (everyone pulls from the hub).
+	g := graph.Star(50)
+	pushTimes, err := CompletionTimes(g, Push, 1, 20, 1000000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppTimes, err := CompletionTimes(g, PushPull, 1, 20, 1000000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mean(ppTimes) >= stats.Mean(pushTimes)/5 {
+		t.Fatalf("push-pull (%.1f) should crush push (%.1f) on star",
+			stats.Mean(ppTimes), stats.Mean(pushTimes))
+	}
+	if stats.Mean(ppTimes) > 3 {
+		t.Fatalf("push-pull on star took %.1f rounds, want ≈ 2", stats.Mean(ppTimes))
+	}
+}
+
+func TestPullAloneCompletes(t *testing.T) {
+	g := graph.Complete(32)
+	rounds, ok := New(g, Pull, 0, rng.New(9)).CompletionTime(100000)
+	if !ok {
+		t.Fatal("pull did not complete")
+	}
+	if rounds < 5 {
+		t.Fatalf("pull completed K32 in %d rounds; suspiciously fast", rounds)
+	}
+}
+
+func TestNewlyInformedDoNotAnswerPullsSameRound(t *testing.T) {
+	// On a path 0-1-2 with rumor at 0: in round 1, vertex 1 can pull from
+	// 0, but vertex 2 cannot learn in the same round even if it pulls
+	// from 1 (which is only informed this round). So after one round,
+	// vertex 2 must be uninformed.
+	g := graph.Path(3)
+	for seed := uint64(0); seed < 20; seed++ {
+		p := New(g, Pull, 0, rng.New(seed))
+		p.Step()
+		if p.Informed(2) {
+			t.Fatal("vertex 2 informed in round 1; same-round relay bug")
+		}
+	}
+}
+
+func TestPushCompletionNLogNShape(t *testing.T) {
+	// Push on a star from the hub is a coupon collector: ≈ (n-1) ln(n-1).
+	g := graph.Star(40)
+	sample, err := CompletionTimes(g, Push, 0, 40, 1000000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := stats.Mean(sample)
+	want := 39 * math.Log(39) // ≈ 143
+	if mean < want*0.6 || mean > want*1.6 {
+		t.Fatalf("star push completion %.1f, want ≈ %.1f", mean, want)
+	}
+}
+
+func TestCompletionCapReported(t *testing.T) {
+	g := graph.Cycle(50)
+	if _, err := CompletionTimes(g, Push, 0, 2, 3, 13); err == nil {
+		t.Fatal("cap violation not reported")
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	// Push: one message per informed vertex per round.
+	g := graph.Complete(8)
+	p := New(g, Push, 0, rng.New(3))
+	p.Step()
+	if p.MessagesSent() != 1 {
+		t.Fatalf("push messages after round 1 = %d, want 1", p.MessagesSent())
+	}
+	informed := int64(p.InformedCount())
+	p.Step()
+	if p.MessagesSent() != 1+informed {
+		t.Fatalf("push messages = %d, want %d", p.MessagesSent(), 1+informed)
+	}
+
+	// Pull: one request per uninformed vertex per round.
+	q := New(g, Pull, 0, rng.New(4))
+	q.Step()
+	if q.MessagesSent() != int64(g.N()-1) {
+		t.Fatalf("pull messages = %d, want %d", q.MessagesSent(), g.N()-1)
+	}
+}
+
+func TestDropsSlowPushDown(t *testing.T) {
+	g := graph.Complete(64)
+	mean := func(drop float64, seed uint64) float64 {
+		sum := 0.0
+		const trials = 25
+		for i := 0; i < trials; i++ {
+			p := NewWithDrops(g, Push, 0, drop, rng.NewStream(seed, i))
+			rounds, ok := p.CompletionTime(1000000)
+			if !ok {
+				t.Fatal("push with drops did not complete")
+			}
+			sum += float64(rounds)
+		}
+		return sum / trials
+	}
+	clean := mean(0, 15)
+	lossy := mean(0.5, 16)
+	// Halving delivery should roughly double completion time; require a
+	// clear slowdown.
+	if lossy < clean*1.4 {
+		t.Fatalf("drop=0.5 mean %.1f not clearly slower than clean %.1f", lossy, clean)
+	}
+}
+
+func TestDropsStillComplete(t *testing.T) {
+	g := graph.MustRandomRegular(60, 4, 9)
+	p := NewWithDrops(g, PushPull, 0, 0.7, rng.New(17))
+	if _, ok := p.CompletionTime(10000000); !ok {
+		t.Fatal("push-pull with heavy drops did not complete")
+	}
+}
+
+func TestDropValidation(t *testing.T) {
+	g := graph.Cycle(5)
+	for _, bad := range []float64{-0.1, 1.0, 1.5} {
+		drop := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("drop=%v accepted", drop)
+				}
+			}()
+			NewWithDrops(g, Push, 0, drop, rng.New(1))
+		}()
+	}
+}

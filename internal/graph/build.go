@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates undirected edges and produces an immutable Graph.
+// Duplicate edges and self-loops are rejected at Add time where cheap and
+// always rejected at Build time. The zero value is not usable; call
+// NewBuilder.
+type Builder struct {
+	n     int32
+	us    []int32
+	vs    []int32
+	name  string
+	loose bool // if true, silently drop self-loops and duplicates at Build
+}
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int, name string) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: int32(n), name: name}
+}
+
+// SetLoose configures the builder to silently discard self-loops and
+// duplicate edges at Build time instead of returning an error. Random
+// generators that may propose duplicates use this.
+func (b *Builder) SetLoose(loose bool) { b.loose = loose }
+
+// AddEdge records the undirected edge {u, v}. It panics if either
+// endpoint is out of range or if u == v (unless the builder is loose).
+func (b *Builder) AddEdge(u, v int32) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge %d-%d out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		if b.loose {
+			return
+		}
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+}
+
+// EdgeCount returns the number of edges recorded so far (before
+// deduplication).
+func (b *Builder) EdgeCount() int { return len(b.us) }
+
+// Build produces the immutable CSR graph. Duplicate edges are an error
+// unless the builder is loose, in which case they are dropped.
+func (b *Builder) Build() (*Graph, error) {
+	n := b.n
+	type edge struct{ u, v int32 }
+	edges := make([]edge, 0, len(b.us))
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		if u > v {
+			u, v = v, u
+		}
+		edges = append(edges, edge{u, v})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	// Deduplicate.
+	w := 0
+	for i, e := range edges {
+		if i > 0 && e == edges[i-1] {
+			if !b.loose {
+				return nil, fmt.Errorf("graph %q: duplicate edge %d-%d", b.name, e.u, e.v)
+			}
+			continue
+		}
+		edges[w] = e
+		w++
+	}
+	edges = edges[:w]
+
+	offsets := make([]int32, n+1)
+	for _, e := range edges {
+		offsets[e.u+1]++
+		offsets[e.v+1]++
+	}
+	for i := int32(0); i < n; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	adj := make([]int32, 2*len(edges))
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for _, e := range edges {
+		adj[cursor[e.u]] = e.v
+		cursor[e.u]++
+		adj[cursor[e.v]] = e.u
+		cursor[e.v]++
+	}
+	g := &Graph{offsets: offsets, adj: adj, name: b.name}
+	// Neighbor lists are sorted because edges were processed in sorted
+	// order for the lower endpoint; the higher endpoint's list receives
+	// entries in increasing order of the lower endpoint, which is also
+	// sorted. Sort defensively anyway for generators that interleave.
+	for v := int32(0); v < n; v++ {
+		nb := adj[offsets[v]:offsets[v+1]]
+		if !sort.SliceIsSorted(nb, func(i, j int) bool { return nb[i] < nb[j] }) {
+			sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		}
+	}
+	return g, nil
+}
+
+// MustBuild is Build, panicking on error. Deterministic generators whose
+// edge sets are duplicate-free by construction use this.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges constructs a graph directly from an edge list. It is a
+// convenience for tests.
+func FromEdges(n int, name string, edges [][2]int32) (*Graph, error) {
+	b := NewBuilder(n, name)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,333 @@
+package graph
+
+import "fmt"
+
+// Path returns the path graph on n vertices (n-1 edges). n must be >= 1.
+func Path(n int) *Graph {
+	if n < 1 {
+		panic("graph: Path needs n >= 1")
+	}
+	b := NewBuilder(n, fmt.Sprintf("path(n=%d)", n))
+	for i := int32(0); i < int32(n-1); i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the cycle graph on n vertices. n must be >= 3. The cycle
+// is the canonical 2-regular graph with conductance Θ(1/n), used for the
+// δ = 2 case of Theorem 15.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle needs n >= 3")
+	}
+	b := NewBuilder(n, fmt.Sprintf("cycle(n=%d)", n))
+	for i := int32(0); i < int32(n); i++ {
+		b.AddEdge(i, (i+1)%int32(n))
+	}
+	return b.MustBuild()
+}
+
+// Complete returns the complete graph K_n. n must be >= 2.
+func Complete(n int) *Graph {
+	if n < 2 {
+		panic("graph: Complete needs n >= 2")
+	}
+	b := NewBuilder(n, fmt.Sprintf("complete(n=%d)", n))
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star graph: hub vertex 0 connected to n-1 leaves. The
+// star realizes the paper's Ω(n log n) cover-time lower bound for cobra
+// walks (§6).
+func Star(n int) *Graph {
+	if n < 2 {
+		panic("graph: Star needs n >= 2")
+	}
+	b := NewBuilder(n, fmt.Sprintf("star(n=%d)", n))
+	for i := int32(1); i < int32(n); i++ {
+		b.AddEdge(0, i)
+	}
+	return b.MustBuild()
+}
+
+// Wheel returns the wheel graph: a cycle on n-1 vertices (1..n-1) plus a
+// hub (vertex 0) adjacent to all of them. n must be >= 4.
+func Wheel(n int) *Graph {
+	if n < 4 {
+		panic("graph: Wheel needs n >= 4")
+	}
+	b := NewBuilder(n, fmt.Sprintf("wheel(n=%d)", n))
+	rim := int32(n - 1)
+	for i := int32(1); i <= rim; i++ {
+		b.AddEdge(0, i)
+		next := i + 1
+		if next > rim {
+			next = 1
+		}
+		b.AddEdge(i, next)
+	}
+	return b.MustBuild()
+}
+
+// Lollipop returns the lollipop graph: a clique on cliqueSize vertices
+// (ids 0..cliqueSize-1) with a path of pathLen additional vertices
+// attached to clique vertex 0. This family gives the Θ(n³) worst case for
+// simple-random-walk cover time and is the Experiment E9 workload for
+// Theorem 20.
+func Lollipop(cliqueSize, pathLen int) *Graph {
+	if cliqueSize < 2 || pathLen < 1 {
+		panic("graph: Lollipop needs cliqueSize >= 2 and pathLen >= 1")
+	}
+	n := cliqueSize + pathLen
+	b := NewBuilder(n, fmt.Sprintf("lollipop(clique=%d,path=%d)", cliqueSize, pathLen))
+	for i := int32(0); i < int32(cliqueSize); i++ {
+		for j := i + 1; j < int32(cliqueSize); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	prev := int32(0)
+	for i := int32(cliqueSize); i < int32(n); i++ {
+		b.AddEdge(prev, i)
+		prev = i
+	}
+	return b.MustBuild()
+}
+
+// Barbell returns two cliques of size cliqueSize joined by a path of
+// pathLen intermediate vertices (pathLen may be 0 for a direct bridge
+// edge).
+func Barbell(cliqueSize, pathLen int) *Graph {
+	if cliqueSize < 2 || pathLen < 0 {
+		panic("graph: Barbell needs cliqueSize >= 2 and pathLen >= 0")
+	}
+	n := 2*cliqueSize + pathLen
+	b := NewBuilder(n, fmt.Sprintf("barbell(clique=%d,path=%d)", cliqueSize, pathLen))
+	addClique := func(base int32) {
+		for i := int32(0); i < int32(cliqueSize); i++ {
+			for j := i + 1; j < int32(cliqueSize); j++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+	}
+	addClique(0)
+	addClique(int32(cliqueSize + pathLen))
+	prev := int32(0)
+	for i := int32(cliqueSize); i < int32(cliqueSize+pathLen); i++ {
+		b.AddEdge(prev, i)
+		prev = i
+	}
+	b.AddEdge(prev, int32(cliqueSize+pathLen))
+	return b.MustBuild()
+}
+
+// KAryTree returns the complete k-ary tree of the given depth (root at
+// depth 0). Vertex 0 is the root; the tree has (k^(depth+1)-1)/(k-1)
+// vertices for k >= 2. Used for the §3 remark that 2-cobra cover time on
+// k-ary trees is proportional to the diameter for k = 2, 3.
+func KAryTree(k, depth int) *Graph {
+	if k < 2 || depth < 0 {
+		panic("graph: KAryTree needs k >= 2 and depth >= 0")
+	}
+	n := 1
+	level := 1
+	for d := 1; d <= depth; d++ {
+		level *= k
+		n += level
+	}
+	b := NewBuilder(n, fmt.Sprintf("kary(k=%d,depth=%d)", k, depth))
+	for v := 1; v < n; v++ {
+		parent := (v - 1) / k
+		b.AddEdge(int32(parent), int32(v))
+	}
+	return b.MustBuild()
+}
+
+// Grid returns the d-dimensional grid graph on [0, side-1]^d, i.e. side
+// points per dimension with nearest-neighbor edges (no wraparound). The
+// paper's [0,n]^d corresponds to Grid(d, n+1). Vertex indices are
+// row-major: index = sum_i coord[i] * side^i.
+func Grid(d, side int) *Graph {
+	if d < 1 || side < 2 {
+		panic("graph: Grid needs d >= 1 and side >= 2")
+	}
+	n := 1
+	for i := 0; i < d; i++ {
+		if n > (1<<31-1)/side {
+			panic("graph: Grid too large for int32 ids")
+		}
+		n *= side
+	}
+	b := NewBuilder(n, fmt.Sprintf("grid(d=%d,side=%d)", d, side))
+	stride := 1
+	for dim := 0; dim < d; dim++ {
+		for v := 0; v < n; v++ {
+			coord := (v / stride) % side
+			if coord+1 < side {
+				b.AddEdge(int32(v), int32(v+stride))
+			}
+		}
+		stride *= side
+	}
+	return b.MustBuild()
+}
+
+// GridCoord returns the coordinates of vertex v in a Grid(d, side) graph.
+func GridCoord(d, side int, v int32) []int {
+	coords := make([]int, d)
+	x := int(v)
+	for i := 0; i < d; i++ {
+		coords[i] = x % side
+		x /= side
+	}
+	return coords
+}
+
+// GridVertex returns the vertex index of the given coordinates in a
+// Grid(d, side) graph.
+func GridVertex(side int, coords []int) int32 {
+	v := 0
+	stride := 1
+	for _, c := range coords {
+		v += c * stride
+		stride *= side
+	}
+	return int32(v)
+}
+
+// GridDistance returns the Manhattan (L1) distance between vertices u and
+// v of a Grid(d, side) graph, which equals their graph distance.
+func GridDistance(d, side int, u, v int32) int {
+	du, dv := int(u), int(v)
+	dist := 0
+	for i := 0; i < d; i++ {
+		cu, cv := du%side, dv%side
+		if cu > cv {
+			dist += cu - cv
+		} else {
+			dist += cv - cu
+		}
+		du /= side
+		dv /= side
+	}
+	return dist
+}
+
+// Torus returns the d-dimensional torus with side points per dimension
+// (wraparound grid). It is 2d-regular for side >= 3. side must be >= 3 so
+// that wraparound edges are not parallel.
+func Torus(d, side int) *Graph {
+	if d < 1 || side < 3 {
+		panic("graph: Torus needs d >= 1 and side >= 3")
+	}
+	n := 1
+	for i := 0; i < d; i++ {
+		if n > (1<<31-1)/side {
+			panic("graph: Torus too large for int32 ids")
+		}
+		n *= side
+	}
+	b := NewBuilder(n, fmt.Sprintf("torus(d=%d,side=%d)", d, side))
+	stride := 1
+	for dim := 0; dim < d; dim++ {
+		for v := 0; v < n; v++ {
+			coord := (v / stride) % side
+			var w int
+			if coord+1 < side {
+				w = v + stride
+			} else {
+				w = v - (side-1)*stride
+			}
+			b.AddEdge(int32(v), int32(w))
+		}
+		stride *= side
+	}
+	return b.MustBuild()
+}
+
+// Hypercube returns the dim-dimensional hypercube Q_dim on 2^dim
+// vertices; vertex ids are the binary coordinate words. It is dim-regular
+// with conductance exactly 1/dim, a key family for Theorem 8.
+func Hypercube(dim int) *Graph {
+	if dim < 1 || dim > 25 {
+		panic("graph: Hypercube needs 1 <= dim <= 25")
+	}
+	n := 1 << dim
+	b := NewBuilder(n, fmt.Sprintf("hypercube(dim=%d)", dim))
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < dim; bit++ {
+			w := v ^ (1 << bit)
+			if v < w {
+				b.AddEdge(int32(v), int32(w))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Margulis returns the Gabber-Galil variant of the Margulis expander on
+// the vertex set Z_m x Z_m. Each vertex (x, y) is connected to
+// (x±2y, y), (x±(2y+1), y), (x, y±2x), (x, y±(2x+1)) mod m. The
+// construction is a constant-expansion expander; as a simple graph
+// (duplicate and self edges dropped) degrees are <= 8 and the conductance
+// remains bounded below by a constant. m must be >= 2.
+func Margulis(m int) *Graph {
+	if m < 2 {
+		panic("graph: Margulis needs m >= 2")
+	}
+	n := m * m
+	b := NewBuilder(n, fmt.Sprintf("margulis(m=%d)", m))
+	b.SetLoose(true)
+	id := func(x, y int) int32 { return int32(x*m + y) }
+	mod := func(a int) int {
+		a %= m
+		if a < 0 {
+			a += m
+		}
+		return a
+	}
+	for x := 0; x < m; x++ {
+		for y := 0; y < m; y++ {
+			v := id(x, y)
+			b.AddEdge(v, id(mod(x+2*y), y))
+			b.AddEdge(v, id(mod(x-2*y), y))
+			b.AddEdge(v, id(mod(x+2*y+1), y))
+			b.AddEdge(v, id(mod(x-2*y-1), y))
+			b.AddEdge(v, id(x, mod(y+2*x)))
+			b.AddEdge(v, id(x, mod(y-2*x)))
+			b.AddEdge(v, id(x, mod(y+2*x+1)))
+			b.AddEdge(v, id(x, mod(y-2*x-1)))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// CirculantRegular returns a circulant graph on n vertices where vertex i
+// is adjacent to i±s for each stride s in strides (mod n). With distinct
+// strides 0 < s < n/2 the graph is 2*len(strides)-regular. It provides
+// δ-regular ring-like graphs of low conductance for Theorem 15
+// experiments (e.g. strides {1, 2} gives a 4-regular band).
+func CirculantRegular(n int, strides []int) *Graph {
+	if n < 3 {
+		panic("graph: CirculantRegular needs n >= 3")
+	}
+	b := NewBuilder(n, fmt.Sprintf("circulant(n=%d,strides=%v)", n, strides))
+	for _, s := range strides {
+		if s <= 0 || 2*s >= n {
+			panic(fmt.Sprintf("graph: circulant stride %d must satisfy 0 < s < n/2", s))
+		}
+		for i := 0; i < n; i++ {
+			b.AddEdge(int32(i), int32((i+s)%n))
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,151 @@
+// Package graph provides an immutable compressed-sparse-row (CSR) graph
+// representation and the generators for every graph family used in the
+// paper's analysis and experiments: grids and tori, regular graphs,
+// expanders, trees, stars, lollipops, power-law and geometric random
+// graphs, and more.
+//
+// Graphs are simple (no self-loops, no parallel edges) and undirected
+// unless a generator documents otherwise. Vertices are identified by
+// int32 indices in [0, N()).
+package graph
+
+import "fmt"
+
+// Graph is an immutable undirected graph in CSR form. The neighbor list
+// of vertex v is Adj()[Offsets()[v]:Offsets()[v+1]].
+type Graph struct {
+	offsets []int32 // length n+1
+	adj     []int32 // length 2m (each undirected edge appears twice)
+	name    string  // human-readable family label, e.g. "grid(d=2,side=32)"
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.adj) / 2 }
+
+// Name returns the human-readable family label assigned by the generator.
+func (g *Graph) Name() string { return g.name }
+
+// Neighbors returns the neighbor slice of v. The slice aliases internal
+// storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int32) int32 {
+	return g.offsets[v+1] - g.offsets[v]
+}
+
+// Neighbor returns the i-th neighbor of v. It is the hot-path accessor
+// used by the walk engines: sampling a uniform neighbor of v is
+// g.Neighbor(v, rng.Int31n(g.Degree(v))).
+func (g *Graph) Neighbor(v, i int32) int32 {
+	return g.adj[g.offsets[v]+i]
+}
+
+// MinDegree returns the smallest vertex degree, or 0 for the empty graph.
+func (g *Graph) MinDegree() int32 {
+	if g.N() == 0 {
+		return 0
+	}
+	min := g.Degree(0)
+	for v := int32(1); v < int32(g.N()); v++ {
+		if d := g.Degree(v); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// MaxDegree returns the largest vertex degree, or 0 for the empty graph.
+func (g *Graph) MaxDegree() int32 {
+	var max int32
+	for v := int32(0); v < int32(g.N()); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// IsRegular reports whether every vertex has the same degree, and returns
+// that degree. The empty graph is regular with degree 0.
+func (g *Graph) IsRegular() (bool, int32) {
+	if g.N() == 0 {
+		return true, 0
+	}
+	d := g.Degree(0)
+	for v := int32(1); v < int32(g.N()); v++ {
+		if g.Degree(v) != d {
+			return false, 0
+		}
+	}
+	return true, d
+}
+
+// HasEdge reports whether {u, v} is an edge. Neighbor lists are sorted, so
+// this is a binary search.
+func (g *Graph) HasEdge(u, v int32) bool {
+	nb := g.Neighbors(u)
+	lo, hi := 0, len(nb)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nb[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(nb) && nb[lo] == v
+}
+
+// Volume returns the sum of degrees of the given vertex set.
+func (g *Graph) Volume(set []int32) int64 {
+	var vol int64
+	for _, v := range set {
+		vol += int64(g.Degree(v))
+	}
+	return vol
+}
+
+// Validate checks structural invariants: sorted neighbor lists, no
+// self-loops, no duplicate edges, and symmetry (u in adj(v) iff v in
+// adj(u)). Generators call this in tests; it is O(m log m).
+func (g *Graph) Validate() error {
+	n := int32(g.N())
+	if len(g.offsets) == 0 || g.offsets[0] != 0 {
+		return fmt.Errorf("graph %q: bad offsets header", g.name)
+	}
+	for v := int32(0); v < n; v++ {
+		if g.offsets[v+1] < g.offsets[v] {
+			return fmt.Errorf("graph %q: offsets decrease at %d", g.name, v)
+		}
+		nb := g.Neighbors(v)
+		for i, u := range nb {
+			if u < 0 || u >= n {
+				return fmt.Errorf("graph %q: vertex %d has out-of-range neighbor %d", g.name, v, u)
+			}
+			if u == v {
+				return fmt.Errorf("graph %q: self-loop at %d", g.name, v)
+			}
+			if i > 0 && nb[i-1] >= u {
+				return fmt.Errorf("graph %q: neighbors of %d not strictly sorted", g.name, v)
+			}
+			if !g.HasEdge(u, v) {
+				return fmt.Errorf("graph %q: edge %d-%d not symmetric", g.name, v, u)
+			}
+		}
+	}
+	if int(g.offsets[n]) != len(g.adj) {
+		return fmt.Errorf("graph %q: final offset %d != len(adj) %d", g.name, g.offsets[n], len(g.adj))
+	}
+	return nil
+}
+
+// String returns a short description like "grid(d=2,side=32): n=1089 m=2112".
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s: n=%d m=%d", g.name, g.N(), g.M())
+}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteEdgeList writes g as a plain-text edge list: a header line
+// "n m name" followed by one "u v" line per undirected edge (u < v).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d %s\n", g.N(), g.M(), g.Name()); err != nil {
+		return err
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty edge-list input")
+	}
+	var n, m int
+	header := sc.Text()
+	name := ""
+	if _, err := fmt.Sscanf(header, "%d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad edge-list header %q: %w", header, err)
+	}
+	if fields := strings.Fields(header); len(fields) >= 3 {
+		name = strings.Join(fields[2:], " ")
+	}
+	b := NewBuilder(n, name)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var u, v int32
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: bad edge line %q: %w", line, err)
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if g.M() != m {
+		return nil, fmt.Errorf("graph: header claims %d edges, read %d", m, g.M())
+	}
+	return g, nil
+}
+
+// WriteDOT writes g in Graphviz DOT format for visual inspection of small
+// graphs.
+func WriteDOT(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "graph %q {\n", sanitizeDOTName(g.Name())); err != nil {
+		return err
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < u {
+				if _, err := fmt.Fprintf(bw, "  %d -- %d;\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func sanitizeDOTName(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '"' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}

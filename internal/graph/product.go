@@ -1,0 +1,95 @@
+package graph
+
+import "fmt"
+
+// CartesianProduct returns the Cartesian (box) product G □ H: vertex
+// (u, v) — encoded as u*H.N() + v — is adjacent to (u', v) when
+// {u, u'} ∈ E(G) and to (u, v') when {v, v'} ∈ E(H). Grids and tori are
+// iterated box products of paths and cycles, which the tests exploit to
+// cross-validate the direct generators.
+func CartesianProduct(g, h *Graph) *Graph {
+	gn, hn := g.N(), h.N()
+	if gn == 0 || hn == 0 {
+		panic("graph: CartesianProduct of empty graph")
+	}
+	if gn > 0 && hn > (1<<31-1)/gn {
+		panic("graph: CartesianProduct too large for int32 ids")
+	}
+	b := NewBuilder(gn*hn, fmt.Sprintf("cartesian(%s,%s)", g.Name(), h.Name()))
+	id := func(u, v int32) int32 { return u*int32(hn) + v }
+	for u := int32(0); u < int32(gn); u++ {
+		for _, u2 := range g.Neighbors(u) {
+			if u < u2 {
+				for v := int32(0); v < int32(hn); v++ {
+					b.AddEdge(id(u, v), id(u2, v))
+				}
+			}
+		}
+	}
+	for v := int32(0); v < int32(hn); v++ {
+		for _, v2 := range h.Neighbors(v) {
+			if v < v2 {
+				for u := int32(0); u < int32(gn); u++ {
+					b.AddEdge(id(u, v), id(u, v2))
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// TensorProduct returns the tensor (categorical) product G × H: (u, v)
+// adjacent to (u', v') iff {u, u'} ∈ E(G) and {v, v'} ∈ E(H). This is
+// the undirected graph underlying the paper's D(G×G) construction
+// (Lemma 11); the tensor square of a connected non-bipartite graph is
+// connected, of a bipartite one splits into two components — both facts
+// are covered by tests.
+func TensorProduct(g, h *Graph) *Graph {
+	gn, hn := g.N(), h.N()
+	if gn == 0 || hn == 0 {
+		panic("graph: TensorProduct of empty graph")
+	}
+	if gn > 0 && hn > (1<<31-1)/gn {
+		panic("graph: TensorProduct too large for int32 ids")
+	}
+	b := NewBuilder(gn*hn, fmt.Sprintf("tensor(%s,%s)", g.Name(), h.Name()))
+	b.SetLoose(true) // (u,v)-(u',v') and (u,v')-(u',v) can coincide when v=v' impossible; loops arise only if... guard anyway
+	id := func(u, v int32) int32 { return u*int32(hn) + v }
+	for u := int32(0); u < int32(gn); u++ {
+		for _, u2 := range g.Neighbors(u) {
+			if u > u2 {
+				continue
+			}
+			for v := int32(0); v < int32(hn); v++ {
+				for _, v2 := range h.Neighbors(v) {
+					// Each undirected pair {(u,v),(u2,v2)} must be added
+					// once: with u < u2 fixed, every (v, v2) ordered pair
+					// gives a distinct edge. u == u2 cannot occur (no
+					// self-loops in g).
+					b.AddEdge(id(u, v), id(u2, v2))
+				}
+			}
+		}
+	}
+	gr, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return gr
+}
+
+// LineGraphUpperDegree reports the maximum degree of the line graph of
+// g without materializing it: max over edges {u,v} of d(u)+d(v)-2.
+// Used by sizing heuristics in tools.
+func LineGraphUpperDegree(g *Graph) int32 {
+	var max int32
+	for u := int32(0); u < int32(g.N()); u++ {
+		du := g.Degree(u)
+		for _, v := range g.Neighbors(u) {
+			if s := du + g.Degree(v) - 2; s > max {
+				max = s
+			}
+		}
+	}
+	return max
+}

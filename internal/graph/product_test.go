@@ -1,0 +1,151 @@
+package graph
+
+import "testing"
+
+// isomorphicByRelabel checks that two graphs on the same vertex count
+// have identical adjacency under the given relabeling f: a → b.
+func isomorphicByRelabel(t *testing.T, a, b *Graph, f func(int32) int32) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("size mismatch: %s vs %s", a, b)
+	}
+	for u := int32(0); u < int32(a.N()); u++ {
+		na := a.Neighbors(u)
+		if len(na) != len(b.Neighbors(f(u))) {
+			t.Fatalf("degree mismatch at %d", u)
+		}
+		for _, v := range na {
+			if !b.HasEdge(f(u), f(v)) {
+				t.Fatalf("edge %d-%d missing under relabel", u, v)
+			}
+		}
+	}
+}
+
+func TestCartesianPathPathIsGrid(t *testing.T) {
+	// Path(s) □ Path(s) is the 2-D grid with side s. Grid vertex index is
+	// x + y*side (x = coord 0, stride 1); product index of (u, v) is
+	// u*s + v with u the Path-G coordinate. Mapping: product (u,v) →
+	// grid vertex with coords {v, u}... verify both orientations by
+	// checking the canonical one.
+	const s = 5
+	prod := CartesianProduct(Path(s), Path(s))
+	grid := Grid(2, s)
+	validateOrFail(t, prod)
+	// Product id u*s+v corresponds to grid coords (v, u):
+	// GridVertex(s, {v, u}) = v + u*s = the same integer. So identity.
+	isomorphicByRelabel(t, prod, grid, func(x int32) int32 { return x })
+}
+
+func TestCartesianCycleCycleIsTorus(t *testing.T) {
+	const s = 5
+	prod := CartesianProduct(Cycle(s), Cycle(s))
+	torus := Torus(2, s)
+	validateOrFail(t, prod)
+	isomorphicByRelabel(t, prod, torus, func(x int32) int32 { return x })
+}
+
+func TestCartesianDegreeSum(t *testing.T) {
+	// deg_{G□H}(u,v) = deg_G(u) + deg_H(v).
+	g := Star(4)
+	h := Cycle(5)
+	p := CartesianProduct(g, h)
+	validateOrFail(t, p)
+	for u := int32(0); u < int32(g.N()); u++ {
+		for v := int32(0); v < int32(h.N()); v++ {
+			want := g.Degree(u) + h.Degree(v)
+			got := p.Degree(u*int32(h.N()) + v)
+			if got != want {
+				t.Fatalf("degree(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestCartesianHypercubeRecursion(t *testing.T) {
+	// Q_d = Q_{d-1} □ K_2.
+	q3 := Hypercube(3)
+	prod := CartesianProduct(Hypercube(2), Complete(2))
+	if prod.N() != q3.N() || prod.M() != q3.M() {
+		t.Fatalf("Q2□K2: n=%d m=%d vs Q3 n=%d m=%d", prod.N(), prod.M(), q3.N(), q3.M())
+	}
+	reg, d := prod.IsRegular()
+	if !reg || d != 3 {
+		t.Fatal("Q2□K2 not 3-regular")
+	}
+}
+
+func TestTensorDegreeProduct(t *testing.T) {
+	// deg_{G×H}(u,v) = deg_G(u) * deg_H(v) (counting multi-edges; for
+	// simple graphs of girth > 4 no collisions occur — use trees).
+	g := Path(4)
+	h := Star(4)
+	p := TensorProduct(g, h)
+	validateOrFail(t, p)
+	for u := int32(0); u < int32(g.N()); u++ {
+		for v := int32(0); v < int32(h.N()); v++ {
+			want := g.Degree(u) * h.Degree(v)
+			got := p.Degree(u*int32(h.N()) + v)
+			if got != want {
+				t.Fatalf("tensor degree(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestTensorSquareBipartiteSplits(t *testing.T) {
+	// The tensor square of a connected bipartite graph has exactly 2
+	// components.
+	g := Cycle(6) // bipartite
+	p := TensorProduct(g, g)
+	validateOrFail(t, p)
+	_, count := Components(p)
+	if count != 2 {
+		t.Fatalf("tensor square of bipartite graph has %d components, want 2", count)
+	}
+}
+
+func TestTensorSquareNonBipartiteConnected(t *testing.T) {
+	g := Cycle(5) // odd cycle: non-bipartite
+	p := TensorProduct(g, g)
+	validateOrFail(t, p)
+	if !IsConnected(p) {
+		t.Fatal("tensor square of non-bipartite connected graph should be connected")
+	}
+}
+
+func TestTensorMatchesPairCounts(t *testing.T) {
+	// |E(G×H)| = 2 |E(G)| |E(H)| for simple products without collisions.
+	g := Path(5)
+	h := Path(6)
+	p := TensorProduct(g, h)
+	if p.M() != 2*g.M()*h.M() {
+		t.Fatalf("tensor m = %d, want %d", p.M(), 2*g.M()*h.M())
+	}
+}
+
+func TestLineGraphUpperDegree(t *testing.T) {
+	if got := LineGraphUpperDegree(Star(6)); got != 4 {
+		t.Fatalf("star line-degree = %d, want 4", got)
+	}
+	if got := LineGraphUpperDegree(Cycle(7)); got != 2 {
+		t.Fatalf("cycle line-degree = %d, want 2", got)
+	}
+}
+
+func TestProductPanics(t *testing.T) {
+	empty := &Graph{offsets: []int32{0}}
+	for name, fn := range map[string]func(){
+		"cartesianEmpty": func() { CartesianProduct(empty, Cycle(3)) },
+		"tensorEmpty":    func() { TensorProduct(Cycle(3), empty) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,262 @@
+package graph
+
+// BFS runs a breadth-first search from src and returns the distance of
+// every vertex (-1 for unreachable vertices).
+func BFS(g *Graph, src int32) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, g.N())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest path from src to dst (inclusive of
+// both endpoints), or nil if dst is unreachable. Ties are broken toward
+// lower-numbered vertices, making the result deterministic.
+func ShortestPath(g *Graph, src, dst int32) []int32 {
+	if src == dst {
+		return []int32{src}
+	}
+	parent := make([]int32, g.N())
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = src
+	queue := []int32{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if parent[u] == -1 {
+				parent[u] = v
+				if u == dst {
+					return tracePath(parent, src, dst)
+				}
+				queue = append(queue, u)
+			}
+		}
+	}
+	return nil
+}
+
+func tracePath(parent []int32, src, dst int32) []int32 {
+	var rev []int32
+	for v := dst; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// IsConnected reports whether g is connected. The empty graph is
+// considered connected.
+func IsConnected(g *Graph) bool {
+	if g.N() == 0 {
+		return true
+	}
+	dist := BFS(g, 0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components labels each vertex with a component id in [0, count) and
+// returns the labels and the component count.
+func Components(g *Graph) (labels []int32, count int) {
+	n := g.N()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int32
+	for s := int32(0); s < int32(n); s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[s] = id
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if labels[u] == -1 {
+					labels[u] = id
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// Eccentricity returns the greatest BFS distance from v to any reachable
+// vertex.
+func Eccentricity(g *Graph, v int32) int32 {
+	dist := BFS(g, v)
+	var ecc int32
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact diameter of g by running a BFS from every
+// vertex: O(n(n+m)). Intended for the modest graph sizes used in
+// experiments; returns 0 for graphs with fewer than 2 vertices and -1
+// for disconnected graphs.
+func Diameter(g *Graph) int {
+	if g.N() < 2 {
+		return 0
+	}
+	diam := int32(0)
+	for v := int32(0); v < int32(g.N()); v++ {
+		dist := BFS(g, v)
+		for _, d := range dist {
+			if d == -1 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return int(diam)
+}
+
+// DiameterApprox returns a lower bound on the diameter by the standard
+// double-sweep heuristic (BFS from src, then BFS from the farthest vertex
+// found). Exact on trees. Returns -1 for disconnected graphs.
+func DiameterApprox(g *Graph, src int32) int {
+	if g.N() < 2 {
+		return 0
+	}
+	dist := BFS(g, src)
+	far := src
+	for v, d := range dist {
+		if d == -1 {
+			return -1
+		}
+		if d > dist[far] {
+			far = int32(v)
+		}
+	}
+	dist2 := BFS(g, far)
+	best := int32(0)
+	for _, d := range dist2 {
+		if d > best {
+			best = d
+		}
+	}
+	return int(best)
+}
+
+// VertexWeightedShortestPaths computes, for every vertex x, the minimum
+// over paths from x to target of the sum of weight(z) over path vertices
+// z (both endpoints included). This is the p(x, v) quantity of Lemma 18
+// when weight(z) = 1/d(z). It is a Dijkstra over vertex weights; all
+// weights must be non-negative.
+func VertexWeightedShortestPaths(g *Graph, target int32, weight func(v int32) float64) []float64 {
+	n := g.N()
+	const inf = 1e300
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[target] = weight(target)
+	visited := make([]bool, n)
+	h := &floatHeap{}
+	h.push(item{target, dist[target]})
+	for h.len() > 0 {
+		it := h.pop()
+		v := it.v
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		for _, u := range g.Neighbors(v) {
+			if visited[u] {
+				continue
+			}
+			nd := dist[v] + weight(u)
+			if nd < dist[u] {
+				dist[u] = nd
+				h.push(item{u, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// item is a binary-heap entry for Dijkstra.
+type item struct {
+	v int32
+	d float64
+}
+
+// floatHeap is a minimal binary min-heap on path length; avoiding
+// container/heap's interface keeps the inner loop allocation-free.
+type floatHeap struct{ xs []item }
+
+func (h *floatHeap) len() int { return len(h.xs) }
+
+func (h *floatHeap) push(it item) {
+	h.xs = append(h.xs, it)
+	i := len(h.xs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.xs[p].d <= h.xs[i].d {
+			break
+		}
+		h.xs[p], h.xs[i] = h.xs[i], h.xs[p]
+		i = p
+	}
+}
+
+func (h *floatHeap) pop() item {
+	top := h.xs[0]
+	last := len(h.xs) - 1
+	h.xs[0] = h.xs[last]
+	h.xs = h.xs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.xs) && h.xs[l].d < h.xs[smallest].d {
+			smallest = l
+		}
+		if r < len(h.xs) && h.xs[r].d < h.xs[smallest].d {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.xs[i], h.xs[smallest] = h.xs[smallest], h.xs[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := Path(6)
+	dist := BFS(g, 0)
+	for v := 0; v < 6; v++ {
+		if int(dist[v]) != v {
+			t.Fatalf("path BFS dist[%d] = %d", v, dist[v])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	// Two disjoint edges.
+	b := NewBuilder(4, "disjoint")
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	dist := BFS(g, 0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatal("unreachable vertices should have distance -1")
+	}
+	if IsConnected(g) {
+		t.Fatal("disjoint graph reported connected")
+	}
+	labels, count := Components(g)
+	if count != 2 {
+		t.Fatalf("component count = %d", count)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] || labels[0] == labels[2] {
+		t.Fatalf("component labels wrong: %v", labels)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := Cycle(8)
+	p := ShortestPath(g, 0, 3)
+	if len(p) != 4 || p[0] != 0 || p[3] != 3 {
+		t.Fatalf("cycle shortest path = %v", p)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			t.Fatalf("path step %d-%d not an edge", p[i], p[i+1])
+		}
+	}
+	if p := ShortestPath(g, 2, 2); len(p) != 1 || p[0] != 2 {
+		t.Fatalf("trivial path = %v", p)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	b := NewBuilder(4, "disjoint")
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if p := ShortestPath(g, 0, 3); p != nil {
+		t.Fatalf("unreachable path = %v", p)
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := Path(10)
+	if Eccentricity(g, 0) != 9 {
+		t.Fatal("path end eccentricity wrong")
+	}
+	if Eccentricity(g, 5) != 5 {
+		t.Fatal("path middle eccentricity wrong")
+	}
+	if Diameter(g) != 9 {
+		t.Fatal("path diameter wrong")
+	}
+	if DiameterApprox(g, 4) != 9 {
+		t.Fatal("double sweep should be exact on trees")
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	b := NewBuilder(4, "disjoint")
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if Diameter(g) != -1 {
+		t.Fatal("diameter of disconnected graph should be -1")
+	}
+	if DiameterApprox(g, 0) != -1 {
+		t.Fatal("approx diameter of disconnected graph should be -1")
+	}
+}
+
+func TestVertexWeightedShortestPaths(t *testing.T) {
+	// On a path with unit weights the vertex-weighted distance to target 0
+	// counts vertices on the path: dist[v] = v + 1.
+	g := Path(5)
+	dist := VertexWeightedShortestPaths(g, 0, func(int32) float64 { return 1 })
+	for v := 0; v < 5; v++ {
+		if math.Abs(dist[v]-float64(v+1)) > 1e-12 {
+			t.Fatalf("unit-weight dist[%d] = %v, want %d", v, dist[v], v+1)
+		}
+	}
+}
+
+func TestVertexWeightedShortestPathsInverseDegree(t *testing.T) {
+	// Lemma 18 weights: 1/d(z). On a star with target hub, each leaf's
+	// path is leaf->hub: weight 1/1 + 1/(n-1).
+	g := Star(6)
+	dist := VertexWeightedShortestPaths(g, 0, func(v int32) float64 {
+		return 1 / float64(g.Degree(v))
+	})
+	wantLeaf := 1.0 + 1.0/5.0
+	for v := int32(1); v < 6; v++ {
+		if math.Abs(dist[v]-wantLeaf) > 1e-12 {
+			t.Fatalf("star dist[%d] = %v want %v", v, dist[v], wantLeaf)
+		}
+	}
+}
+
+func TestVertexWeightedPathPrefersLowWeight(t *testing.T) {
+	// Diamond: 0-1-3 and 0-2-3, where vertex 2 is heavily weighted; the
+	// path through 1 must win.
+	g, err := FromEdges(4, "diamond", [][2]int32{{0, 1}, {1, 3}, {0, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := []float64{0.1, 0.1, 100, 0.1}
+	dist := VertexWeightedShortestPaths(g, 3, func(v int32) float64 { return weights[v] })
+	if math.Abs(dist[0]-0.3) > 1e-12 {
+		t.Fatalf("diamond dist[0] = %v, want 0.3", dist[0])
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := Lollipop(5, 4)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed size: %v vs %v", g2, g)
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		na, nb := g.Neighbors(v), g2.Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatalf("round trip changed degree of %d", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("round trip changed neighbors of %d", v)
+			}
+		}
+	}
+	if g2.Name() != g.Name() {
+		t.Fatalf("round trip lost name: %q vs %q", g2.Name(), g.Name())
+	}
+}
+
+func TestReadEdgeListRejectsBadHeader(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("nonsense\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("2 5 name\n0 1\n")); err == nil {
+		t.Fatal("edge-count mismatch accepted")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Path(3)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0 -- 1") || !strings.Contains(out, "1 -- 2") {
+		t.Fatalf("DOT output missing edges:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "graph") || !strings.Contains(out, "}") {
+		t.Fatalf("DOT output malformed:\n%s", out)
+	}
+}
+
+func BenchmarkBFSGrid(b *testing.B) {
+	g := Grid(2, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BFS(g, 0)
+	}
+}
+
+func BenchmarkBuildRandomRegular(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MustRandomRegular(1000, 4, uint64(i))
+	}
+}

@@ -1,0 +1,260 @@
+// Package queue implements the discrete-time queueing-system view of the
+// grid analysis in Section 3: the d-dimensional biased chain followed by
+// the tracked pebble, abstracted away from grid boundaries. State is the
+// vector (z_1, ..., z_d) of per-dimension distances to the target
+// ("queue lengths"); each round two candidate moves are drawn (dimension
+// uniform, direction uniform) and one is executed according to the
+// paper's selection rules.
+//
+// Lemma 4 asserts: if z_i != 0, dimension i moves with probability at
+// least 1/(2d-1), and conditioned on moving it decreases with
+// probability at least 1/2 + 1/(8d-4); if z_i = 0 it increases with
+// probability at most 2/(d+1). Lemma 5 gives O(d²n) emptying time per
+// dimension; Lemma 6 bounds excursions after first emptying. This
+// package measures all three.
+package queue
+
+import (
+	"repro/internal/rng"
+)
+
+// DriftChain is the d-dimensional biased chain on (Z≥0)^d.
+type DriftChain struct {
+	d     int
+	z     []int
+	rnd   *rng.Source
+	steps int
+}
+
+// New creates a chain with the given initial queue lengths.
+func New(initial []int, rnd *rng.Source) *DriftChain {
+	if len(initial) == 0 {
+		panic("queue: need at least one dimension")
+	}
+	z := append([]int(nil), initial...)
+	for _, v := range z {
+		if v < 0 {
+			panic("queue: negative queue length")
+		}
+	}
+	return &DriftChain{d: len(initial), z: z, rnd: rnd}
+}
+
+// D returns the dimension count.
+func (c *DriftChain) D() int { return c.d }
+
+// Z returns the current length of queue i.
+func (c *DriftChain) Z(i int) int { return c.z[i] }
+
+// Total returns the sum of queue lengths.
+func (c *DriftChain) Total() int {
+	sum := 0
+	for _, v := range c.z {
+		sum += v
+	}
+	return sum
+}
+
+// Steps returns the number of rounds executed.
+func (c *DriftChain) Steps() int { return c.steps }
+
+// Empty reports whether all queues are empty (the tracked pebble is at
+// the target).
+func (c *DriftChain) Empty() bool { return c.Total() == 0 }
+
+// candidate is one proposed move: a dimension and a direction (+1 grows
+// the queue, -1 shrinks it; at z = 0 both directions grow).
+type candidate struct {
+	dim, dir int
+}
+
+func (c *DriftChain) randomCandidate() candidate {
+	dim := c.rnd.Intn(c.d)
+	dir := +1
+	if c.rnd.Bool() {
+		dir = -1
+	}
+	return candidate{dim, dir}
+}
+
+// effect returns the signed change of z[m.dim] if m is executed.
+func (c *DriftChain) effect(m candidate) int {
+	if c.z[m.dim] == 0 {
+		return +1 // both directions leave the target coordinate
+	}
+	return m.dir
+}
+
+// closer reports whether executing m decreases its queue.
+func (c *DriftChain) closer(m candidate) bool { return c.effect(m) < 0 }
+
+// Step draws two candidates and executes one per the Section 3 rules,
+// returning the executed dimension and the signed change.
+func (c *DriftChain) Step() (dim, delta int) {
+	m1 := c.randomCandidate()
+	m2 := c.randomCandidate()
+	chosen := c.choose(m1, m2)
+	delta = c.effect(chosen)
+	c.z[chosen.dim] += delta
+	c.steps++
+	return chosen.dim, delta
+}
+
+func (c *DriftChain) choose(m1, m2 candidate) candidate {
+	if m1.dim == m2.dim {
+		cl1, cl2 := c.closer(m1), c.closer(m2)
+		switch {
+		case cl1 && !cl2:
+			return m1
+		case cl2 && !cl1:
+			return m2
+		default:
+			if c.rnd.Bool() {
+				return m1
+			}
+			return m2
+		}
+	}
+	z1, z2 := c.z[m1.dim], c.z[m2.dim]
+	switch {
+	case z1 == 0 && z2 != 0:
+		return m2
+	case z2 == 0 && z1 != 0:
+		return m1
+	case z1 == 0 && z2 == 0:
+		if c.rnd.Bool() {
+			return m1
+		}
+		return m2
+	}
+	cl1, cl2 := c.closer(m1), c.closer(m2)
+	switch {
+	case cl1 && !cl2:
+		return m1
+	case cl2 && !cl1:
+		return m2
+	default:
+		if c.rnd.Bool() {
+			return m1
+		}
+		return m2
+	}
+}
+
+// TimeToEmpty steps until all queues are empty; ok is false if maxSteps
+// is exceeded.
+func (c *DriftChain) TimeToEmpty(maxSteps int) (int, bool) {
+	for !c.Empty() {
+		if c.steps >= maxSteps {
+			return c.steps, false
+		}
+		c.Step()
+	}
+	return c.steps, true
+}
+
+// TimeToEmptyDimension steps until queue i is empty; ok is false if
+// maxSteps is exceeded.
+func (c *DriftChain) TimeToEmptyDimension(i, maxSteps int) (int, bool) {
+	for c.z[i] != 0 {
+		if c.steps >= maxSteps {
+			return c.steps, false
+		}
+		c.Step()
+	}
+	return c.steps, true
+}
+
+// DriftStats aggregates the Lemma 4 quantities over a measurement run.
+type DriftStats struct {
+	// RoundsNonZero counts rounds in which z_i was non-zero at round
+	// start, per dimension.
+	RoundsNonZero []int
+	// MovesNonZero counts, per dimension, rounds where z_i was non-zero
+	// and dimension i executed the move.
+	MovesNonZero []int
+	// DecreasesNonZero counts, per dimension, rounds where z_i was
+	// non-zero, dimension i moved, and z_i decreased.
+	DecreasesNonZero []int
+	// RoundsZero and IncreasesZero count rounds where z_i was zero, and
+	// those where dimension i then moved (necessarily increasing).
+	RoundsZero    []int
+	IncreasesZero []int
+}
+
+// MoveProbability returns the measured per-round probability that
+// dimension i moves while non-zero (Lemma 4 lower bound: 1/(2d-1)).
+func (s *DriftStats) MoveProbability(i int) float64 {
+	if s.RoundsNonZero[i] == 0 {
+		return 0
+	}
+	return float64(s.MovesNonZero[i]) / float64(s.RoundsNonZero[i])
+}
+
+// DecreaseProbability returns the measured probability that a non-zero
+// dimension decreases given that it moves (Lemma 4 lower bound:
+// 1/2 + 1/(8d-4)).
+func (s *DriftStats) DecreaseProbability(i int) float64 {
+	if s.MovesNonZero[i] == 0 {
+		return 0
+	}
+	return float64(s.DecreasesNonZero[i]) / float64(s.MovesNonZero[i])
+}
+
+// ZeroIncreaseProbability returns the measured probability that an empty
+// queue grows in a round (Lemma 4 upper bound: 2/(d+1)).
+func (s *DriftStats) ZeroIncreaseProbability(i int) float64 {
+	if s.RoundsZero[i] == 0 {
+		return 0
+	}
+	return float64(s.IncreasesZero[i]) / float64(s.RoundsZero[i])
+}
+
+// MeasureDrift runs the chain for rounds steps, collecting Lemma 4
+// statistics. The chain keeps evolving; callers usually start it from a
+// large interior state so the non-zero regime dominates.
+func MeasureDrift(c *DriftChain, rounds int) *DriftStats {
+	d := c.d
+	s := &DriftStats{
+		RoundsNonZero:    make([]int, d),
+		MovesNonZero:     make([]int, d),
+		DecreasesNonZero: make([]int, d),
+		RoundsZero:       make([]int, d),
+		IncreasesZero:    make([]int, d),
+	}
+	for r := 0; r < rounds; r++ {
+		nonZero := make([]bool, d)
+		for i := 0; i < d; i++ {
+			if c.z[i] != 0 {
+				nonZero[i] = true
+				s.RoundsNonZero[i]++
+			} else {
+				s.RoundsZero[i]++
+			}
+		}
+		dim, delta := c.Step()
+		if nonZero[dim] {
+			s.MovesNonZero[dim]++
+			if delta < 0 {
+				s.DecreasesNonZero[dim]++
+			}
+		} else {
+			s.IncreasesZero[dim]++
+		}
+	}
+	return s
+}
+
+// MaxExcursion runs the chain for rounds steps starting from its current
+// state and returns the maximum value queue i attains, the Lemma 6
+// quantity (after z_i first hits zero, it should stay below c_d ln n).
+func MaxExcursion(c *DriftChain, i, rounds int) int {
+	max := c.z[i]
+	for r := 0; r < rounds; r++ {
+		c.Step()
+		if c.z[i] > max {
+			max = c.z[i]
+		}
+	}
+	return max
+}

@@ -1,0 +1,241 @@
+package queue
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestEmptyDetection(t *testing.T) {
+	c := New([]int{0, 0, 0}, rng.New(1))
+	if !c.Empty() {
+		t.Fatal("all-zero chain not empty")
+	}
+	c2 := New([]int{0, 1}, rng.New(1))
+	if c2.Empty() {
+		t.Fatal("non-zero chain reported empty")
+	}
+}
+
+func TestStepChangesOneQueueByOne(t *testing.T) {
+	c := New([]int{5, 5, 5}, rng.New(2))
+	for i := 0; i < 1000; i++ {
+		before := []int{c.Z(0), c.Z(1), c.Z(2)}
+		dim, delta := c.Step()
+		changed := 0
+		for j := 0; j < 3; j++ {
+			d := c.Z(j) - before[j]
+			if d != 0 {
+				changed++
+				if j != dim || d != delta {
+					t.Fatalf("reported (%d,%d) but queue %d changed by %d", dim, delta, j, d)
+				}
+				if d != 1 && d != -1 {
+					t.Fatalf("queue changed by %d", d)
+				}
+			}
+		}
+		if changed != 1 {
+			t.Fatalf("%d queues changed in one step", changed)
+		}
+	}
+}
+
+func TestQueuesNeverNegative(t *testing.T) {
+	c := New([]int{1, 0, 2}, rng.New(3))
+	for i := 0; i < 5000; i++ {
+		c.Step()
+		for j := 0; j < 3; j++ {
+			if c.Z(j) < 0 {
+				t.Fatalf("queue %d negative: %d", j, c.Z(j))
+			}
+		}
+	}
+}
+
+func TestLemma4MoveProbability(t *testing.T) {
+	// With all queues large, each dimension moves with probability at
+	// least 1/(2d-1); by symmetry it should be ≈ 1/d here.
+	for _, d := range []int{1, 2, 3, 4} {
+		initial := make([]int, d)
+		for i := range initial {
+			initial[i] = 1 << 20 // effectively never empties
+		}
+		c := New(initial, rng.New(uint64(10+d)))
+		s := MeasureDrift(c, 40000)
+		bound := 1.0 / float64(2*d-1)
+		for i := 0; i < d; i++ {
+			got := s.MoveProbability(i)
+			if got < bound-0.02 {
+				t.Fatalf("d=%d dim=%d move prob %.4f below bound %.4f", d, i, got, bound)
+			}
+		}
+	}
+}
+
+func TestLemma4DecreaseProbability(t *testing.T) {
+	// Conditioned on moving while non-zero, decrease probability is at
+	// least 1/2 + 1/(8d-4).
+	for _, d := range []int{1, 2, 3, 4} {
+		initial := make([]int, d)
+		for i := range initial {
+			initial[i] = 1 << 20
+		}
+		c := New(initial, rng.New(uint64(20+d)))
+		s := MeasureDrift(c, 60000)
+		bound := 0.5 + 1.0/float64(8*d-4)
+		for i := 0; i < d; i++ {
+			got := s.DecreaseProbability(i)
+			if got < bound-0.02 {
+				t.Fatalf("d=%d dim=%d decrease prob %.4f below bound %.4f", d, i, got, bound)
+			}
+		}
+	}
+}
+
+func TestLemma4ZeroIncreaseBound(t *testing.T) {
+	// With z_i = 0 and the other queues huge, queue i grows per round
+	// with probability at most 2/(d+1).
+	for _, d := range []int{2, 3, 4} {
+		initial := make([]int, d)
+		for i := 1; i < d; i++ {
+			initial[i] = 1 << 20
+		}
+		// Keep resetting queue 0 to zero so the zero regime is measured.
+		c := New(initial, rng.New(uint64(30+d)))
+		zeroRounds, increases := 0, 0
+		for r := 0; r < 50000; r++ {
+			wasZero := c.Z(0) == 0
+			dim, _ := c.Step()
+			if wasZero {
+				zeroRounds++
+				if dim == 0 {
+					increases++
+				}
+			}
+			if c.Z(0) > 0 {
+				// Drain queue 0 back to zero outside measurement by
+				// directly constructing a fresh chain.
+				newInit := make([]int, d)
+				for i := 1; i < d; i++ {
+					newInit[i] = c.Z(i)
+				}
+				c = New(newInit, rng.New(uint64(1000+r)))
+			}
+		}
+		bound := 2.0 / float64(d+1)
+		got := float64(increases) / float64(zeroRounds)
+		if got > bound+0.02 {
+			t.Fatalf("d=%d zero-increase prob %.4f above bound %.4f", d, got, bound)
+		}
+	}
+}
+
+func TestLemma5EmptyingTimeLinear(t *testing.T) {
+	// Time for one dimension to empty should scale roughly linearly with
+	// its initial length (Lemma 5: O(d²n) whp).
+	d := 2
+	meanEmpty := func(n int, seed uint64) float64 {
+		var sum float64
+		const trials = 30
+		for tr := 0; tr < trials; tr++ {
+			init := []int{n, n}
+			c := New(init, rng.NewStream(seed, tr))
+			steps, ok := c.TimeToEmptyDimension(0, 100*d*d*n+100000)
+			if !ok {
+				t.Fatal("dimension did not empty")
+			}
+			sum += float64(steps)
+		}
+		return sum / trials
+	}
+	small := meanEmpty(50, 41)
+	large := meanEmpty(200, 42)
+	ratio := large / small
+	// Linear scaling predicts 4; quadratic would be 16. Allow [2.5, 7].
+	if ratio < 2.5 || ratio > 7 {
+		t.Fatalf("emptying-time ratio %.2f inconsistent with linear scaling", ratio)
+	}
+}
+
+func TestLemma6ExcursionsStayLogarithmic(t *testing.T) {
+	// After hitting zero, a queue's excursions over n² rounds stay small
+	// (geometric stationary tail): measure max excursion.
+	c := New([]int{0, 0}, rng.New(55))
+	max := MaxExcursion(c, 0, 250000)
+	// Stationary tail (3/5)^k: P(max over 250k rounds > 40) is tiny.
+	if max > 40 {
+		t.Fatalf("excursion reached %d; geometric tail violated", max)
+	}
+	if max < 1 {
+		t.Fatal("queue never grew; dynamics broken")
+	}
+}
+
+func TestLemma7SimultaneousEmptyFromLogState(t *testing.T) {
+	// From a small state (all z_i ≤ log n), the chain empties completely
+	// within O(log n) rounds with non-trivial probability.
+	d := 3
+	success := 0
+	const trials = 400
+	window := 200
+	for tr := 0; tr < trials; tr++ {
+		c := New([]int{5, 5, 5}, rng.NewStream(66, tr))
+		if _, ok := c.TimeToEmpty(window); ok {
+			success++
+		}
+	}
+	frac := float64(success) / trials
+	if frac < 0.2 {
+		t.Fatalf("simultaneous emptying probability %.3f too small (d=%d)", frac, d)
+	}
+}
+
+func TestTimeToEmptyRespectsCap(t *testing.T) {
+	c := New([]int{1 << 20}, rng.New(4))
+	if _, ok := c.TimeToEmpty(10); ok {
+		t.Fatal("huge queue emptied in 10 steps")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { New(nil, rng.New(1)) },
+		"negative": func() { New([]int{-1}, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEmptyTimeDistributionSane(t *testing.T) {
+	// Sanity on the E3 experiment machinery: emptying times are positive
+	// and vary across trials.
+	var xs []float64
+	for tr := 0; tr < 50; tr++ {
+		c := New([]int{30, 30}, rng.NewStream(77, tr))
+		steps, ok := c.TimeToEmpty(10000000)
+		if !ok {
+			t.Fatal("did not empty")
+		}
+		xs = append(xs, float64(steps))
+	}
+	s := stats.Summarize(xs)
+	if s.Min < 60 {
+		t.Fatalf("emptying in %v steps impossible from total 60", s.Min)
+	}
+	if s.Std == 0 {
+		t.Fatal("no variance across trials")
+	}
+	if math.IsNaN(s.Mean) {
+		t.Fatal("NaN mean")
+	}
+}

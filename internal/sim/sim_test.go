@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestRunTrialsDeterministic(t *testing.T) {
+	fn := func(trial int, src *rng.Source) (float64, error) {
+		return float64(src.Intn(1000000)), nil
+	}
+	a, err := RunTrials(64, 42, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrials(64, 42, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs across runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunTrialsOrderIndependent(t *testing.T) {
+	// Results must depend only on the trial index, not scheduling: each
+	// trial's value is a pure function of its stream.
+	fn := func(trial int, src *rng.Source) (float64, error) {
+		return float64(src.Uint64() % 1000), nil
+	}
+	got, err := RunTrials(100, 7, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := float64(rng.NewStream(7, i).Uint64() % 1000)
+		if got[i] != want {
+			t.Fatalf("trial %d = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestRunTrialsError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := RunTrials(10, 1, func(trial int, src *rng.Source) (float64, error) {
+		if trial == 7 {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestRunTrialsValidation(t *testing.T) {
+	if _, err := RunTrials(0, 1, nil); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestMeansAndFitExponent(t *testing.T) {
+	var points []Point
+	for _, x := range []float64{2, 4, 8, 16} {
+		// y = 3 x^2 exactly, in every sample element.
+		points = append(points, Point{X: x, Sample: []float64{3 * x * x, 3 * x * x}})
+	}
+	fit := FitExponent(points)
+	if math.Abs(fit.Exponent-2) > 1e-9 || math.Abs(fit.Constant-3) > 1e-9 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	xs, ys := Means(points)
+	if len(xs) != 4 || ys[0] != 12 {
+		t.Fatalf("Means wrong: %v %v", xs, ys)
+	}
+}
+
+func TestSortPointsByX(t *testing.T) {
+	pts := []Point{{X: 3}, {X: 1}, {X: 2}}
+	SortPointsByX(pts)
+	if pts[0].X != 1 || pts[1].X != 2 || pts[2].X != 3 {
+		t.Fatalf("sort failed: %+v", pts)
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("demo", "graph", "n", "cover")
+	tb.AddRow("cycle", "10", "42.5")
+	tb.AddRowf("grid", 100, 3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "cycle") || !strings.Contains(out, "3.142") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("E1", "a", "b")
+	tb.AddRow("1", "2")
+	md := tb.Markdown()
+	if !strings.Contains(md, "**E1**") || !strings.Contains(md, "| a | b |") ||
+		!strings.Contains(md, "| --- | --- |") || !strings.Contains(md, "| 1 | 2 |") {
+		t.Fatalf("bad markdown:\n%s", md)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", `with"quote`)
+	csv := tb.CSV()
+	want := "name,value\nplain,1\n\"with,comma\",\"with\"\"quote\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row mismatch accepted")
+		}
+	}()
+	NewTable("", "a", "b").AddRow("only-one")
+}
+
+func TestSummaryCells(t *testing.T) {
+	mean, ci, max := SummaryCells([]float64{10, 20, 30})
+	if mean != "20.0" {
+		t.Fatalf("mean cell = %q", mean)
+	}
+	if !strings.HasPrefix(ci, "±") {
+		t.Fatalf("ci cell = %q", ci)
+	}
+	if max != "30" {
+		t.Fatalf("max cell = %q", max)
+	}
+}
+
+func TestRunTrialsMatchesSequentialStats(t *testing.T) {
+	// The parallel runner must produce exactly the sample a sequential
+	// loop would.
+	fn := func(trial int, src *rng.Source) (float64, error) {
+		sum := 0.0
+		for i := 0; i < 100; i++ {
+			sum += src.Float64()
+		}
+		return sum, nil
+	}
+	par, err := RunTrials(40, 9, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := make([]float64, 40)
+	for i := range seq {
+		v, _ := fn(i, rng.NewStream(9, i))
+		seq[i] = v
+	}
+	if stats.Mean(par) != stats.Mean(seq) {
+		t.Fatal("parallel and sequential samples differ")
+	}
+}

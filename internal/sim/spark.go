@@ -1,0 +1,75 @@
+package sim
+
+import "strings"
+
+// sparkLevels are the eight block characters used for sparklines.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a numeric series as a unicode block sparkline,
+// scaling linearly from min to max. An empty series renders as "".
+// Used by trajectory experiments and examples to show growth curves in
+// terminal output.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	var b strings.Builder
+	span := hi - lo
+	for _, x := range xs {
+		idx := 0
+		if span > 0 {
+			idx = int((x - lo) / span * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// SparklineInts renders an integer series as a sparkline.
+func SparklineInts(xs []int) string {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Sparkline(fs)
+}
+
+// Downsample reduces a series to at most points entries by bucket
+// averaging, preserving the overall shape for sparkline display.
+func Downsample(xs []float64, points int) []float64 {
+	if points < 1 {
+		panic("sim: Downsample needs points >= 1")
+	}
+	if len(xs) <= points {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, points)
+	for i := 0; i < points; i++ {
+		lo := i * len(xs) / points
+		hi := (i + 1) * len(xs) / points
+		if hi == lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, x := range xs[lo:hi] {
+			sum += x
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}

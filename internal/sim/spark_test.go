@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparklineShape(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if s != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("linear ramp sparkline = %q", s)
+	}
+}
+
+func TestSparklineConstant(t *testing.T) {
+	s := Sparkline([]float64{5, 5, 5})
+	if s != "▁▁▁" {
+		t.Fatalf("constant sparkline = %q", s)
+	}
+}
+
+func TestSparklineEmpty(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty series should render empty")
+	}
+}
+
+func TestSparklineExtremes(t *testing.T) {
+	s := Sparkline([]float64{0, 100})
+	runes := []rune(s)
+	if len(runes) != 2 || runes[0] != '▁' || runes[1] != '█' {
+		t.Fatalf("extremes sparkline = %q", s)
+	}
+}
+
+func TestSparklineInts(t *testing.T) {
+	s := SparklineInts([]int{1, 8})
+	if !strings.HasPrefix(s, "▁") || !strings.HasSuffix(s, "█") {
+		t.Fatalf("int sparkline = %q", s)
+	}
+}
+
+func TestDownsamplePreservesShortSeries(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	out := Downsample(xs, 10)
+	if len(out) != 3 {
+		t.Fatalf("short series length changed: %v", out)
+	}
+	out[0] = 99
+	if xs[0] == 99 {
+		t.Fatal("Downsample aliases input")
+	}
+}
+
+func TestDownsampleAverages(t *testing.T) {
+	xs := []float64{1, 1, 3, 3, 5, 5, 7, 7}
+	out := Downsample(xs, 4)
+	want := []float64{1, 3, 5, 7}
+	if len(out) != 4 {
+		t.Fatalf("length %d", len(out))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("downsample = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestDownsamplePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for points=0")
+		}
+	}()
+	Downsample([]float64{1}, 0)
+}

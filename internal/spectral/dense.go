@@ -1,0 +1,102 @@
+package spectral
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// MaxDenseVertices caps dense eigendecomposition.
+const MaxDenseVertices = 512
+
+// NormalizedAdjacencyDense materializes the symmetric normalized
+// adjacency matrix N = D^{-1/2} A D^{-1/2} of g as a dense matrix.
+// Intended for graphs of at most MaxDenseVertices vertices.
+func NormalizedAdjacencyDense(g *graph.Graph) [][]float64 {
+	n := g.N()
+	if n > MaxDenseVertices {
+		panic("spectral: graph too large for dense eigendecomposition")
+	}
+	inv := invSqrtDegrees(g)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for v := int32(0); v < int32(n); v++ {
+		for _, u := range g.Neighbors(v) {
+			a[v][u] = inv[v] * inv[u]
+		}
+	}
+	return a
+}
+
+// JacobiEigenvalues computes all eigenvalues of a symmetric matrix by
+// the cyclic Jacobi rotation method, returned in descending order. The
+// input matrix is modified in place. tol is the off-diagonal Frobenius
+// threshold at which iteration stops; maxSweeps caps the number of full
+// sweeps.
+func JacobiEigenvalues(a [][]float64, tol float64, maxSweeps int) []float64 {
+	n := len(a)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm.
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += 2 * a[i][j] * a[i][j]
+			}
+		}
+		if math.Sqrt(off) < tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a[p][q]
+				if math.Abs(apq) < tol/float64(n*n) {
+					continue
+				}
+				// Compute the Jacobi rotation annihilating a[p][q].
+				theta := (a[q][q] - a[p][p]) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply rotation: rows/columns p and q.
+				for k := 0; k < n; k++ {
+					akp := a[k][p]
+					akq := a[k][q]
+					a[k][p] = c*akp - s*akq
+					a[k][q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk := a[p][k]
+					aqk := a[q][k]
+					a[p][k] = c*apk - s*aqk
+					a[q][k] = s*apk + c*aqk
+				}
+			}
+		}
+	}
+	eig := make([]float64, n)
+	for i := 0; i < n; i++ {
+		eig[i] = a[i][i]
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(eig)))
+	return eig
+}
+
+// SpectrumDense returns all eigenvalues of the normalized adjacency
+// operator of g in descending order, computed by dense Jacobi rotation.
+// Exact (to numerical precision) but O(n³); use for validation on small
+// graphs.
+func SpectrumDense(g *graph.Graph) []float64 {
+	return JacobiEigenvalues(NormalizedAdjacencyDense(g), 1e-11, 100)
+}
+
+// Lambda2Dense returns the exact second-largest normalized adjacency
+// eigenvalue by dense decomposition.
+func Lambda2Dense(g *graph.Graph) float64 {
+	return SpectrumDense(g)[1]
+}

@@ -1,0 +1,121 @@
+package spectral
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSpectrumDenseComplete(t *testing.T) {
+	// K_n normalized spectrum: 1 once, -1/(n-1) with multiplicity n-1.
+	n := 9
+	eig := SpectrumDense(graph.Complete(n))
+	if !almostEqual(eig[0], 1, 1e-9) {
+		t.Fatalf("top eigenvalue %v, want 1", eig[0])
+	}
+	for _, l := range eig[1:] {
+		if !almostEqual(l, -1.0/float64(n-1), 1e-9) {
+			t.Fatalf("eigenvalue %v, want %v", l, -1.0/float64(n-1))
+		}
+	}
+}
+
+func TestSpectrumDenseCycle(t *testing.T) {
+	// C_n spectrum: cos(2πk/n), k = 0..n-1.
+	n := 12
+	eig := SpectrumDense(graph.Cycle(n))
+	var want []float64
+	for k := 0; k < n; k++ {
+		want = append(want, math.Cos(2*math.Pi*float64(k)/float64(n)))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+	for i := range eig {
+		if !almostEqual(eig[i], want[i], 1e-9) {
+			t.Fatalf("eig[%d] = %v, want %v", i, eig[i], want[i])
+		}
+	}
+}
+
+func TestSpectrumDenseHypercube(t *testing.T) {
+	// Q_d spectrum: (d-2k)/d with multiplicity C(d,k).
+	d := 4
+	eig := SpectrumDense(graph.Hypercube(d))
+	counts := map[int]int{}
+	for _, l := range eig {
+		k := int(math.Round((1 - l) * float64(d) / 2))
+		counts[k]++
+	}
+	want := map[int]int{0: 1, 1: 4, 2: 6, 3: 4, 4: 1}
+	for k, c := range want {
+		if counts[k] != c {
+			t.Fatalf("eigenvalue multiplicity at k=%d: %d, want %d (%v)", k, counts[k], c, counts)
+		}
+	}
+}
+
+func TestSpectrumSumsToZero(t *testing.T) {
+	// Trace of the normalized adjacency is 0 (no self-loops), so the
+	// eigenvalues sum to 0.
+	for _, g := range []*graph.Graph{
+		graph.Star(10), graph.Wheel(11), graph.Lollipop(6, 5), graph.Grid(2, 5),
+	} {
+		sum := 0.0
+		for _, l := range SpectrumDense(g) {
+			sum += l
+		}
+		if math.Abs(sum) > 1e-8 {
+			t.Fatalf("%s: eigenvalue sum %v, want 0", g.Name(), sum)
+		}
+	}
+}
+
+func TestPowerIterationMatchesDense(t *testing.T) {
+	// The sparse power-iteration Lambda2 must agree with the dense exact
+	// value on assorted graphs, including irregular ones.
+	graphs := []*graph.Graph{
+		graph.Cycle(20),
+		graph.Grid(2, 5),
+		graph.Star(15),
+		graph.Lollipop(7, 6),
+		graph.Wheel(14),
+		graph.MustRandomRegular(40, 4, 3),
+		graph.ErdosRenyi(40, 0.15, true, 5),
+	}
+	for _, g := range graphs {
+		dense := Lambda2Dense(g)
+		sparse := Lambda2(g, 1e-12, 200000)
+		if math.Abs(dense-sparse) > 1e-5 {
+			t.Fatalf("%s: dense λ₂ %v vs power iteration %v", g.Name(), dense, sparse)
+		}
+	}
+}
+
+func TestBipartiteSpectrumSymmetric(t *testing.T) {
+	// Bipartite graphs have symmetric spectra: λ and -λ paired.
+	eig := SpectrumDense(graph.Cycle(8))
+	n := len(eig)
+	for i := 0; i < n; i++ {
+		if !almostEqual(eig[i], -eig[n-1-i], 1e-9) {
+			t.Fatalf("spectrum not symmetric: %v vs %v", eig[i], eig[n-1-i])
+		}
+	}
+}
+
+func TestDenseSizeCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized dense decomposition accepted")
+		}
+	}()
+	NormalizedAdjacencyDense(graph.Cycle(MaxDenseVertices + 1))
+}
+
+func TestJacobiOnDiagonalMatrix(t *testing.T) {
+	a := [][]float64{{3, 0}, {0, -1}}
+	eig := JacobiEigenvalues(a, 1e-12, 10)
+	if eig[0] != 3 || eig[1] != -1 {
+		t.Fatalf("diagonal eigenvalues %v", eig)
+	}
+}

@@ -1,0 +1,230 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLambda2Complete(t *testing.T) {
+	// K_n normalized adjacency has eigenvalues 1 and -1/(n-1).
+	g := graph.Complete(10)
+	l2 := Lambda2(g, 1e-12, 20000)
+	if !almostEqual(l2, -1.0/9, 1e-6) {
+		t.Fatalf("K10 lambda2 = %v, want %v", l2, -1.0/9)
+	}
+}
+
+func TestLambda2Cycle(t *testing.T) {
+	// Cycle C_n has normalized adjacency eigenvalues cos(2*pi*k/n);
+	// lambda2 = cos(2*pi/n).
+	n := 20
+	g := graph.Cycle(n)
+	want := math.Cos(2 * math.Pi / float64(n))
+	l2 := Lambda2(g, 1e-12, 50000)
+	if !almostEqual(l2, want, 1e-6) {
+		t.Fatalf("C20 lambda2 = %v, want %v", l2, want)
+	}
+}
+
+func TestLambda2Hypercube(t *testing.T) {
+	// Q_d has normalized eigenvalues (d-2k)/d; lambda2 = (d-2)/d.
+	d := 5
+	g := graph.Hypercube(d)
+	want := float64(d-2) / float64(d)
+	l2 := Lambda2(g, 1e-12, 20000)
+	if !almostEqual(l2, want, 1e-6) {
+		t.Fatalf("Q5 lambda2 = %v, want %v", l2, want)
+	}
+}
+
+func TestLambda2BipartiteSafe(t *testing.T) {
+	// Even cycles are bipartite (eigenvalue -1 present); the lazy
+	// iteration must still find lambda2 = cos(2*pi/n), not |-1|.
+	g := graph.Cycle(16)
+	want := math.Cos(2 * math.Pi / 16)
+	l2 := Lambda2(g, 1e-12, 50000)
+	if !almostEqual(l2, want, 1e-6) {
+		t.Fatalf("C16 lambda2 = %v, want %v", l2, want)
+	}
+}
+
+func TestLambda2Disconnected(t *testing.T) {
+	b := graph.NewBuilder(4, "two-edges")
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	l2 := Lambda2(g, 1e-12, 10000)
+	if !almostEqual(l2, 1, 1e-6) {
+		t.Fatalf("disconnected lambda2 = %v, want 1", l2)
+	}
+}
+
+func TestConductanceHalfCycle(t *testing.T) {
+	n := 12
+	g := graph.Cycle(n)
+	half := make([]int32, n/2)
+	for i := range half {
+		half[i] = int32(i)
+	}
+	phi := Conductance(g, half)
+	if !almostEqual(phi, 2.0/float64(n), 1e-12) {
+		t.Fatalf("half-cycle conductance = %v, want %v", phi, 2.0/float64(n))
+	}
+}
+
+func TestConductanceSymmetry(t *testing.T) {
+	g := graph.Lollipop(6, 6)
+	set := []int32{0, 1, 2, 3, 4, 5}
+	var comp []int32
+	for v := int32(6); v < int32(g.N()); v++ {
+		comp = append(comp, v)
+	}
+	if !almostEqual(Conductance(g, set), Conductance(g, comp), 1e-12) {
+		t.Fatal("conductance should be symmetric under complement")
+	}
+}
+
+func TestExactConductanceMatchesAnalytic(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want float64
+	}{
+		{graph.Cycle(10), CycleConductance(10)},
+		{graph.Complete(8), CompleteConductance(8)},
+		{graph.Hypercube(3), HypercubeConductance(3)},
+	}
+	for _, c := range cases {
+		got := ExactConductance(c.g)
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("%s exact conductance = %v, want %v", c.g.Name(), got, c.want)
+		}
+	}
+}
+
+func TestExactConductanceTorus(t *testing.T) {
+	g := graph.Torus(2, 4)
+	got := ExactConductance(g)
+	want := TorusConductance(4)
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("torus(2,4) exact conductance = %v, want %v", got, want)
+	}
+}
+
+func TestCheegerBracketsExact(t *testing.T) {
+	// On tiny graphs, PhiLow <= Phi_exact <= PhiHigh must hold.
+	for _, g := range []*graph.Graph{
+		graph.Cycle(14), graph.Hypercube(4), graph.Complete(9),
+		graph.Path(12), graph.Star(10), graph.Lollipop(5, 5),
+	} {
+		res := Analyze(g)
+		exact := ExactConductance(g)
+		if res.PhiLow > exact+1e-9 {
+			t.Fatalf("%s: PhiLow %v exceeds exact %v", g.Name(), res.PhiLow, exact)
+		}
+		if res.PhiHigh < exact-1e-9 {
+			t.Fatalf("%s: PhiHigh %v below exact %v", g.Name(), res.PhiHigh, exact)
+		}
+	}
+}
+
+func TestSweepCutFindsBottleneck(t *testing.T) {
+	// The barbell's bridge is an extreme bottleneck; the sweep cut must
+	// find a cut close to the exact conductance.
+	g := graph.Barbell(8, 2)
+	exact := ExactConductance(g)
+	sweep, ok := SweepCutConductance(g)
+	if !ok {
+		t.Fatal("sweep cut failed")
+	}
+	if sweep < exact-1e-9 {
+		t.Fatalf("sweep %v below exact %v (impossible for a real cut)", sweep, exact)
+	}
+	if sweep > 3*exact {
+		t.Fatalf("sweep %v too far above exact %v", sweep, exact)
+	}
+}
+
+func TestSweepCutDegenerate(t *testing.T) {
+	if _, ok := SweepCutConductance(graph.Path(1)); ok {
+		t.Fatal("sweep cut on single vertex should fail")
+	}
+}
+
+func TestAnalyzeExpanderHasConstantGap(t *testing.T) {
+	g := graph.MustRandomRegular(200, 5, 7)
+	res := Analyze(g)
+	if res.Gap < 0.1 {
+		t.Fatalf("random 5-regular gap = %v, expected constant", res.Gap)
+	}
+	if res.PhiLow <= 0 {
+		t.Fatal("expander conductance lower bound should be positive")
+	}
+}
+
+func TestAnalyzeCycleGapShrinks(t *testing.T) {
+	small := Analyze(graph.Cycle(16))
+	large := Analyze(graph.Cycle(64))
+	if large.Gap >= small.Gap {
+		t.Fatalf("cycle gap should shrink with n: %v vs %v", small.Gap, large.Gap)
+	}
+}
+
+func TestMixingTimeCompleteFast(t *testing.T) {
+	g := graph.Complete(12)
+	tm, ok := MixingTime(g, 0.25, 1000)
+	if !ok {
+		t.Fatal("complete graph mixing time hit cap")
+	}
+	if tm > 10 {
+		t.Fatalf("K12 mixing time %d too large", tm)
+	}
+}
+
+func TestMixingTimeOrdering(t *testing.T) {
+	// Cycle mixes much slower than hypercube at comparable sizes.
+	cyc, ok1 := MixingTime(graph.Cycle(32), 0.25, 100000)
+	hc, ok2 := MixingTime(graph.Hypercube(5), 0.25, 100000)
+	if !ok1 || !ok2 {
+		t.Fatal("mixing time hit cap")
+	}
+	if cyc <= hc {
+		t.Fatalf("cycle(32) mixing %d should exceed hypercube(5) mixing %d", cyc, hc)
+	}
+}
+
+func TestMixingTimeCap(t *testing.T) {
+	if _, ok := MixingTime(graph.Cycle(64), 0.01, 3); ok {
+		t.Fatal("tiny cap should be reported as not converged")
+	}
+}
+
+func TestExactConductancePanicsLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n > 24")
+		}
+	}()
+	ExactConductance(graph.Cycle(30))
+}
+
+func TestConductancePanicsOnFullSet(t *testing.T) {
+	g := graph.Cycle(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for full set")
+		}
+	}()
+	Conductance(g, []int32{0, 1, 2, 3, 4})
+}
+
+func BenchmarkLambda2RandomRegular(b *testing.B) {
+	g := graph.MustRandomRegular(1000, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Lambda2(g, 1e-8, 2000)
+	}
+}

@@ -1,0 +1,304 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if !almostEqual(s.Var, 2.5, 1e-12) {
+		t.Fatalf("variance = %v, want 2.5", s.Var)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Var != 0 || s.Median != 7 {
+		t.Fatalf("single-point summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Summarize did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !almostEqual(got, c.want, 1e-9) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestMeanCIShrinksWithN(t *testing.T) {
+	r := rng.New(3)
+	small := make([]float64, 20)
+	large := make([]float64, 2000)
+	for i := range small {
+		small[i] = r.Float64()
+	}
+	for i := range large {
+		large[i] = r.Float64()
+	}
+	_, hwSmall := MeanCI(small)
+	_, hwLarge := MeanCI(large)
+	if hwLarge >= hwSmall {
+		t.Fatalf("CI did not shrink: small=%v large=%v", hwSmall, hwLarge)
+	}
+	mean, _ := MeanCI(large)
+	if !almostEqual(mean, 0.5, 0.05) {
+		t.Fatalf("uniform mean = %v", mean)
+	}
+}
+
+func TestMeanCISinglePoint(t *testing.T) {
+	_, hw := MeanCI([]float64{1})
+	if !math.IsInf(hw, 1) {
+		t.Fatal("single point CI should be infinite")
+	}
+}
+
+func TestBootstrapCIContainsTruth(t *testing.T) {
+	r := rng.New(11)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 3 + r.Float64() // uniform [3,4), mean 3.5
+	}
+	lo, hi := BootstrapCI(xs, 0.95, 500, 42)
+	if lo > 3.5 || hi < 3.5 {
+		t.Fatalf("bootstrap CI [%v,%v] misses true mean 3.5", lo, hi)
+	}
+	if hi-lo > 0.2 {
+		t.Fatalf("bootstrap CI [%v,%v] too wide", lo, hi)
+	}
+}
+
+func TestBootstrapCIPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { BootstrapCI(nil, 0.95, 10, 1) },
+		func() { BootstrapCI([]float64{1}, 1.5, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	f := FitLine(xs, ys)
+	if !almostEqual(f.Slope, 2, 1e-12) || !almostEqual(f.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v", f)
+	}
+	if !almostEqual(f.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", f.R2)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	r := rng.New(5)
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 3*x+10+(r.Float64()-0.5)*2)
+	}
+	f := FitLine(xs, ys)
+	if !almostEqual(f.Slope, 3, 0.01) {
+		t.Fatalf("noisy slope = %v", f.Slope)
+	}
+	if f.R2 < 0.99 {
+		t.Fatalf("noisy R2 = %v", f.R2)
+	}
+}
+
+func TestFitLinePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"short":    func() { FitLine([]float64{1}, []float64{1}) },
+		"mismatch": func() { FitLine([]float64{1, 2}, []float64{1}) },
+		"constX":   func() { FitLine([]float64{2, 2}, []float64{1, 5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// y = 4 x^1.5
+	var xs, ys []float64
+	for _, x := range []float64{1, 2, 4, 8, 16, 32} {
+		xs = append(xs, x)
+		ys = append(ys, 4*math.Pow(x, 1.5))
+	}
+	f := FitPowerLaw(xs, ys)
+	if !almostEqual(f.Exponent, 1.5, 1e-9) || !almostEqual(f.Constant, 4, 1e-9) {
+		t.Fatalf("power fit = %+v", f)
+	}
+}
+
+func TestFitPowerLawRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FitPowerLaw([]float64{1, -1}, []float64{1, 1})
+}
+
+func TestOnlineMatchesSummarize(t *testing.T) {
+	r := rng.New(9)
+	xs := make([]float64, 1000)
+	var o Online
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+		o.Add(xs[i])
+	}
+	s := Summarize(xs)
+	if !almostEqual(o.Mean(), s.Mean, 1e-9) {
+		t.Fatalf("online mean %v vs %v", o.Mean(), s.Mean)
+	}
+	if !almostEqual(o.Var(), s.Var, 1e-6) {
+		t.Fatalf("online var %v vs %v", o.Var(), s.Var)
+	}
+	if o.Min() != s.Min || o.Max() != s.Max {
+		t.Fatal("online min/max mismatch")
+	}
+	if o.N() != s.N {
+		t.Fatal("online count mismatch")
+	}
+}
+
+func TestOnlineZeroValue(t *testing.T) {
+	var o Online
+	if o.N() != 0 || o.Mean() != 0 || o.Var() != 0 || o.Std() != 0 {
+		t.Fatal("zero-value Online not zero")
+	}
+	o.Add(5)
+	if o.Var() != 0 {
+		t.Fatal("variance of single observation should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.5, 1, 1.5, 2, 2.5, 9.9, -3, 15}
+	h := Histogram(xs, 0, 10, 5)
+	if len(h) != 5 {
+		t.Fatalf("bins = %d", len(h))
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram total %d != %d (clamping failed)", total, len(xs))
+	}
+	// Bin 0 covers [0,2): values 0, 0.5, 1, 1.5 plus clamped -3.
+	if h[0] != 5 {
+		t.Fatalf("h[0] = %d, want 5; full=%v", h[0], h)
+	}
+	// Bin 4 covers [8,10): 9.9 plus clamped 15.
+	if h[4] != 2 {
+		t.Fatalf("h[4] = %d, want 2; full=%v", h[4], h)
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := EmpiricalCDF(sorted, c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestStochasticDominance(t *testing.T) {
+	a := []float64{2, 3, 4, 5, 6}
+	b := []float64{1, 2, 3, 4, 5}
+	if !StochasticallyDominates(a, b, 0) {
+		t.Fatal("shifted-up sample should dominate")
+	}
+	if StochasticallyDominates(b, a, 0) {
+		t.Fatal("shifted-down sample should not dominate")
+	}
+	// Slack absorbs small violations.
+	if !StochasticallyDominates(b, a, 2) {
+		t.Fatal("slack should absorb the shift")
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if MaxFloat([]float64{3, 9, 4}) != 9 {
+		t.Fatal("MaxFloat wrong")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	r := rng.New(31)
+	f := func(seed uint16) bool {
+		n := int(seed%50) + 2
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		s := Summarize(xs) // sorts internally for quantiles
+		return s.Q25 <= s.Median && s.Median <= s.Q75 && s.Min <= s.Q25 && s.Q75 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitPowerLawRecoversSlopeProperty(t *testing.T) {
+	f := func(rawExp uint8, rawC uint8) bool {
+		exp := 0.5 + float64(rawExp%30)/10 // 0.5 .. 3.4
+		c := 1 + float64(rawC%100)
+		var xs, ys []float64
+		for _, x := range []float64{2, 4, 8, 16, 32, 64} {
+			xs = append(xs, x)
+			ys = append(ys, c*math.Pow(x, exp))
+		}
+		fit := FitPowerLaw(xs, ys)
+		return almostEqual(fit.Exponent, exp, 1e-6) && almostEqual(fit.Constant, c, c*1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package tensor implements the directed tensor-product machinery of
+// Lemma 11: the joint walk of two Walt pebbles on a d-regular graph G,
+// viewed as a random walk on a weighted directed version D(G×G) of the
+// tensor product graph.
+//
+// Two views are provided:
+//
+//   - Joint: a direct simulator of the two-pebble walk on G (scales to
+//     large n), used to estimate the collision probability
+//     Pr[both pebbles at the same vertex at time s], which Lemma 11
+//     bounds by 2/(n²+n) + 1/n⁴ after mixing.
+//   - Digraph: the explicit weighted digraph D(G×G) for small n, with
+//     the diagonal multi-edge construction of the paper. It verifies the
+//     construction is Eulerian and that the stationary distribution is
+//     exactly out-degree/|arcs| (2/(n²+n) on the diagonal, 1/(n²+n)
+//     off).
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Joint simulates two ordered Walt pebbles i < j walking on G under the
+// Section 4 coupling: when co-located, pebble i moves uniformly and
+// pebble j copies i's destination with probability 1/2, otherwise moving
+// uniformly (so j lands on i's destination with total probability
+// 1/2 + 1/(2d)); when separated, both move uniformly and independently.
+// The walk is lazy: with probability 1/2 per round, neither moves.
+type Joint struct {
+	g      *graph.Graph
+	rnd    *rng.Source
+	pi, pj int32
+	lazy   bool
+	steps  int
+}
+
+// NewJoint creates a joint walk with pebble i at si and pebble j at sj.
+func NewJoint(g *graph.Graph, si, sj int32, lazy bool, rnd *rng.Source) *Joint {
+	if g.MinDegree() == 0 && g.N() > 1 {
+		panic("tensor: graph has an isolated vertex")
+	}
+	return &Joint{g: g, rnd: rnd, pi: si, pj: sj, lazy: lazy}
+}
+
+// Positions returns the two pebbles' current vertices.
+func (j *Joint) Positions() (int32, int32) { return j.pi, j.pj }
+
+// Collided reports whether the pebbles are co-located.
+func (j *Joint) Collided() bool { return j.pi == j.pj }
+
+// Steps returns the number of rounds executed.
+func (j *Joint) Steps() int { return j.steps }
+
+// Step executes one (possibly lazy) round.
+func (j *Joint) Step() {
+	j.steps++
+	if j.lazy && j.rnd.Bool() {
+		return
+	}
+	g := j.g
+	if j.pi == j.pj {
+		v := j.pi
+		deg := g.Degree(v)
+		u := g.Neighbor(v, j.rnd.Int31n(deg))
+		j.pi = u
+		if j.rnd.Bool() {
+			j.pj = u
+		} else {
+			j.pj = g.Neighbor(v, j.rnd.Int31n(deg))
+		}
+		return
+	}
+	j.pi = g.Neighbor(j.pi, j.rnd.Int31n(g.Degree(j.pi)))
+	j.pj = g.Neighbor(j.pj, j.rnd.Int31n(g.Degree(j.pj)))
+}
+
+// CollisionProbability estimates Pr[pebbles co-located at time s] over
+// independent trials of the lazy joint walk started at (si, sj).
+func CollisionProbability(g *graph.Graph, si, sj int32, s, trials int, seed uint64) float64 {
+	hits := 0
+	for t := 0; t < trials; t++ {
+		j := NewJoint(g, si, sj, true, rng.NewStream(seed, t))
+		for k := 0; k < s; k++ {
+			j.Step()
+		}
+		if j.Collided() {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}
+
+// arc is one weighted directed edge of D(G×G).
+type arc struct {
+	to   int32
+	mult int32 // integer edge multiplicity from the paper's construction
+}
+
+// Digraph is the explicit weighted directed tensor product D(G×G) of a
+// d-regular graph: pair-vertex (u, v) has index u*n + v. Diagonal
+// vertices (u, u) form the set S1; each S1→S1 arc has multiplicity d+1
+// and every other arc multiplicity 1, which makes the digraph Eulerian
+// and the walk on it isomorphic to the Walt joint walk (before
+// laziness).
+type Digraph struct {
+	n    int
+	d    int
+	adj  [][]arc
+	outd []int64 // weighted out-degree per pair-vertex
+}
+
+// MaxPairVertices caps explicit construction (n² pair vertices).
+const MaxPairVertices = 1 << 16
+
+// BuildDirected constructs D(G×G). G must be d-regular and small enough.
+func BuildDirected(g *graph.Graph) (*Digraph, error) {
+	reg, d := g.IsRegular()
+	if !reg || d < 1 {
+		return nil, fmt.Errorf("tensor: graph %s is not regular", g)
+	}
+	n := g.N()
+	if n*n > MaxPairVertices {
+		return nil, fmt.Errorf("tensor: %d pair vertices exceed cap %d", n*n, MaxPairVertices)
+	}
+	dg := &Digraph{
+		n:    n,
+		d:    int(d),
+		adj:  make([][]arc, n*n),
+		outd: make([]int64, n*n),
+	}
+	id := func(u, v int32) int32 { return u*int32(n) + v }
+	for u := int32(0); u < int32(n); u++ {
+		for v := int32(0); v < int32(n); v++ {
+			src := id(u, v)
+			var arcs []arc
+			if u == v {
+				for _, y := range g.Neighbors(u) {
+					for _, y2 := range g.Neighbors(u) {
+						mult := int32(1)
+						if y == y2 {
+							mult = int32(dg.d) + 1
+						}
+						arcs = append(arcs, arc{to: id(y, y2), mult: mult})
+					}
+				}
+			} else {
+				for _, y := range g.Neighbors(u) {
+					for _, y2 := range g.Neighbors(v) {
+						arcs = append(arcs, arc{to: id(y, y2), mult: 1})
+					}
+				}
+			}
+			dg.adj[src] = arcs
+			var sum int64
+			for _, a := range arcs {
+				sum += int64(a.mult)
+			}
+			dg.outd[src] = sum
+		}
+	}
+	return dg, nil
+}
+
+// PairVertices returns the number of pair-vertices n².
+func (dg *Digraph) PairVertices() int { return dg.n * dg.n }
+
+// TotalArcs returns the total weighted arc count Σ out-degree.
+func (dg *Digraph) TotalArcs() int64 {
+	var total int64
+	for _, o := range dg.outd {
+		total += o
+	}
+	return total
+}
+
+// IsEulerian reports whether every pair-vertex has equal weighted in- and
+// out-degree, the property Lemma 11 uses to read off the stationary
+// distribution.
+func (dg *Digraph) IsEulerian() bool {
+	ind := make([]int64, len(dg.adj))
+	for _, arcs := range dg.adj {
+		for _, a := range arcs {
+			ind[a.to] += int64(a.mult)
+		}
+	}
+	for v, o := range dg.outd {
+		if ind[v] != o {
+			return false
+		}
+	}
+	return true
+}
+
+// TheoreticalStationary returns the Eulerian-digraph stationary
+// distribution out-degree/|arcs|: 2/(n²+n) on diagonal pair-vertices and
+// 1/(n²+n) elsewhere (for any d).
+func (dg *Digraph) TheoreticalStationary() []float64 {
+	total := float64(dg.TotalArcs())
+	pi := make([]float64, len(dg.adj))
+	for v, o := range dg.outd {
+		pi[v] = float64(o) / total
+	}
+	return pi
+}
+
+// Stationary computes the stationary distribution of the lazy walk on
+// D(G×G) by power iteration (laziness guarantees aperiodicity; it does
+// not change the stationary vector).
+func (dg *Digraph) Stationary(tol float64, maxIter int) []float64 {
+	nn := len(dg.adj)
+	p := make([]float64, nn)
+	q := make([]float64, nn)
+	for i := range p {
+		p[i] = 1 / float64(nn)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range q {
+			q[i] = 0.5 * p[i] // lazy half
+		}
+		for v := 0; v < nn; v++ {
+			if p[v] == 0 {
+				continue
+			}
+			share := 0.5 * p[v] / float64(dg.outd[v])
+			for _, a := range dg.adj[v] {
+				q[a.to] += share * float64(a.mult)
+			}
+		}
+		diff := 0.0
+		for i := range p {
+			diff += math.Abs(q[i] - p[i])
+		}
+		p, q = q, p
+		if diff < tol {
+			break
+		}
+	}
+	return p
+}
+
+// DiagonalMass returns the total stationary mass on the diagonal S1
+// under the given distribution.
+func (dg *Digraph) DiagonalMass(pi []float64) float64 {
+	sum := 0.0
+	for u := 0; u < dg.n; u++ {
+		sum += pi[u*dg.n+u]
+	}
+	return sum
+}
+
+// StepDistribution advances a distribution over pair-vertices one
+// non-lazy step of the D(G×G) walk; used to cross-validate the Joint
+// simulator against the explicit digraph.
+func (dg *Digraph) StepDistribution(p []float64) []float64 {
+	q := make([]float64, len(p))
+	for v := range p {
+		if p[v] == 0 {
+			continue
+		}
+		share := p[v] / float64(dg.outd[v])
+		for _, a := range dg.adj[v] {
+			q[a.to] += share * float64(a.mult)
+		}
+	}
+	return q
+}

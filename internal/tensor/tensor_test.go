@@ -1,0 +1,237 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestJointWalkStaysOnGraph(t *testing.T) {
+	g := graph.Torus(2, 5)
+	j := NewJoint(g, 0, 7, true, rng.New(1))
+	for k := 0; k < 1000; k++ {
+		pi, pj := j.Positions()
+		j.Step()
+		ni, nj := j.Positions()
+		if ni != pi && !g.HasEdge(pi, ni) {
+			t.Fatalf("pebble i teleported %d -> %d", pi, ni)
+		}
+		if nj != pj && !g.HasEdge(pj, nj) {
+			t.Fatalf("pebble j teleported %d -> %d", pj, nj)
+		}
+	}
+}
+
+func TestJointCopyProbability(t *testing.T) {
+	// From a co-located state on a d-regular graph, pebble j must land on
+	// i's destination with probability 1/2 + 1/(2d).
+	g := graph.Torus(2, 5) // 4-regular
+	same := 0
+	const trials = 40000
+	r := rng.New(7)
+	for k := 0; k < trials; k++ {
+		j := NewJoint(g, 12, 12, false, r)
+		j.Step()
+		if j.Collided() {
+			same++
+		}
+	}
+	want := 0.5 + 1.0/8
+	got := float64(same) / trials
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("copy probability %.4f, want %.4f", got, want)
+	}
+}
+
+func TestJointSeparatedIndependent(t *testing.T) {
+	// Separated pebbles on K_n collide next step with probability ~1/(n-1):
+	// pebble j picks i's destination among n-1 choices (i's destination
+	// is a uniform non-i vertex; j's uniform non-j; count collisions).
+	g := graph.Complete(10)
+	coll := 0
+	const trials = 60000
+	r := rng.New(9)
+	for k := 0; k < trials; k++ {
+		j := NewJoint(g, 0, 5, false, r)
+		j.Step()
+		if j.Collided() {
+			coll++
+		}
+	}
+	// Exact: P(i and j choose same vertex) = sum over targets v of
+	// P(i->v)P(j->v) = |N(0) ∩ N(5)| / 81 = 8/81 (v must differ from
+	// both 0 and 5).
+	want := 8.0 / 81
+	got := float64(coll) / trials
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("separated collision prob %.4f, want %.4f", got, want)
+	}
+}
+
+func TestBuildDirectedRequiresRegular(t *testing.T) {
+	if _, err := BuildDirected(graph.Star(5)); err == nil {
+		t.Fatal("star accepted as regular")
+	}
+}
+
+func TestBuildDirectedSizeCap(t *testing.T) {
+	if _, err := BuildDirected(graph.Cycle(300)); err == nil {
+		t.Fatal("oversized tensor accepted")
+	}
+}
+
+func TestDigraphEulerian(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(8),
+		graph.Complete(6),
+		graph.Torus(2, 4),
+		graph.MustRandomRegular(10, 3, 5),
+	} {
+		dg, err := BuildDirected(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if !dg.IsEulerian() {
+			t.Fatalf("%s: D(G×G) not Eulerian", g.Name())
+		}
+	}
+}
+
+func TestDigraphOutDegrees(t *testing.T) {
+	// Diagonal vertices have weighted out-degree 2d², others d².
+	g := graph.Cycle(6) // d=2
+	dg, err := BuildDirected(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			want := int64(4) // d²
+			if u == v {
+				want = 8 // 2d²
+			}
+			if got := dg.outd[u*n+v]; got != want {
+				t.Fatalf("outdeg(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+	if dg.TotalArcs() != int64(4*(n*n+n)) {
+		t.Fatalf("total arcs = %d, want %d", dg.TotalArcs(), 4*(n*n+n))
+	}
+}
+
+func TestTheoreticalStationaryValues(t *testing.T) {
+	g := graph.Torus(2, 4)
+	dg, err := BuildDirected(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := dg.TheoreticalStationary()
+	n := g.N()
+	diag := 2.0 / float64(n*n+n)
+	off := 1.0 / float64(n*n+n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			want := off
+			if u == v {
+				want = diag
+			}
+			if math.Abs(pi[u*n+v]-want) > 1e-12 {
+				t.Fatalf("pi(%d,%d) = %v, want %v", u, v, pi[u*n+v], want)
+			}
+		}
+	}
+}
+
+func TestStationaryMatchesTheory(t *testing.T) {
+	// Power iteration on the lazy walk must converge to outdeg/|arcs|.
+	g := graph.MustRandomRegular(8, 3, 3)
+	dg, err := BuildDirected(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dg.Stationary(1e-13, 200000)
+	want := dg.TheoreticalStationary()
+	for v := range got {
+		if math.Abs(got[v]-want[v]) > 1e-6 {
+			t.Fatalf("stationary[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestDiagonalMassLemma11(t *testing.T) {
+	// Total diagonal stationary mass is n * 2/(n²+n) = 2/(n+1); the
+	// per-diagonal-vertex mass 2/(n²+n) is the Lemma 11 collision bound.
+	g := graph.Cycle(10)
+	dg, err := BuildDirected(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := dg.DiagonalMass(dg.TheoreticalStationary())
+	want := 2.0 / float64(g.N()+1)
+	if math.Abs(mass-want) > 1e-12 {
+		t.Fatalf("diagonal mass = %v, want %v", mass, want)
+	}
+}
+
+func TestJointMatchesDigraphDistribution(t *testing.T) {
+	// After a few non-lazy steps from a fixed pair state, the empirical
+	// distribution of the Joint simulator must match the explicit
+	// digraph's distribution evolution.
+	g := graph.Cycle(5)
+	dg, err := BuildDirected(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	const steps = 3
+	// Exact distribution.
+	p := make([]float64, n*n)
+	p[0*n+2] = 1
+	for s := 0; s < steps; s++ {
+		p = dg.StepDistribution(p)
+	}
+	// Empirical distribution.
+	const trials = 200000
+	counts := make([]int, n*n)
+	r := rng.New(13)
+	for k := 0; k < trials; k++ {
+		j := NewJoint(g, 0, 2, false, r)
+		for s := 0; s < steps; s++ {
+			j.Step()
+		}
+		pi, pj := j.Positions()
+		counts[int(pi)*n+int(pj)]++
+	}
+	for v := range p {
+		got := float64(counts[v]) / trials
+		if math.Abs(got-p[v]) > 0.01 {
+			t.Fatalf("pair state %d: empirical %.4f vs exact %.4f", v, got, p[v])
+		}
+	}
+}
+
+func TestCollisionProbabilityConvergesToLemma11(t *testing.T) {
+	// After mixing, collision probability should be near the diagonal
+	// mass 2/(n+1) (summed over all diagonal states) — the per-state
+	// bound 2/(n²+n) times n possible meeting points.
+	g := graph.MustRandomRegular(16, 4, 11)
+	n := float64(g.N())
+	prob := CollisionProbability(g, 0, 8, 200, 20000, 17)
+	want := 2 / (n + 1)
+	if math.Abs(prob-want) > 0.03 {
+		t.Fatalf("mixed collision probability %.4f, want ≈ %.4f", prob, want)
+	}
+}
+
+func BenchmarkJointStep(b *testing.B) {
+	g := graph.MustRandomRegular(10000, 5, 1)
+	j := NewJoint(g, 0, 5000, true, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Step()
+	}
+}

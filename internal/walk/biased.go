@@ -1,0 +1,135 @@
+package walk
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Controller selects, when it gets control, the next vertex of a biased
+// walk. Controllers are memoryless and time-independent, matching the
+// model of Azar et al. that Section 5.1 builds on.
+type Controller interface {
+	// Pick returns the neighbor of v the controller steers the walk to.
+	Pick(v int32) int32
+}
+
+// GreedyController steers toward a fixed target along BFS shortest paths,
+// breaking ties toward the lowest-numbered vertex. It is the natural
+// controller for hitting-time experiments.
+type GreedyController struct {
+	g    *graph.Graph
+	dist []int32
+}
+
+// NewGreedyController precomputes BFS distances to target.
+func NewGreedyController(g *graph.Graph, target int32) *GreedyController {
+	return &GreedyController{g: g, dist: graph.BFS(g, target)}
+}
+
+// Pick returns the neighbor of v closest to the target.
+func (c *GreedyController) Pick(v int32) int32 {
+	best := int32(-1)
+	bestDist := int32(1 << 30)
+	for _, u := range c.g.Neighbors(v) {
+		if c.dist[u] >= 0 && c.dist[u] < bestDist {
+			bestDist = c.dist[u]
+			best = u
+		}
+	}
+	if best == -1 {
+		// Target unreachable from v; fall back to the first neighbor.
+		return c.g.Neighbor(v, 0)
+	}
+	return best
+}
+
+// Biased is a biased random walk: at vertex v, with probability bias(v)
+// the controller picks the next vertex; otherwise a uniformly random
+// neighbor is chosen. bias(v) = ε for all v gives the ε-biased walk of
+// Azar et al.; bias(v) = 1/d(v) (with zero bias at the target) gives the
+// paper's inverse-degree-biased walk of §5.1.
+type Biased struct {
+	g     *graph.Graph
+	rnd   *rng.Source
+	ctrl  Controller
+	bias  func(v int32) float64
+	pos   int32
+	steps int
+}
+
+// NewEpsilonBiased creates an ε-biased walk with the given controller.
+func NewEpsilonBiased(g *graph.Graph, eps float64, ctrl Controller, start int32, rnd *rng.Source) *Biased {
+	if eps < 0 || eps > 1 {
+		panic("walk: epsilon must be in [0,1]")
+	}
+	return &Biased{
+		g: g, rnd: rnd, ctrl: ctrl, pos: start,
+		bias: func(int32) float64 { return eps },
+	}
+}
+
+// NewInverseDegreeBiased creates an inverse-degree-biased walk with
+// target x: at x the walk moves uniformly (no bias); at any other vertex
+// v the controller gets control with probability 1/d(v).
+func NewInverseDegreeBiased(g *graph.Graph, target int32, ctrl Controller, start int32, rnd *rng.Source) *Biased {
+	return &Biased{
+		g: g, rnd: rnd, ctrl: ctrl, pos: start,
+		bias: func(v int32) float64 {
+			if v == target {
+				return 0
+			}
+			return 1 / float64(g.Degree(v))
+		},
+	}
+}
+
+// Pos returns the current vertex.
+func (b *Biased) Pos() int32 { return b.pos }
+
+// Steps returns the number of steps taken.
+func (b *Biased) Steps() int { return b.steps }
+
+// Step advances the walk one step.
+func (b *Biased) Step() {
+	if p := b.bias(b.pos); p > 0 && b.rnd.Float64() < p {
+		b.pos = b.ctrl.Pick(b.pos)
+	} else {
+		d := b.g.Degree(b.pos)
+		b.pos = b.g.Neighbor(b.pos, b.rnd.Int31n(d))
+	}
+	b.steps++
+}
+
+// HittingTime returns steps until target is reached; ok is false if
+// maxSteps is exceeded.
+func (b *Biased) HittingTime(target int32, maxSteps int) (int, bool) {
+	start := b.steps
+	for b.pos != target {
+		if b.steps-start >= maxSteps {
+			return b.steps - start, false
+		}
+		b.Step()
+	}
+	return b.steps - start, true
+}
+
+// MeanBiasedHittingTime averages hitting times of fresh
+// inverse-degree-biased walks with the greedy controller over trials.
+// This realizes a concrete (not necessarily optimal) strategy, so the
+// measured mean upper-bounds H*(u, v) and, by Lemma 14, also the cobra
+// walk's H(u, v) in expectation.
+func MeanBiasedHittingTime(g *graph.Graph, start, target int32, trials, maxSteps int, seed uint64) ([]float64, error) {
+	ctrl := NewGreedyController(g, target)
+	out := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		b := NewInverseDegreeBiased(g, target, ctrl, start, rng.NewStream(seed, i))
+		steps, ok := b.HittingTime(target, maxSteps)
+		if !ok {
+			return nil, fmt.Errorf("walk: biased trial %d exceeded %d steps on %s", i, maxSteps, g)
+		}
+		out[i] = float64(steps)
+	}
+	return out, nil
+}

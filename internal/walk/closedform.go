@@ -1,0 +1,66 @@
+package walk
+
+import "math"
+
+// Closed-form expected cover times of the simple random walk on named
+// families, used to validate the Monte Carlo baselines in experiments.
+// Sources: standard results (Lovász's survey; Feige's bounds).
+
+// HarmonicNumber returns H_n = Σ_{i=1..n} 1/i.
+func HarmonicNumber(n int) float64 {
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// CompleteCoverTimeRW returns the exact expected cover time of the
+// simple random walk on K_n: (n-1) H_{n-1} (coupon collector over the
+// n-1 other vertices).
+func CompleteCoverTimeRW(n int) float64 {
+	return float64(n-1) * HarmonicNumber(n-1)
+}
+
+// CycleCoverTimeRW returns the exact expected cover time of the simple
+// random walk on the n-cycle: n(n-1)/2.
+func CycleCoverTimeRW(n int) float64 {
+	return float64(n) * float64(n-1) / 2
+}
+
+// PathCoverTimeRW returns the asymptotic expected cover time of the
+// simple random walk on the n-path started at an end: the walk must
+// reach the far end, giving (n-1)² exactly when started at an endpoint.
+func PathCoverTimeRW(n int) float64 {
+	return float64(n-1) * float64(n-1)
+}
+
+// StarCoverTimeRW returns the exact expected cover time of the simple
+// random walk on the n-star started at the hub: the walk alternates
+// hub-leaf, collecting a uniform leaf every 2 steps; coupon collector
+// over n-1 leaves costs 2(n-1)H_{n-1} steps, minus the final return
+// (the last leaf visit ends the cover): 2(n-1)H_{n-1} - 1.
+func StarCoverTimeRW(n int) float64 {
+	return 2*float64(n-1)*HarmonicNumber(n-1) - 1
+}
+
+// LollipopMaxHittingRW returns the asymptotic leading term of the
+// worst-case hitting time on the lollipop graph with clique size m and
+// path length l (from clique into the path tip): the classic
+// Θ(m²l)-order bound; with m = l = n/2 this is n³/8 to leading order.
+// The constant below follows the standard derivation H ≈ m(m-1)l + ...;
+// we return m²l as the leading-order reference value used for
+// order-of-magnitude checks only.
+func LollipopMaxHittingRW(cliqueSize, pathLen int) float64 {
+	return float64(cliqueSize) * float64(cliqueSize) * float64(pathLen)
+}
+
+// TorusCoverTimeRWOrder returns the leading-order growth of the simple
+// random walk cover time on the 2-D side×side torus: Θ(n log² n) with
+// n = side² (Dembo-Peres-Rosen-Zeitouni constant 1/π):
+// (1/π) n log² n.
+func TorusCoverTimeRWOrder(side int) float64 {
+	n := float64(side) * float64(side)
+	l := math.Log(n)
+	return n * l * l / math.Pi
+}

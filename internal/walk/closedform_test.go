@@ -1,0 +1,89 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func TestHarmonicNumber(t *testing.T) {
+	if HarmonicNumber(1) != 1 {
+		t.Fatal("H_1 != 1")
+	}
+	if math.Abs(HarmonicNumber(4)-(1+0.5+1.0/3+0.25)) > 1e-12 {
+		t.Fatal("H_4 wrong")
+	}
+	// H_n ≈ ln n + γ.
+	if math.Abs(HarmonicNumber(100000)-(math.Log(100000)+0.5772156649)) > 1e-4 {
+		t.Fatal("H_n asymptotic wrong")
+	}
+}
+
+// validateClosedForm runs Monte Carlo cover times and checks the closed
+// form within 3 standard errors plus 2% model slack.
+func validateClosedForm(t *testing.T, g *graph.Graph, start int32, want float64, trials int, seed uint64) {
+	t.Helper()
+	sample, err := MeanSimpleCoverTime(g, start, trials, 100000000, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, hw := stats.MeanCI(sample)
+	slack := 1.6*hw + 0.02*want
+	if math.Abs(mean-want) > slack {
+		t.Fatalf("%s: MC cover %.1f ± %.1f vs closed form %.1f", g.Name(), mean, hw, want)
+	}
+}
+
+func TestCompleteCoverClosedForm(t *testing.T) {
+	n := 24
+	validateClosedForm(t, graph.Complete(n), 0, CompleteCoverTimeRW(n), 600, 3)
+}
+
+func TestCycleCoverClosedForm(t *testing.T) {
+	n := 24
+	validateClosedForm(t, graph.Cycle(n), 0, CycleCoverTimeRW(n), 600, 5)
+}
+
+func TestPathCoverClosedForm(t *testing.T) {
+	n := 16
+	validateClosedForm(t, graph.Path(n), 0, PathCoverTimeRW(n), 600, 7)
+}
+
+func TestStarCoverClosedForm(t *testing.T) {
+	n := 20
+	validateClosedForm(t, graph.Star(n), 0, StarCoverTimeRW(n), 600, 9)
+}
+
+func TestLollipopOrderOfMagnitude(t *testing.T) {
+	// The n³-order reference must be within a small constant factor of
+	// the measured max hitting time (clique → path tip).
+	m, l := 12, 12
+	g := graph.Lollipop(m, l)
+	sample, err := MeanSimpleHittingTime(g, 1, int32(g.N()-1), 60, 100000000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := LollipopMaxHittingRW(m, l)
+	mean := stats.Mean(sample)
+	if mean < ref/4 || mean > ref*8 {
+		t.Fatalf("lollipop hitting %.0f vs reference order %.0f", mean, ref)
+	}
+}
+
+func TestTorusCoverOrder(t *testing.T) {
+	// The DPRZ constant is asymptotic; at side 16 expect agreement
+	// within a factor of ~2.5.
+	side := 16
+	g := graph.Torus(2, side)
+	sample, err := MeanSimpleCoverTime(g, 0, 30, 100000000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := TorusCoverTimeRWOrder(side)
+	mean := stats.Mean(sample)
+	if mean < ref/3 || mean > ref*3 {
+		t.Fatalf("torus cover %.0f vs DPRZ order %.0f", mean, ref)
+	}
+}

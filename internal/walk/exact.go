@@ -1,0 +1,111 @@
+package walk
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// ExactHittingTimes computes the exact expected hitting times h(x) of a
+// simple random walk to the target, for every start vertex x, by
+// Jacobi iteration on the harmonic system
+//
+//	h(target) = 0,   h(x) = 1 + (1/d(x)) Σ_{y~x} h(y).
+//
+// Iteration stops when the maximum update falls below tol (absolute).
+// The graph must be connected; vertices that cannot reach the target
+// diverge (guard with graph.IsConnected). Used to validate the
+// Monte Carlo estimators against closed forms (path: (n-1)²; cycle:
+// k(n-k); complete: n-1).
+func ExactHittingTimes(g *graph.Graph, target int32, tol float64, maxIter int) []float64 {
+	n := g.N()
+	h := make([]float64, n)
+	next := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		var maxDelta float64
+		for x := int32(0); x < int32(n); x++ {
+			if x == target {
+				next[x] = 0
+				continue
+			}
+			sum := 0.0
+			for _, y := range g.Neighbors(x) {
+				sum += h[y]
+			}
+			v := 1 + sum/float64(g.Degree(x))
+			if d := math.Abs(v - h[x]); d > maxDelta {
+				maxDelta = d
+			}
+			next[x] = v
+		}
+		h, next = next, h
+		if maxDelta < tol {
+			break
+		}
+	}
+	return h
+}
+
+// ExactChainHittingTimes computes exact expected hitting times to
+// target under an arbitrary Chain by the same Jacobi iteration on
+//
+//	h(x) = 1 + Self[x] h(x) + Σ_i Probs[x][i] h(neighbor_i),
+//
+// rearranged to h(x) = (1 + Σ_i P_xi h_i) / (1 - Self[x]). Self-loop
+// probabilities must be < 1 off the target.
+func ExactChainHittingTimes(c *Chain, target int32, tol float64, maxIter int) []float64 {
+	g := c.G
+	n := g.N()
+	h := make([]float64, n)
+	next := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		var maxDelta float64
+		for x := int32(0); x < int32(n); x++ {
+			if x == target {
+				next[x] = 0
+				continue
+			}
+			sum := 0.0
+			for i, p := range c.Probs[x] {
+				sum += p * h[g.Neighbor(x, int32(i))]
+			}
+			denom := 1 - c.Self[x]
+			if denom <= 0 {
+				// Absorbing non-target state: unreachable target.
+				next[x] = math.Inf(1)
+				continue
+			}
+			v := (1 + sum) / denom
+			if d := math.Abs(v - h[x]); d > maxDelta {
+				maxDelta = d
+			}
+			next[x] = v
+		}
+		h, next = next, h
+		if maxDelta < tol {
+			break
+		}
+	}
+	return h
+}
+
+// ExactReturnTime computes the exact expected return time to v of a
+// simple random walk: 1 + mean over neighbors of their hitting times to
+// v. For connected graphs this equals 2m/d(v) (stationarity), which the
+// tests assert.
+func ExactReturnTime(g *graph.Graph, v int32, tol float64, maxIter int) float64 {
+	h := ExactHittingTimes(g, v, tol, maxIter)
+	sum := 0.0
+	for _, y := range g.Neighbors(v) {
+		sum += h[y]
+	}
+	return 1 + sum/float64(g.Degree(v))
+}
+
+// ExactCommuteTime returns the exact commute time h(u→v) + h(v→u) of
+// the simple random walk.
+func ExactCommuteTime(g *graph.Graph, u, v int32, tol float64, maxIter int) float64 {
+	hv := ExactHittingTimes(g, v, tol, maxIter)
+	hu := ExactHittingTimes(g, u, tol, maxIter)
+	return hv[u] + hu[v]
+}

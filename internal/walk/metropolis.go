@@ -1,0 +1,370 @@
+package walk
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Chain is a sparse row-stochastic Markov chain over the vertices of a
+// graph: from v, the chain moves to neighbor i with probability
+// Probs[v][i] and stays with probability Self[v]. It represents the
+// Metropolis chains of Lemma 16 and the optimal biased walks of
+// Theorem 13 exactly, enabling both simulation and stationary-vector
+// computation.
+type Chain struct {
+	G     *graph.Graph
+	Self  []float64
+	Probs [][]float64
+}
+
+// Validate checks row-stochasticity within tol.
+func (c *Chain) Validate(tol float64) bool {
+	for v := 0; v < c.G.N(); v++ {
+		sum := c.Self[v]
+		for _, p := range c.Probs[v] {
+			if p < -tol {
+				return false
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Step samples one transition from v.
+func (c *Chain) Step(v int32, rnd *rng.Source) int32 {
+	u := rnd.Float64()
+	if u < c.Self[v] {
+		return v
+	}
+	u -= c.Self[v]
+	probs := c.Probs[v]
+	for i, p := range probs {
+		if u < p {
+			return c.G.Neighbor(v, int32(i))
+		}
+		u -= p
+	}
+	// Numerical slack: take the last neighbor.
+	return c.G.Neighbor(v, int32(len(probs)-1))
+}
+
+// HittingTime simulates the chain from start until it reaches target.
+func (c *Chain) HittingTime(start, target int32, maxSteps int, rnd *rng.Source) (int, bool) {
+	pos := start
+	for t := 0; ; t++ {
+		if pos == target {
+			return t, true
+		}
+		if t >= maxSteps {
+			return t, false
+		}
+		pos = c.Step(pos, rnd)
+	}
+}
+
+// Stationary computes the stationary distribution by power iteration
+// p ← pP until the L1 change falls below tol, starting from uniform.
+// maxIter caps the iteration count.
+func (c *Chain) Stationary(tol float64, maxIter int) []float64 {
+	n := c.G.N()
+	p := make([]float64, n)
+	q := make([]float64, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range q {
+			q[i] = p[i] * c.Self[i]
+		}
+		for v := int32(0); v < int32(n); v++ {
+			pv := p[v]
+			if pv == 0 {
+				continue
+			}
+			for i, pr := range c.Probs[v] {
+				q[c.G.Neighbor(v, int32(i))] += pv * pr
+			}
+		}
+		diff := 0.0
+		for i := range p {
+			diff += math.Abs(q[i] - p[i])
+		}
+		p, q = q, p
+		if diff < tol {
+			break
+		}
+	}
+	return p
+}
+
+// MetropolisChain constructs the Metropolis-Hastings chain on g with
+// uniform-neighbor proposals targeting the (unnormalized) distribution
+// pi: M[x][y] = (1/d(x)) * min(1, pi(y) d(x) / (pi(x) d(y))) for
+// neighbors y, with the remaining mass on the self-loop. Its stationary
+// distribution is pi (normalized). This is the chain of the Metropolis
+// Theorem invoked by Lemma 16.
+func MetropolisChain(g *graph.Graph, pi []float64) *Chain {
+	n := g.N()
+	c := &Chain{
+		G:     g,
+		Self:  make([]float64, n),
+		Probs: make([][]float64, n),
+	}
+	for x := int32(0); x < int32(n); x++ {
+		nb := g.Neighbors(x)
+		probs := make([]float64, len(nb))
+		dx := float64(g.Degree(x))
+		total := 0.0
+		for i, y := range nb {
+			dy := float64(g.Degree(y))
+			ratio := pi[y] * dx / (pi[x] * dy)
+			if ratio > 1 {
+				ratio = 1
+			}
+			probs[i] = ratio / dx
+			total += probs[i]
+		}
+		c.Probs[x] = probs
+		c.Self[x] = 1 - total
+		if c.Self[x] < 0 {
+			c.Self[x] = 0
+		}
+	}
+	return c
+}
+
+// StripSelfLoops returns the jump chain P with P[x][y] =
+// M[x][y]/(1-M[x][x]) and no self-loops, following the construction in
+// the proof of Lemma 16. Vertices whose self-loop probability is 1 are
+// left with a uniform row (cannot occur for connected graphs with
+// positive pi).
+func StripSelfLoops(c *Chain) *Chain {
+	n := c.G.N()
+	out := &Chain{
+		G:     c.G,
+		Self:  make([]float64, n),
+		Probs: make([][]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		// Sum the outgoing mass directly rather than computing 1-Self,
+		// which suffers catastrophic cancellation when Self ≈ 1.
+		rest := 0.0
+		for _, p := range c.Probs[v] {
+			rest += p
+		}
+		probs := make([]float64, len(c.Probs[v]))
+		if rest <= 0 {
+			for i := range probs {
+				probs[i] = 1 / float64(len(probs))
+			}
+		} else {
+			for i, p := range c.Probs[v] {
+				probs[i] = p / rest
+			}
+		}
+		out.Probs[v] = probs
+	}
+	return out
+}
+
+// SigmaHat computes the Lemma 16 quantity σ̂(x, v) for every x: the
+// maximum over paths P = (x, p1, ..., v) of ∏(1 - 1/d(y)) over the path
+// vertices excluding the start x (the target's factor is included). This
+// convention is the one under which the proof's key inequality
+// σ̂(y, v) ≥ (1 - 1/d(x)) σ̂(x, v) for neighbors x, y holds, which in
+// turn makes the Metropolis chain a valid inverse-degree-biased walk.
+// σ̂(v, v) = 1 (empty product).
+//
+// Computation: Dijkstra from v over the additive vertex weights
+// w(z) = -ln(1 - 1/d(z)) gives D[y] = min over paths y..v of the
+// inclusive weight sum; then σ̂(x, v) = exp(-min over neighbors y of
+// D[y]). Degree-1 vertices have w = +inf (their factor is 0).
+func SigmaHat(g *graph.Graph, v int32) []float64 {
+	const inf = 1e300
+	weight := func(z int32) float64 {
+		d := float64(g.Degree(z))
+		if d <= 1 {
+			return inf
+		}
+		return -math.Log1p(-1 / d)
+	}
+	dist := graph.VertexWeightedShortestPaths(g, v, weight)
+	out := make([]float64, g.N())
+	for x := int32(0); x < int32(g.N()); x++ {
+		if x == v {
+			out[x] = 1
+			continue
+		}
+		best := math.Inf(1)
+		for _, y := range g.Neighbors(x) {
+			if dist[y] < best {
+				best = dist[y]
+			}
+		}
+		if best >= inf {
+			out[x] = 0
+		} else {
+			out[x] = math.Exp(-best)
+		}
+	}
+	return out
+}
+
+// InverseDegreeStationaryBound returns the Lemma 16 lower bound on the
+// stationary probability of S = {v} under the best
+// inverse-degree-biased walk:
+//
+//	d(v) / (d(v) + Σ_{x≠v} σ̂(x,v) d(x)).
+func InverseDegreeStationaryBound(g *graph.Graph, v int32) float64 {
+	sigma := SigmaHat(g, v)
+	dv := float64(g.Degree(v))
+	sum := dv
+	for x := int32(0); x < int32(g.N()); x++ {
+		if x != v {
+			sum += sigma[x] * float64(g.Degree(x))
+		}
+	}
+	return dv / sum
+}
+
+// InverseDegreeMetropolis constructs the Metropolis chain M of the
+// Lemma 16 proof targeting vertex v: the chain for π(v) ∝ d(v),
+// π(x) ∝ σ̂(x,v) d(x) with uniform-neighbor proposals. Its stationary
+// probability at v is exactly InverseDegreeStationaryBound(g, v) (the
+// normalized π), and every non-self transition respects the
+// inverse-degree floor M[x][y] ≥ (1 - 1/d(x))/d(x), so M is a lazy
+// inverse-degree-biased walk.
+func InverseDegreeMetropolis(g *graph.Graph, v int32) *Chain {
+	sigma := SigmaHat(g, v)
+	n := g.N()
+	pi := make([]float64, n)
+	for x := int32(0); x < int32(n); x++ {
+		if x == v {
+			pi[x] = float64(g.Degree(x))
+		} else {
+			pi[x] = sigma[x] * float64(g.Degree(x))
+			if pi[x] <= 0 {
+				// Keep the chain irreducible in the presence of
+				// degree-1 vertices (σ̂ = 0): give them a tiny mass.
+				pi[x] = 1e-12
+			}
+		}
+	}
+	return MetropolisChain(g, pi)
+}
+
+// InverseDegreeChain constructs the non-lazy jump chain P of the
+// Lemma 16 proof: InverseDegreeMetropolis with self-loops stripped
+// (P[x][y] = M[x][y]/(1-M[x][x])). P is a genuine inverse-degree-biased
+// walk (no laziness, floor preserved).
+//
+// Reproduction note: the paper asserts π_P(v) ≥ π_M(v); for reversible M,
+// π_P(x) ∝ π_M(x)(1 - M[x][x]), and at the target — where the self-loop
+// mass is largest — this can *reduce* the stationary mass below the
+// Lemma 16 bound. The bound is exact for M (which the downstream
+// return-time arguments use); experiments report both chains.
+func InverseDegreeChain(g *graph.Graph, v int32) *Chain {
+	return StripSelfLoops(InverseDegreeMetropolis(g, v))
+}
+
+// EpsilonBiasBound returns the Theorem 13 (Azar et al.) lower bound on
+// the stationary probability of the set S under an optimal ε-biased
+// walk:
+//
+//	Σ_{v∈S} d(v) / (Σ_{v∈S} d(v) + Σ_{x∉S} β^{Δ(x,S)-1} d(x)),
+//
+// with β = 1-ε and Δ(x, S) the hop distance from x to S.
+func EpsilonBiasBound(g *graph.Graph, set []int32, eps float64) float64 {
+	beta := 1 - eps
+	// Multi-source BFS for Δ(x, S).
+	n := g.N()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	inSet := make([]bool, n)
+	for _, v := range set {
+		if dist[v] == -1 {
+			dist[v] = 0
+			inSet[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	var volS, tail float64
+	for x := int32(0); x < int32(n); x++ {
+		if inSet[x] {
+			volS += float64(g.Degree(x))
+		} else if dist[x] > 0 {
+			tail += math.Pow(beta, float64(dist[x]-1)) * float64(g.Degree(x))
+		}
+	}
+	return volS / (volS + tail)
+}
+
+// EpsilonBiasChain constructs the Metropolis realization of the optimal
+// ε-biased walk toward the set S: target π(v) ∝ d(v) on S and
+// π(x) ∝ β^{Δ(x,S)-1} d(x) off S, self-loops stripped. Every row
+// satisfies P[x][y] ≥ (1-ε)/d(x), i.e. the chain is a valid ε-biased
+// walk.
+func EpsilonBiasChain(g *graph.Graph, set []int32, eps float64) *Chain {
+	beta := 1 - eps
+	n := g.N()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	for _, v := range set {
+		if dist[v] == -1 {
+			dist[v] = 0
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	pi := make([]float64, n)
+	for x := int32(0); x < int32(n); x++ {
+		if dist[x] <= 0 {
+			pi[x] = float64(g.Degree(x))
+		} else {
+			pi[x] = math.Pow(beta, float64(dist[x]-1)) * float64(g.Degree(x))
+		}
+	}
+	return StripSelfLoops(MetropolisChain(g, pi))
+}
+
+// ReturnTime returns 1/π(v) for the chain's stationary distribution π:
+// the expected return time to v. Corollary 17 bounds this by
+// (d(v) + Σ_{x≠v} σ̂(x,v) d(x)) / d(v) for InverseDegreeChain.
+func (c *Chain) ReturnTime(v int32, tol float64, maxIter int) float64 {
+	pi := c.Stationary(tol, maxIter)
+	if pi[v] <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / pi[v]
+}

@@ -1,0 +1,228 @@
+// Package walk implements the random-walk processes the paper builds on
+// and compares against: simple and lazy random walks, parallel
+// independent random walks, and the biased walks of Section 5 (ε-biased
+// walks of Azar et al. and the paper's inverse-degree-biased walks, with
+// the Metropolis controller of Lemma 16).
+package walk
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Simple is a simple random walk: at each step the walker moves to a
+// neighbor chosen uniformly at random.
+type Simple struct {
+	g     *graph.Graph
+	rnd   *rng.Source
+	pos   int32
+	steps int
+}
+
+// NewSimple creates a simple random walk at start.
+func NewSimple(g *graph.Graph, start int32, rnd *rng.Source) *Simple {
+	if g.MinDegree() == 0 && g.N() > 1 {
+		panic("walk: graph has an isolated vertex")
+	}
+	return &Simple{g: g, rnd: rnd, pos: start}
+}
+
+// Pos returns the current vertex.
+func (s *Simple) Pos() int32 { return s.pos }
+
+// Steps returns the number of steps taken.
+func (s *Simple) Steps() int { return s.steps }
+
+// Step moves to a uniformly random neighbor.
+func (s *Simple) Step() {
+	d := s.g.Degree(s.pos)
+	s.pos = s.g.Neighbor(s.pos, s.rnd.Int31n(d))
+	s.steps++
+}
+
+// HittingTime returns the number of steps until the walk first reaches
+// target (0 if already there); ok is false if maxSteps is exceeded.
+func (s *Simple) HittingTime(target int32, maxSteps int) (int, bool) {
+	start := s.steps
+	for s.pos != target {
+		if s.steps-start >= maxSteps {
+			return s.steps - start, false
+		}
+		s.Step()
+	}
+	return s.steps - start, true
+}
+
+// CoverTime returns the number of steps until every vertex has been
+// visited; ok is false if maxSteps is exceeded.
+func (s *Simple) CoverTime(maxSteps int) (int, bool) {
+	visited := bitset.New(s.g.N())
+	visited.Add(int(s.pos))
+	count := 1
+	start := s.steps
+	for count < s.g.N() {
+		if s.steps-start >= maxSteps {
+			return s.steps - start, false
+		}
+		s.Step()
+		if !visited.TestAndAdd(int(s.pos)) {
+			count++
+		}
+	}
+	return s.steps - start, true
+}
+
+// SimpleCoverTime is a convenience wrapper: cover time of a fresh simple
+// random walk from start.
+func SimpleCoverTime(g *graph.Graph, start int32, maxSteps int, seed uint64) (int, bool) {
+	return NewSimple(g, start, rng.New(seed)).CoverTime(maxSteps)
+}
+
+// SimpleHittingTime is a convenience wrapper: hitting time of a fresh
+// simple random walk.
+func SimpleHittingTime(g *graph.Graph, start, target int32, maxSteps int, seed uint64) (int, bool) {
+	return NewSimple(g, start, rng.New(seed)).HittingTime(target, maxSteps)
+}
+
+// Lazy is a lazy random walk: with probability half it stays put,
+// otherwise it moves to a uniformly random neighbor. Lazy walks avoid
+// periodicity and are the chains the spectral machinery of Section 4
+// reasons about.
+type Lazy struct {
+	g     *graph.Graph
+	rnd   *rng.Source
+	pos   int32
+	steps int
+}
+
+// NewLazy creates a lazy random walk at start.
+func NewLazy(g *graph.Graph, start int32, rnd *rng.Source) *Lazy {
+	if g.MinDegree() == 0 && g.N() > 1 {
+		panic("walk: graph has an isolated vertex")
+	}
+	return &Lazy{g: g, rnd: rnd, pos: start}
+}
+
+// Pos returns the current vertex.
+func (l *Lazy) Pos() int32 { return l.pos }
+
+// Step executes one lazy step.
+func (l *Lazy) Step() {
+	if l.rnd.Bool() {
+		d := l.g.Degree(l.pos)
+		l.pos = l.g.Neighbor(l.pos, l.rnd.Int31n(d))
+	}
+	l.steps++
+}
+
+// HittingTime returns steps until target is reached; ok is false if
+// maxSteps is exceeded.
+func (l *Lazy) HittingTime(target int32, maxSteps int) (int, bool) {
+	start := l.steps
+	for l.pos != target {
+		if l.steps-start >= maxSteps {
+			return l.steps - start, false
+		}
+		l.Step()
+	}
+	return l.steps - start, true
+}
+
+// Parallel is a set of k independent simple random walks advanced in
+// lockstep, the related-work baseline the paper contrasts cobra walks
+// with (Alon et al., Elsässer-Sauerwald).
+type Parallel struct {
+	g       *graph.Graph
+	rnd     *rng.Source
+	pos     []int32
+	visited *bitset.Set
+	count   int
+	steps   int
+}
+
+// NewParallel creates k walkers, all at start.
+func NewParallel(g *graph.Graph, k int, start int32, rnd *rng.Source) *Parallel {
+	if k < 1 {
+		panic("walk: Parallel needs k >= 1")
+	}
+	if g.MinDegree() == 0 && g.N() > 1 {
+		panic("walk: graph has an isolated vertex")
+	}
+	p := &Parallel{
+		g:       g,
+		rnd:     rnd,
+		pos:     make([]int32, k),
+		visited: bitset.New(g.N()),
+	}
+	for i := range p.pos {
+		p.pos[i] = start
+	}
+	p.visited.Add(int(start))
+	p.count = 1
+	return p
+}
+
+// Steps returns the number of rounds taken.
+func (p *Parallel) Steps() int { return p.steps }
+
+// VisitedCount returns the number of distinct vertices visited by any
+// walker.
+func (p *Parallel) VisitedCount() int { return p.count }
+
+// Step advances every walker one step.
+func (p *Parallel) Step() {
+	for i, v := range p.pos {
+		d := p.g.Degree(v)
+		u := p.g.Neighbor(v, p.rnd.Int31n(d))
+		p.pos[i] = u
+		if !p.visited.TestAndAdd(int(u)) {
+			p.count++
+		}
+	}
+	p.steps++
+}
+
+// CoverTime returns rounds until all vertices are visited; ok is false if
+// maxSteps is exceeded.
+func (p *Parallel) CoverTime(maxSteps int) (int, bool) {
+	for p.count < p.g.N() {
+		if p.steps >= maxSteps {
+			return p.steps, false
+		}
+		p.Step()
+	}
+	return p.steps, true
+}
+
+// MeanSimpleCoverTime averages simple-random-walk cover times over
+// independent trials.
+func MeanSimpleCoverTime(g *graph.Graph, start int32, trials, maxSteps int, seed uint64) ([]float64, error) {
+	out := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		s := NewSimple(g, start, rng.NewStream(seed, i))
+		steps, ok := s.CoverTime(maxSteps)
+		if !ok {
+			return nil, fmt.Errorf("walk: trial %d exceeded %d steps on %s", i, maxSteps, g)
+		}
+		out[i] = float64(steps)
+	}
+	return out, nil
+}
+
+// MeanSimpleHittingTime averages simple-random-walk hitting times over
+// independent trials.
+func MeanSimpleHittingTime(g *graph.Graph, start, target int32, trials, maxSteps int, seed uint64) ([]float64, error) {
+	out := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		s := NewSimple(g, start, rng.NewStream(seed, i))
+		steps, ok := s.HittingTime(target, maxSteps)
+		if !ok {
+			return nil, fmt.Errorf("walk: trial %d exceeded %d steps on %s", i, maxSteps, g)
+		}
+		out[i] = float64(steps)
+	}
+	return out, nil
+}

@@ -1,0 +1,204 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestSimpleWalkStaysOnGraph(t *testing.T) {
+	g := graph.Cycle(10)
+	s := NewSimple(g, 0, rng.New(1))
+	prev := s.Pos()
+	for i := 0; i < 1000; i++ {
+		s.Step()
+		if !g.HasEdge(prev, s.Pos()) {
+			t.Fatalf("walk jumped from %d to %d (not an edge)", prev, s.Pos())
+		}
+		prev = s.Pos()
+	}
+	if s.Steps() != 1000 {
+		t.Fatalf("steps = %d", s.Steps())
+	}
+}
+
+func TestSimpleCoverTimeCompleteCouponCollector(t *testing.T) {
+	// On K_n the cover time is ~ (n-1) H_{n-1} (coupon collector over
+	// neighbors); for n=32 this is ~ 31*4.03 ≈ 125.
+	g := graph.Complete(32)
+	sample, err := MeanSimpleCoverTime(g, 0, 50, 100000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := stats.Mean(sample)
+	if mean < 60 || mean > 250 {
+		t.Fatalf("K32 RW cover mean %.1f far from coupon-collector ~125", mean)
+	}
+}
+
+func TestSimpleHittingPathQuadratic(t *testing.T) {
+	// Hitting time end-to-end on a path of n vertices is (n-1)^2.
+	g := graph.Path(15)
+	sample, err := MeanSimpleHittingTime(g, 0, 14, 300, 1000000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := stats.Mean(sample)
+	want := 196.0
+	if math.Abs(mean-want) > 30 {
+		t.Fatalf("path hitting mean %.1f, want ≈ %.0f", mean, want)
+	}
+}
+
+func TestSimpleHittingAtTarget(t *testing.T) {
+	g := graph.Cycle(8)
+	s := NewSimple(g, 5, rng.New(2))
+	steps, ok := s.HittingTime(5, 10)
+	if !ok || steps != 0 {
+		t.Fatalf("hitting own position = %d, ok=%v", steps, ok)
+	}
+}
+
+func TestSimpleCoverCapEnforced(t *testing.T) {
+	g := graph.Cycle(100)
+	if _, ok := SimpleCoverTime(g, 0, 10, 1); ok {
+		t.Fatal("C100 cannot be covered in 10 steps")
+	}
+}
+
+func TestLazyWalkSlowerThanSimple(t *testing.T) {
+	g := graph.Cycle(20)
+	simple, err := MeanSimpleHittingTime(g, 0, 10, 100, 1000000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazySum := 0.0
+	for i := 0; i < 100; i++ {
+		l := NewLazy(g, 0, rng.NewStream(8, i))
+		steps, ok := l.HittingTime(10, 1000000)
+		if !ok {
+			t.Fatal("lazy walk did not hit")
+		}
+		lazySum += float64(steps)
+	}
+	if lazySum/100 < stats.Mean(simple)*1.5 {
+		t.Fatalf("lazy hitting %.1f should be ≈2x simple %.1f",
+			lazySum/100, stats.Mean(simple))
+	}
+}
+
+func TestParallelWalksCoverFasterThanSingle(t *testing.T) {
+	g := graph.Cycle(40)
+	single, err := MeanSimpleCoverTime(g, 0, 20, 1000000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiSum := 0.0
+	for i := 0; i < 20; i++ {
+		p := NewParallel(g, 8, 0, rng.NewStream(10, i))
+		steps, ok := p.CoverTime(1000000)
+		if !ok {
+			t.Fatal("parallel walks did not cover")
+		}
+		multiSum += float64(steps)
+	}
+	if multiSum/20 >= stats.Mean(single) {
+		t.Fatalf("8 parallel walks (%.1f) not faster than single (%.1f)",
+			multiSum/20, stats.Mean(single))
+	}
+}
+
+func TestParallelVisitedCount(t *testing.T) {
+	g := graph.Complete(10)
+	p := NewParallel(g, 3, 0, rng.New(4))
+	if p.VisitedCount() != 1 {
+		t.Fatal("initial visited count wrong")
+	}
+	p.Step()
+	if p.VisitedCount() < 2 {
+		t.Fatal("step did not record visits")
+	}
+}
+
+func TestGreedyControllerMovesCloser(t *testing.T) {
+	g := graph.Grid(2, 6)
+	target := graph.GridVertex(6, []int{5, 5})
+	ctrl := NewGreedyController(g, target)
+	dist := graph.BFS(g, target)
+	for v := int32(0); v < int32(g.N()); v++ {
+		if v == target {
+			continue
+		}
+		u := ctrl.Pick(v)
+		if dist[u] != dist[v]-1 {
+			t.Fatalf("controller from %d picked %d: dist %d -> %d", v, u, dist[v], dist[u])
+		}
+	}
+}
+
+func TestEpsilonBiasedHitsFasterWithMoreBias(t *testing.T) {
+	g := graph.Cycle(30)
+	target := int32(15)
+	ctrl := NewGreedyController(g, target)
+	mean := func(eps float64, seed uint64) float64 {
+		sum := 0.0
+		for i := 0; i < 60; i++ {
+			b := NewEpsilonBiased(g, eps, ctrl, 0, rng.NewStream(seed, i))
+			steps, ok := b.HittingTime(target, 10000000)
+			if !ok {
+				t.Fatal("biased walk did not hit")
+			}
+			sum += float64(steps)
+		}
+		return sum / 60
+	}
+	low := mean(0.1, 11)
+	high := mean(0.9, 12)
+	if high >= low {
+		t.Fatalf("more bias should hit faster: eps=.9 %.1f vs eps=.1 %.1f", high, low)
+	}
+}
+
+func TestInverseDegreeBiasedNoBiasAtTarget(t *testing.T) {
+	// Construct a walk whose controller would always return a fixed
+	// vertex; at the target the bias must be ignored.
+	g := graph.Star(6)
+	ctrl := NewGreedyController(g, 0)
+	b := NewInverseDegreeBiased(g, 0, ctrl, 0, rng.New(3))
+	// Bias at the hub target is 0, so stepping from the hub is uniform;
+	// just exercise the path.
+	for i := 0; i < 100; i++ {
+		b.Step()
+	}
+	if b.Steps() != 100 {
+		t.Fatal("step counting broken")
+	}
+}
+
+func TestBiasedWalkFasterThanSimpleOnPath(t *testing.T) {
+	g := graph.Path(20)
+	simple, err := MeanSimpleHittingTime(g, 0, 19, 60, 10000000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased, err := MeanBiasedHittingTime(g, 0, 19, 60, 10000000, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mean(biased) >= stats.Mean(simple) {
+		t.Fatalf("inverse-degree bias (%.1f) not faster than simple (%.1f)",
+			stats.Mean(biased), stats.Mean(simple))
+	}
+}
+
+func TestNewEpsilonBiasedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("eps > 1 accepted")
+		}
+	}()
+	NewEpsilonBiased(graph.Cycle(5), 1.5, nil, 0, rng.New(1))
+}

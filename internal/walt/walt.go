@@ -1,0 +1,209 @@
+// Package walt implements the Walt process of Section 4: a fixed
+// population of totally-ordered pebbles performing coalescence-limited
+// random walks. Walt is the analysis device whose cover time
+// stochastically dominates the cobra walk's (Lemma 10), which lets the
+// paper bound cobra cover times through a process whose pebbles can be
+// tracked individually.
+//
+// Rules per (non-lazy) round, for each vertex v holding pebbles:
+//
+//  1. If one or two pebbles are at v, each independently moves to a
+//     neighbor chosen uniformly at random.
+//  2. If three or more pebbles are at v, the two lowest-order pebbles
+//     each pick an independent uniform neighbor (u and w, possibly
+//     equal); every remaining pebble at v flips a fair coin and moves to
+//     u or w.
+//
+// The process is made lazy (the paper's technical requirement): each
+// round, with probability 1/2 nothing moves. Laziness is configurable
+// for ablation experiments.
+package walt
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Config parameterizes a Walt process.
+type Config struct {
+	// Lazy selects the paper's lazy variant: with probability 1/2 a
+	// round is skipped entirely.
+	Lazy bool
+	// MaxSteps caps runs; zero selects a generous default.
+	MaxSteps int
+}
+
+// Process is a running Walt process. Pebble i's order is its index:
+// lower index = lower order (higher priority under rule 2).
+type Process struct {
+	g   *graph.Graph
+	cfg Config
+	rnd *rng.Source
+
+	pos      []int32 // pebble index -> vertex
+	head     []int32 // vertex -> first pebble index in bucket, -1 if none
+	next     []int32 // pebble index -> next pebble in same bucket
+	occupied []int32 // vertices with at least one pebble this round
+	covered  *bitset.Set
+	nCovered int
+	steps    int
+}
+
+// New creates a Walt process with pebble i starting at positions[i].
+// Pebble order equals slice index.
+func New(g *graph.Graph, positions []int32, cfg Config, rnd *rng.Source) *Process {
+	if len(positions) == 0 {
+		panic("walt: need at least one pebble")
+	}
+	if g.MinDegree() == 0 && g.N() > 1 {
+		panic("walt: graph has an isolated vertex")
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 200*g.N()*g.N() + 100000
+	}
+	p := &Process{
+		g:        g,
+		cfg:      cfg,
+		rnd:      rnd,
+		pos:      append([]int32(nil), positions...),
+		head:     make([]int32, g.N()),
+		next:     make([]int32, len(positions)),
+		occupied: make([]int32, 0, len(positions)),
+		covered:  bitset.New(g.N()),
+	}
+	for i := range p.head {
+		p.head[i] = -1
+	}
+	for _, v := range positions {
+		if v < 0 || v >= int32(g.N()) {
+			panic(fmt.Sprintf("walt: pebble position %d out of range", v))
+		}
+		if !p.covered.TestAndAdd(int(v)) {
+			p.nCovered++
+		}
+	}
+	return p
+}
+
+// NewAtVertex creates a Walt process with count pebbles all at start,
+// matching the Theorem 8 setup (δn pebbles at one arbitrary vertex).
+func NewAtVertex(g *graph.Graph, count int, start int32, cfg Config, rnd *rng.Source) *Process {
+	positions := make([]int32, count)
+	for i := range positions {
+		positions[i] = start
+	}
+	return New(g, positions, cfg, rnd)
+}
+
+// Pebbles returns the number of pebbles (invariant over time).
+func (p *Process) Pebbles() int { return len(p.pos) }
+
+// Steps returns the number of rounds executed (lazy skips count).
+func (p *Process) Steps() int { return p.steps }
+
+// CoveredCount returns the number of distinct vertices visited.
+func (p *Process) CoveredCount() int { return p.nCovered }
+
+// Positions returns the current pebble positions; the slice aliases
+// internal state and must not be modified.
+func (p *Process) Positions() []int32 { return p.pos }
+
+// Step executes one round (which with probability 1/2 is skipped when
+// lazy).
+func (p *Process) Step() {
+	p.steps++
+	if p.cfg.Lazy && p.rnd.Bool() {
+		return
+	}
+	g := p.g
+	// Bucket pebbles by vertex in ascending order: iterate in reverse
+	// and prepend, so each bucket list starts with the lowest order.
+	p.occupied = p.occupied[:0]
+	for i := len(p.pos) - 1; i >= 0; i-- {
+		v := p.pos[i]
+		if p.head[v] == -1 {
+			p.occupied = append(p.occupied, v)
+		}
+		p.next[i] = p.head[v]
+		p.head[v] = int32(i)
+	}
+	for _, v := range p.occupied {
+		first := p.head[v]
+		second := p.next[first]
+		deg := g.Degree(v)
+		switch {
+		case second == -1:
+			// Rule 1, single pebble.
+			p.move(first, g.Neighbor(v, p.rnd.Int31n(deg)))
+		case p.next[second] == -1:
+			// Rule 1, two pebbles: both move independently.
+			p.move(first, g.Neighbor(v, p.rnd.Int31n(deg)))
+			p.move(second, g.Neighbor(v, p.rnd.Int31n(deg)))
+		default:
+			// Rule 2: the two lowest-order pebbles pick u and w; the
+			// rest coin-flip between them.
+			u := g.Neighbor(v, p.rnd.Int31n(deg))
+			w := g.Neighbor(v, p.rnd.Int31n(deg))
+			p.move(first, u)
+			p.move(second, w)
+			for i := p.next[second]; i != -1; i = p.next[i] {
+				if p.rnd.Bool() {
+					p.move(i, u)
+				} else {
+					p.move(i, w)
+				}
+			}
+		}
+		p.head[v] = -1 // reset bucket for the next round
+	}
+}
+
+func (p *Process) move(pebble, to int32) {
+	p.pos[pebble] = to
+	if !p.covered.TestAndAdd(int(to)) {
+		p.nCovered++
+	}
+}
+
+// CoverTime steps until every vertex is covered, returning the number of
+// rounds; ok is false if MaxSteps is exceeded.
+func (p *Process) CoverTime() (int, bool) {
+	for p.nCovered < p.g.N() {
+		if p.steps >= p.cfg.MaxSteps {
+			return p.steps, false
+		}
+		p.Step()
+	}
+	return p.steps, true
+}
+
+// HittingTime steps until target is covered; ok is false if MaxSteps is
+// exceeded.
+func (p *Process) HittingTime(target int32) (int, bool) {
+	for !p.covered.Contains(int(target)) {
+		if p.steps >= p.cfg.MaxSteps {
+			return p.steps, false
+		}
+		p.Step()
+	}
+	return p.steps, true
+}
+
+// CoverTimes runs trials independent Walt processes with count pebbles
+// at start and returns the sample of cover times. An error is returned
+// if any trial exceeds the step cap.
+func CoverTimes(g *graph.Graph, count int, start int32, cfg Config, trials int, seed uint64) ([]float64, error) {
+	out := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		p := NewAtVertex(g, count, start, cfg, rng.NewStream(seed, i))
+		steps, ok := p.CoverTime()
+		if !ok {
+			return nil, fmt.Errorf("walt: trial %d exceeded step cap on %s", i, g)
+		}
+		out[i] = float64(steps)
+	}
+	return out, nil
+}

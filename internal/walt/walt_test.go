@@ -1,0 +1,256 @@
+package walt
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestPebbleCountInvariant(t *testing.T) {
+	g := graph.MustRandomRegular(50, 4, 2)
+	p := NewAtVertex(g, 10, 0, Config{Lazy: true}, rng.New(1))
+	for i := 0; i < 500; i++ {
+		p.Step()
+		if p.Pebbles() != 10 {
+			t.Fatalf("pebble count changed to %d", p.Pebbles())
+		}
+		for _, v := range p.Positions() {
+			if v < 0 || v >= int32(g.N()) {
+				t.Fatalf("pebble off graph at %d", v)
+			}
+		}
+	}
+}
+
+func TestPebblesMoveAlongEdges(t *testing.T) {
+	g := graph.Cycle(12)
+	p := NewAtVertex(g, 5, 0, Config{Lazy: false}, rng.New(3))
+	prev := append([]int32(nil), p.Positions()...)
+	for i := 0; i < 200; i++ {
+		p.Step()
+		for j, v := range p.Positions() {
+			if v != prev[j] && !g.HasEdge(prev[j], v) {
+				t.Fatalf("pebble %d teleported %d -> %d", j, prev[j], v)
+			}
+			if v == prev[j] {
+				t.Fatalf("non-lazy pebble %d did not move", j)
+			}
+		}
+		copy(prev, p.Positions())
+	}
+}
+
+func TestLazySometimesFreezes(t *testing.T) {
+	g := graph.Cycle(12)
+	p := NewAtVertex(g, 3, 0, Config{Lazy: true}, rng.New(5))
+	frozen := 0
+	prev := append([]int32(nil), p.Positions()...)
+	for i := 0; i < 300; i++ {
+		p.Step()
+		same := true
+		for j, v := range p.Positions() {
+			if v != prev[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			frozen++
+		}
+		copy(prev, p.Positions())
+	}
+	// Expect roughly half the rounds to freeze; allow wide margin.
+	if frozen < 90 || frozen > 210 {
+		t.Fatalf("lazy froze %d/300 rounds, expected ≈150", frozen)
+	}
+}
+
+func TestCoverTimeCompletes(t *testing.T) {
+	g := graph.MustRandomRegular(60, 4, 7)
+	p := NewAtVertex(g, 30, 0, Config{Lazy: true}, rng.New(9))
+	steps, ok := p.CoverTime()
+	if !ok {
+		t.Fatal("Walt did not cover")
+	}
+	if steps < 1 {
+		t.Fatal("zero cover time on non-trivial graph")
+	}
+	if p.CoveredCount() != g.N() {
+		t.Fatalf("covered %d of %d", p.CoveredCount(), g.N())
+	}
+}
+
+func TestHittingTime(t *testing.T) {
+	g := graph.Path(20)
+	p := NewAtVertex(g, 4, 0, Config{Lazy: true}, rng.New(11))
+	steps, ok := p.HittingTime(19)
+	if !ok {
+		t.Fatal("Walt did not hit")
+	}
+	if steps < 19 {
+		t.Fatalf("hit distance-19 target in %d lazy rounds", steps)
+	}
+}
+
+func TestMorePebblesCoverFaster(t *testing.T) {
+	g := graph.Cycle(40)
+	few, err := CoverTimes(g, 2, 0, Config{Lazy: true}, 20, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := CoverTimes(g, 20, 0, Config{Lazy: true}, 20, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mean(many) >= stats.Mean(few) {
+		t.Fatalf("20 pebbles (%.1f) not faster than 2 (%.1f)",
+			stats.Mean(many), stats.Mean(few))
+	}
+}
+
+func TestLazySlowerThanNonLazy(t *testing.T) {
+	g := graph.Cycle(30)
+	lazy, err := CoverTimes(g, 5, 0, Config{Lazy: true}, 25, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := CoverTimes(g, 5, 0, Config{Lazy: false}, 25, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := stats.Mean(lazy) / stats.Mean(eager)
+	if ratio < 1.4 || ratio > 2.8 {
+		t.Fatalf("lazy/eager cover ratio %.2f, expected ≈2", ratio)
+	}
+}
+
+func TestRuleTwoCoalescesToTwoVertices(t *testing.T) {
+	// Many pebbles at one vertex of a star: after one non-lazy round all
+	// pebbles must sit on at most 2 distinct leaves.
+	g := graph.Star(20)
+	p := NewAtVertex(g, 10, 0, Config{Lazy: false}, rng.New(17))
+	p.Step()
+	seen := map[int32]bool{}
+	for _, v := range p.Positions() {
+		seen[v] = true
+		if v == 0 {
+			t.Fatal("pebble stayed at hub in non-lazy round")
+		}
+	}
+	if len(seen) > 2 {
+		t.Fatalf("rule 2 spread pebbles over %d vertices, max 2 allowed", len(seen))
+	}
+}
+
+func TestTwoPebblesMoveIndependently(t *testing.T) {
+	// With exactly 2 pebbles at a vertex (rule 1), over many rounds the
+	// pair should land on distinct vertices a constant fraction of the
+	// time (on a star: probability 1 - 1/19 each hub departure).
+	g := graph.Star(20)
+	distinct := 0
+	const rounds = 400
+	rnd := rng.New(19)
+	for i := 0; i < rounds; i++ {
+		p := New(g, []int32{0, 0}, Config{Lazy: false}, rnd)
+		p.Step()
+		pos := p.Positions()
+		if pos[0] != pos[1] {
+			distinct++
+		}
+	}
+	frac := float64(distinct) / rounds
+	if frac < 0.85 {
+		t.Fatalf("2-pebble split fraction %.2f too low; rule 1 broken?", frac)
+	}
+}
+
+func TestWaltDominatesCobraLemma10(t *testing.T) {
+	// Lemma 10: starting a cobra walk and a Walt process (≥2 pebbles per
+	// start vertex) from the same start set, the Walt cover time
+	// stochastically dominates the cobra cover time. Compare non-lazy
+	// Walt so laziness is not the explanation.
+	g := graph.MustRandomRegular(40, 4, 21)
+	const trials = 60
+	cobra := make([]float64, trials)
+	waltTimes := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		w := core.New(g, core.Config{K: 2}, rng.NewStream(23, i))
+		w.Reset(0)
+		steps, ok := w.RunUntilCovered()
+		if !ok {
+			t.Fatal("cobra did not cover")
+		}
+		cobra[i] = float64(steps)
+
+		p := NewAtVertex(g, 2, 0, Config{Lazy: false}, rng.NewStream(24, i))
+		wsteps, ok := p.CoverTime()
+		if !ok {
+			t.Fatal("walt did not cover")
+		}
+		waltTimes[i] = float64(wsteps)
+	}
+	// Walt with a fixed pebble budget cannot branch, so it must be slower
+	// at every quantile (generous slack for Monte Carlo noise).
+	if !stats.StochasticallyDominates(waltTimes, cobra, 3) {
+		t.Fatalf("Walt cover times do not dominate cobra: walt mean %.1f, cobra mean %.1f",
+			stats.Mean(waltTimes), stats.Mean(cobra))
+	}
+}
+
+func TestNewAtVertexPlacesAll(t *testing.T) {
+	g := graph.Cycle(8)
+	p := NewAtVertex(g, 5, 3, Config{}, rng.New(1))
+	if p.Pebbles() != 5 {
+		t.Fatalf("pebbles = %d", p.Pebbles())
+	}
+	for _, v := range p.Positions() {
+		if v != 3 {
+			t.Fatalf("pebble not at start: %d", v)
+		}
+	}
+	if p.CoveredCount() != 1 {
+		t.Fatalf("initial covered = %d, want 1", p.CoveredCount())
+	}
+}
+
+func TestDefaultMaxStepsApplied(t *testing.T) {
+	// Config zero-value MaxSteps must be replaced with a generous cap so
+	// CoverTime terminates one way or the other.
+	g := graph.Cycle(12)
+	p := NewAtVertex(g, 3, 0, Config{Lazy: true}, rng.New(2))
+	if _, ok := p.CoverTime(); !ok {
+		t.Fatal("cover with default cap failed on small cycle")
+	}
+}
+
+func TestValidations(t *testing.T) {
+	g := graph.Cycle(5)
+	for name, fn := range map[string]func(){
+		"noPebbles": func() { New(g, nil, Config{}, rng.New(1)) },
+		"badPos":    func() { New(g, []int32{99}, Config{}, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkWaltStep(b *testing.B) {
+	g := graph.MustRandomRegular(5000, 5, 1)
+	p := NewAtVertex(g, 2500, 0, Config{Lazy: true}, rng.New(1))
+	for i := 0; i < 50; i++ {
+		p.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
