@@ -1,0 +1,90 @@
+// Command cobrad is the simulation daemon: it serves cobra-walk,
+// cover-time, and experiment jobs over HTTP, backed by the shared
+// internal/engine worker pool and result cache.
+//
+// Usage:
+//
+//	cobrad -addr :8080 -workers 8 -queue 256 -cache 1024
+//
+// Submit a cover-time job and poll it:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"kind":"covertime","spec":{"graph":"grid:2,16","k":2,"trials":20,"seed":1}}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -s localhost:8080/v1/jobs/j000001/result
+//
+// cobrad shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// connections, lets in-flight HTTP requests finish, then drains the job
+// queue up to -drain before cancelling whatever is left.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+		queue   = flag.Int("queue", 256, "pending job queue depth")
+		cache   = flag.Int("cache", 1024, "result cache entries (negative disables)")
+		drain   = flag.Duration("drain", 30*time.Second, "max time to drain jobs on shutdown")
+	)
+	flag.Parse()
+
+	eng := engine.New(engine.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cache,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.New(eng).Handler(),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("cobrad: listening on %s (workers=%d queue=%d cache=%d)", *addr, *workers, *queue, *cache)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("cobrad: shutting down (drain %v)", *drain)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("cobrad: http shutdown: %v", err)
+	}
+	if err := eng.Shutdown(shutdownCtx); err != nil {
+		log.Printf("cobrad: engine shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	log.Printf("cobrad: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

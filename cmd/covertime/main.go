@@ -13,16 +13,21 @@
 // size is substituted for the marked position: "grid:2" sweeps the side,
 // "regular:5" sweeps n with degree 5, "lollipop" sweeps n with
 // clique = path = n/2.
+//
+// Each size is one cover-time job submitted to the shared
+// internal/engine scheduler — the same execution core behind cobrad —
+// so all sizes of the sweep pipeline through the worker pool while
+// results are collected in order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/cli"
-	"repro/internal/core"
-	"repro/internal/graph"
+	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -43,31 +48,45 @@ func main() {
 		fatal(err)
 	}
 
+	// One engine worker: each cover-time job already fans its trials out
+	// across every core via sim.RunTrialsContext, so concurrent jobs
+	// would only oversubscribe the CPU. The queue must hold the whole
+	// sweep since all sizes are submitted up front.
+	eng := engine.New(engine.Options{Workers: 1, QueueDepth: len(sizeList)})
+	defer eng.Shutdown(context.Background())
+
+	// Submit every size up front so the sweep pipelines through the
+	// worker pool, then collect in order so rendering stays stable.
+	jobs := make([]*engine.Job, len(sizeList))
+	for si, size := range sizeList {
+		spec, err := familySpec(*family, size)
+		if err != nil {
+			fatal(err)
+		}
+		jobs[si], err = eng.Submit(&engine.CoverTimeSpec{
+			Graph:     spec,
+			GraphSeed: rng.Stream(*seed, 9000+si),
+			K:         *k,
+			Trials:    *trials,
+			Seed:      rng.Stream(*seed, si),
+		}, 0)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	table := sim.NewTable(
 		fmt.Sprintf("%d-cobra cover time sweep: %s", *k, *family),
 		"size", "n", "m", "cover mean", "95% CI", "cover max")
 	var points []sim.Point
 	for si, size := range sizeList {
-		g, err := buildFamily(*family, size, rng.Stream(*seed, 9000+si))
+		out, err := jobs[si].Wait(context.Background())
 		if err != nil {
 			fatal(err)
 		}
-		sample, err := sim.RunTrials(*trials, rng.Stream(*seed, si),
-			func(trial int, src *rng.Source) (float64, error) {
-				w := core.New(g, core.Config{K: *k}, src)
-				w.Reset(0)
-				steps, ok := w.RunUntilCovered()
-				if !ok {
-					return 0, fmt.Errorf("covertime: step cap exceeded on %s", g)
-				}
-				return float64(steps), nil
-			})
-		if err != nil {
-			fatal(err)
-		}
-		mean, ci, max := sim.SummaryCells(sample)
-		table.AddRowf(size, g.N(), g.M(), mean, ci, max)
-		points = append(points, sim.Point{X: float64(size), Sample: sample})
+		mean, ci, max := sim.SummaryCells(out.Values)
+		table.AddRowf(size, int(out.Summary["n"]), int(out.Summary["m"]), mean, ci, max)
+		points = append(points, sim.Point{X: float64(size), Sample: out.Values})
 	}
 
 	switch *format {
@@ -85,24 +104,25 @@ func main() {
 	}
 }
 
-// buildFamily interprets the sweep spec for one size.
-func buildFamily(family string, size int, seed uint64) (*graph.Graph, error) {
+// familySpec interprets the sweep spec for one size, returning the full
+// cli graph spec.
+func familySpec(family string, size int) (string, error) {
 	switch {
 	case family == "cycle", family == "path", family == "star",
 		family == "complete", family == "hypercube", family == "margulis":
-		return cli.ParseGraph(fmt.Sprintf("%s:%d", family, size), seed)
+		return fmt.Sprintf("%s:%d", family, size), nil
 	case family == "lollipop":
-		return cli.ParseGraph(fmt.Sprintf("lollipop:%d,%d", size/2, size-size/2), seed)
+		return fmt.Sprintf("lollipop:%d,%d", size/2, size-size/2), nil
 	case len(family) > 5 && family[:5] == "grid:":
-		return cli.ParseGraph(fmt.Sprintf("grid:%s,%d", family[5:], size), seed)
+		return fmt.Sprintf("grid:%s,%d", family[5:], size), nil
 	case len(family) > 6 && family[:6] == "torus:":
-		return cli.ParseGraph(fmt.Sprintf("torus:%s,%d", family[6:], size), seed)
+		return fmt.Sprintf("torus:%s,%d", family[6:], size), nil
 	case len(family) > 5 && family[:5] == "kary:":
-		return cli.ParseGraph(fmt.Sprintf("kary:%s,%d", family[5:], size), seed)
+		return fmt.Sprintf("kary:%s,%d", family[5:], size), nil
 	case len(family) > 8 && family[:8] == "regular:":
-		return cli.ParseGraph(fmt.Sprintf("regular:%d,%s", size, family[8:]), seed)
+		return fmt.Sprintf("regular:%d,%s", size, family[8:]), nil
 	default:
-		return nil, fmt.Errorf("covertime: unknown family sweep spec %q", family)
+		return "", fmt.Errorf("covertime: unknown family sweep spec %q", family)
 	}
 }
 

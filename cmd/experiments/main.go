@@ -9,9 +9,14 @@
 //	experiments -scale full         # the EXPERIMENTS.md configuration
 //	experiments -only E1,E9         # a subset
 //	experiments -markdown           # emit Markdown tables
+//
+// Each experiment executes as a job on the shared internal/engine
+// scheduler — the same execution core behind cobrad — so repeated runs
+// of an experiment within one process are served from the result cache.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
@@ -40,12 +46,8 @@ func main() {
 		return
 	}
 
-	var scale experiments.Scale
 	switch *scaleFlag {
-	case "quick":
-		scale = experiments.Quick
-	case "full":
-		scale = experiments.Full
+	case "quick", "full":
 	default:
 		fatal(fmt.Errorf("experiments: unknown scale %q", *scaleFlag))
 	}
@@ -75,16 +77,25 @@ func main() {
 		}
 	}
 
+	// One engine worker: experiments run strictly sequentially (RunSync)
+	// and parallelize internally via sim.RunTrials.
+	eng := engine.New(engine.Options{Workers: 1})
+	defer eng.Shutdown(context.Background())
+
 	for _, r := range runners {
 		start := time.Now()
-		res, err := r.Run(scale, *seed)
+		out, err := eng.RunSync(context.Background(), &engine.ExperimentSpec{
+			ID:    r.ID,
+			Scale: *scaleFlag,
+			Seed:  *seed,
+		})
 		if err != nil {
 			fatal(fmt.Errorf("%s failed: %w", r.ID, err))
 		}
 		elapsed := time.Since(start).Round(time.Millisecond)
-		fmt.Printf("\n########## %s — %s [%s scale, %v]\n", res.ID, r.Name, scale, elapsed)
-		fmt.Printf("claim: %s\n\n", res.Claim)
-		for _, tb := range res.Tables {
+		fmt.Printf("\n########## %s — %s [%s scale, %v]\n", out.Meta["experiment"], r.Name, *scaleFlag, elapsed)
+		fmt.Printf("claim: %s\n\n", out.Meta["claim"])
+		for _, tb := range out.Tables {
 			if *markdown {
 				fmt.Println(tb.Markdown())
 			} else {
@@ -92,11 +103,11 @@ func main() {
 				fmt.Println()
 			}
 		}
-		for _, f := range res.Findings {
+		for _, f := range out.Findings {
 			fmt.Printf("finding: %s\n", f)
 		}
 		if *outDir != "" {
-			if err := writeMarkdown(*outDir, r.Name, res, scale, *seed); err != nil {
+			if err := writeMarkdown(*outDir, r.Name, out, *scaleFlag, *seed); err != nil {
 				fatal(err)
 			}
 		}
@@ -104,20 +115,20 @@ func main() {
 }
 
 // writeMarkdown renders one experiment as a standalone Markdown file.
-func writeMarkdown(dir, name string, res *experiments.Result, scale experiments.Scale, seed uint64) error {
+func writeMarkdown(dir, name string, out *engine.Output, scale string, seed uint64) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "# %s — %s\n\n", res.ID, name)
-	fmt.Fprintf(&b, "*Claim:* %s\n\n", res.Claim)
+	fmt.Fprintf(&b, "# %s — %s\n\n", out.Meta["experiment"], name)
+	fmt.Fprintf(&b, "*Claim:* %s\n\n", out.Meta["claim"])
 	fmt.Fprintf(&b, "*Configuration:* scale=%s, seed=%d.\n\n", scale, seed)
-	for _, tb := range res.Tables {
+	for _, tb := range out.Tables {
 		b.WriteString(tb.Markdown())
 		b.WriteString("\n")
 	}
 	b.WriteString("## Findings\n\n")
-	for _, f := range res.Findings {
+	for _, f := range out.Findings {
 		fmt.Fprintf(&b, "- %s\n", f)
 	}
-	path := filepath.Join(dir, res.ID+".md")
+	path := filepath.Join(dir, out.Meta["experiment"]+".md")
 	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 

@@ -1,0 +1,56 @@
+package engine
+
+import "container/list"
+
+// resultCache is a fixed-capacity LRU map from spec fingerprints to job
+// outputs. Outputs are deterministic functions of their fingerprint
+// (spec fields + seed), so entries never need invalidation — only
+// eviction. The engine mutex guards all access.
+type resultCache struct {
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	out *Output
+}
+
+// newResultCache creates a cache holding up to cap entries; cap < 0
+// disables caching entirely.
+func newResultCache(cap int) *resultCache {
+	return &resultCache{
+		cap:     cap,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) get(key string) (*Output, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).out, true
+}
+
+func (c *resultCache) put(key string, out *Output) {
+	if c.cap < 0 || out == nil {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).out = out
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, out: out})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int { return c.order.Len() }

@@ -1,0 +1,533 @@
+// Package engine is the asynchronous simulation job engine: a bounded
+// worker pool fed by a priority FIFO queue, with per-job cancellation,
+// progress reporting, and a content-addressed result cache.
+//
+// The engine is the single execution core shared by the batch CLIs
+// (cmd/covertime, cmd/experiments) and the cobrad HTTP daemon
+// (cmd/cobrad via internal/service). Jobs are described by Spec values;
+// because every Spec is deterministic given its fields (graph spec, seed,
+// trial count), identical submissions are served from the cache without
+// re-running the Monte Carlo workload.
+package engine
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by Submit and job accessors.
+var (
+	// ErrQueueFull is returned by Submit when the pending queue is at
+	// capacity.
+	ErrQueueFull = errors.New("engine: queue full")
+	// ErrShutdown is returned by Submit after Shutdown has begun.
+	ErrShutdown = errors.New("engine: shut down")
+	// ErrNotFinished is returned when a result is requested from a job
+	// that has not reached a terminal state.
+	ErrNotFinished = errors.New("engine: job not finished")
+)
+
+// State is a job lifecycle state.
+type State string
+
+// Job lifecycle states. Queued and Running are transient; Done, Failed,
+// and Canceled are terminal.
+const (
+	Queued   State = "queued"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// Terminal reports whether s is a terminal state.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// Options configures an Engine. Zero fields select defaults.
+type Options struct {
+	// Workers is the worker pool size; defaults to GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of pending jobs; defaults to 1024.
+	QueueDepth int
+	// CacheSize bounds the result cache entry count; defaults to 1024.
+	// Negative disables caching.
+	CacheSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 1024
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	return o
+}
+
+// Metrics is a snapshot of the engine's monotonic counters and gauges.
+type Metrics struct {
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	CacheHits int64 `json:"cache_hits"`
+	Rejected  int64 `json:"rejected"`
+
+	Queued     int `json:"queued"`
+	Running    int `json:"running"`
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	CacheLen   int `json:"cache_len"`
+	CacheCap   int `json:"cache_cap"`
+}
+
+// Engine schedules Spec jobs onto a bounded worker pool.
+type Engine struct {
+	opts  Options
+	cache *resultCache
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending jobHeap
+	jobs    map[string]*Job
+	order   []*Job
+	seq     int64
+	closed  bool
+	running int
+	wg      sync.WaitGroup
+
+	submitted, completed, failed, canceled, cacheHits, rejected atomic.Int64
+}
+
+// New creates an engine and starts its worker pool.
+func New(opts Options) *Engine {
+	opts = opts.withDefaults()
+	e := &Engine{
+		opts:  opts,
+		cache: newResultCache(opts.CacheSize),
+		jobs:  make(map[string]*Job),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	for w := 0; w < opts.Workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Submit validates and enqueues a job for spec with the given priority
+// (higher runs first; equal priorities run in submission order). If an
+// identical spec has a cached result the returned job is already Done
+// with CacheHit set. Submit never blocks on job execution.
+func (e *Engine) Submit(spec Spec, priority int) (*Job, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("engine: nil spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	fp := Fingerprint(spec)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		e.rejected.Add(1)
+		return nil, ErrShutdown
+	}
+	if out, ok := e.cache.get(fp); ok {
+		j := e.newJobLocked(spec, priority, fp)
+		j.cacheHit = true
+		j.state = Done
+		j.output = out
+		j.progressDone, j.progressTotal = 1, 1
+		now := time.Now()
+		j.started, j.finished = now, now
+		close(j.done)
+		j.cancel()
+		e.submitted.Add(1)
+		e.cacheHits.Add(1)
+		e.completed.Add(1)
+		return j, nil
+	}
+	if e.pending.Len() >= e.opts.QueueDepth {
+		e.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	j := e.newJobLocked(spec, priority, fp)
+	heap.Push(&e.pending, j)
+	e.submitted.Add(1)
+	e.cond.Signal()
+	return j, nil
+}
+
+// newJobLocked allocates and registers a job; e.mu must be held.
+func (e *Engine) newJobLocked(spec Spec, priority int, fp string) *Job {
+	e.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		id:          fmt.Sprintf("j%06d", e.seq),
+		seq:         e.seq,
+		spec:        spec,
+		priority:    priority,
+		fingerprint: fp,
+		state:       Queued,
+		submitted:   time.Now(),
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		heapIndex:   -1,
+	}
+	e.jobs[j.id] = j
+	e.order = append(e.order, j)
+	return j
+}
+
+// RunSync submits spec at default priority and blocks until the job
+// finishes or ctx is done. It is the path the batch CLIs use, so the
+// service and CLI workloads share one execution core.
+func (e *Engine) RunSync(ctx context.Context, spec Spec) (*Output, error) {
+	j, err := e.Submit(spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+// Job returns the job with the given id.
+func (e *Engine) Job(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all known jobs in submission order.
+func (e *Engine) Jobs() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Job(nil), e.order...)
+}
+
+// Cancel cancels the job with the given id. A queued job is removed from
+// the queue and finishes immediately; a running job is signalled through
+// its context and finishes when its Spec observes the cancellation.
+// Cancel reports whether the job exists and was not already terminal.
+func (e *Engine) Cancel(id string) bool {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	if !ok {
+		e.mu.Unlock()
+		return false
+	}
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	queued := j.state == Queued
+	j.mu.Unlock()
+	if terminal {
+		e.mu.Unlock()
+		return false
+	}
+	if queued && j.heapIndex >= 0 {
+		heap.Remove(&e.pending, j.heapIndex)
+	}
+	e.mu.Unlock()
+	j.cancel()
+	if queued {
+		e.finishJob(j, nil, context.Canceled)
+	}
+	return true
+}
+
+// Shutdown stops accepting new jobs, drains the queue, and waits for the
+// workers to exit. If ctx expires first, all in-flight and queued jobs
+// are cancelled and Shutdown returns ctx.Err() after the pool stops.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	stopped := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+		return nil
+	case <-ctx.Done():
+		for _, j := range e.Jobs() {
+			j.cancel()
+		}
+		<-stopped
+		return ctx.Err()
+	}
+}
+
+// Metrics returns a snapshot of the engine counters.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	queued := e.pending.Len()
+	running := e.running
+	cacheLen := e.cache.len()
+	e.mu.Unlock()
+	return Metrics{
+		Submitted:  e.submitted.Load(),
+		Completed:  e.completed.Load(),
+		Failed:     e.failed.Load(),
+		Canceled:   e.canceled.Load(),
+		CacheHits:  e.cacheHits.Load(),
+		Rejected:   e.rejected.Load(),
+		Queued:     queued,
+		Running:    running,
+		Workers:    e.opts.Workers,
+		QueueDepth: e.opts.QueueDepth,
+		CacheLen:   cacheLen,
+		CacheCap:   e.opts.CacheSize,
+	}
+}
+
+// worker is the main loop of one pool goroutine: pop the best pending
+// job, run it, publish the result, repeat until shutdown drains the
+// queue.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for e.pending.Len() == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if e.pending.Len() == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&e.pending).(*Job)
+		e.running++
+		e.mu.Unlock()
+
+		e.runJob(j)
+
+		e.mu.Lock()
+		e.running--
+		e.mu.Unlock()
+	}
+}
+
+// runJob executes one job to a terminal state.
+func (e *Engine) runJob(j *Job) {
+	if j.ctx.Err() != nil {
+		e.finishJob(j, nil, context.Canceled)
+		return
+	}
+	j.mu.Lock()
+	if j.state.Terminal() {
+		// Cancel won the race between heap pop and this transition and
+		// has already finished the job; running it would double-close
+		// done.
+		j.mu.Unlock()
+		return
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	out, err := j.spec.Run(j.ctx, j.reportProgress)
+	if err == nil && j.ctx.Err() != nil {
+		err = j.ctx.Err()
+	}
+	e.finishJob(j, out, err)
+}
+
+// finishJob moves j to its terminal state, updates counters, and caches
+// successful outputs.
+func (e *Engine) finishJob(j *Job, out *Output, err error) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = Done
+		j.output = out
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = Canceled
+		j.err = err
+	default:
+		j.state = Failed
+		j.err = err
+	}
+	state := j.state
+	j.mu.Unlock()
+
+	// Publish the result to the cache and counters before closing done:
+	// a waiter that resubmits the identical spec the instant Wait
+	// returns must observe the cache entry.
+	switch state {
+	case Done:
+		e.completed.Add(1)
+		e.mu.Lock()
+		e.cache.put(j.fingerprint, out)
+		e.mu.Unlock()
+	case Canceled:
+		e.canceled.Add(1)
+	case Failed:
+		e.failed.Add(1)
+	}
+	close(j.done)
+	j.cancel()
+}
+
+// Job is one scheduled unit of work. All exported methods are safe for
+// concurrent use.
+type Job struct {
+	id          string
+	seq         int64
+	spec        Spec
+	priority    int
+	fingerprint string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// heapIndex is maintained by jobHeap and guarded by the engine mutex.
+	heapIndex int
+
+	mu                          sync.Mutex
+	state                       State
+	progressDone, progressTotal int
+	output                      *Output
+	err                         error
+	cacheHit                    bool
+	submitted, started          time.Time
+	finished                    time.Time
+}
+
+// ID returns the engine-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Fingerprint returns the content address of the job's spec.
+func (j *Job) Fingerprint() string { return j.fingerprint }
+
+// reportProgress is handed to Spec.Run as its progress callback.
+func (j *Job) reportProgress(done, total int) {
+	j.mu.Lock()
+	j.progressDone, j.progressTotal = done, total
+	j.mu.Unlock()
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done,
+// returning the job output. Canceled and failed jobs return their error.
+func (j *Job) Wait(ctx context.Context) (*Output, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.output, j.err
+}
+
+// Output returns the result of a Done job.
+func (j *Job) Output() (*Output, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state == Done:
+		return j.output, nil
+	case j.state.Terminal():
+		return nil, j.err
+	default:
+		return nil, ErrNotFinished
+	}
+}
+
+// Status is a JSON-friendly snapshot of a job.
+type Status struct {
+	ID          string    `json:"id"`
+	Kind        string    `json:"kind"`
+	State       State     `json:"state"`
+	Priority    int       `json:"priority"`
+	CacheHit    bool      `json:"cache_hit"`
+	Fingerprint string    `json:"fingerprint"`
+	Done        int       `json:"progress_done"`
+	Total       int       `json:"progress_total"`
+	Error       string    `json:"error,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+}
+
+// Snapshot returns the job's current status.
+func (j *Job) Snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		ID:          j.id,
+		Kind:        j.spec.Kind(),
+		State:       j.state,
+		Priority:    j.priority,
+		CacheHit:    j.cacheHit,
+		Fingerprint: j.fingerprint,
+		Done:        j.progressDone,
+		Total:       j.progressTotal,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// jobHeap orders pending jobs by descending priority, then ascending
+// submission sequence (FIFO within a priority class). It implements
+// heap.Interface; the engine mutex guards all access.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+
+func (h jobHeap) Less(a, b int) bool {
+	if h[a].priority != h[b].priority {
+		return h[a].priority > h[b].priority
+	}
+	return h[a].seq < h[b].seq
+}
+
+func (h jobHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].heapIndex = a
+	h[b].heapIndex = b
+}
+
+func (h *jobHeap) Push(x interface{}) {
+	j := x.(*Job)
+	j.heapIndex = len(*h)
+	*h = append(*h, j)
+}
+
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIndex = -1
+	*h = old[:n-1]
+	return j
+}

@@ -1,0 +1,318 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Spec describes one deterministic unit of simulation work. A Spec must
+// be a pure function of its exported fields: two specs with equal
+// Fingerprints must produce equal Outputs, which is what makes the
+// result cache sound.
+type Spec interface {
+	// Kind names the job type ("covertime", "cobra", "experiment").
+	Kind() string
+	// Validate rejects malformed specs before they reach the queue.
+	Validate() error
+	// Run executes the job. Implementations should observe ctx for
+	// cancellation and call progress(done, total) as work completes.
+	Run(ctx context.Context, progress func(done, total int)) (*Output, error)
+}
+
+// Output is a job's result payload, shaped for JSON transport.
+type Output struct {
+	// Values holds the raw per-trial measurements, in trial order.
+	Values []float64 `json:"values,omitempty"`
+	// Summary holds derived scalars (mean, ci95, max, ...).
+	Summary map[string]float64 `json:"summary,omitempty"`
+	// Tables holds rendered experiment tables.
+	Tables []*sim.Table `json:"tables,omitempty"`
+	// Findings are headline conclusion lines.
+	Findings []string `json:"findings,omitempty"`
+	// Meta carries string annotations (experiment id, claim, graph).
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// Fingerprint returns the content address of a spec: a SHA-256 over the
+// job kind and the canonical JSON encoding of the spec fields. Struct
+// fields marshal in declaration order, so the encoding — and therefore
+// the cache key — is deterministic.
+func Fingerprint(spec Spec) string {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		// Specs are plain data structs; marshal cannot fail in practice.
+		panic(fmt.Sprintf("engine: fingerprint marshal: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(spec.Kind()))
+	h.Write([]byte{0})
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DecodeSpec builds a Spec of the given kind from raw JSON, rejecting
+// unknown fields so client typos fail loudly at submit time.
+func DecodeSpec(kind string, raw json.RawMessage) (Spec, error) {
+	var spec Spec
+	switch kind {
+	case "covertime":
+		spec = &CoverTimeSpec{}
+	case "cobra":
+		spec = &CobraWalkSpec{}
+	case "experiment":
+		spec = &ExperimentSpec{}
+	default:
+		return nil, fmt.Errorf("engine: unknown job kind %q", kind)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("engine: missing spec body for kind %q", kind)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		return nil, fmt.Errorf("engine: bad %s spec: %w", kind, err)
+	}
+	return spec, nil
+}
+
+// CoverTimeSpec measures the k-cobra cover time on one graph over
+// independent Monte Carlo trials: the workload of cmd/covertime and the
+// paper's headline quantity.
+type CoverTimeSpec struct {
+	// Graph is a cli graph spec, e.g. "grid:2,16" or "regular:1024,5".
+	Graph string `json:"graph"`
+	// GraphSeed seeds randomized graph families.
+	GraphSeed uint64 `json:"graph_seed,omitempty"`
+	// K is the cobra branching factor.
+	K int `json:"k"`
+	// Trials is the number of independent trials.
+	Trials int `json:"trials"`
+	// Seed is the root random seed; trial i uses stream i.
+	Seed uint64 `json:"seed"`
+	// MaxSteps caps each trial; zero selects core.DefaultMaxSteps.
+	MaxSteps int `json:"max_steps,omitempty"`
+	// Start is the start vertex.
+	Start int32 `json:"start,omitempty"`
+}
+
+// Kind implements Spec.
+func (s *CoverTimeSpec) Kind() string { return "covertime" }
+
+// Validate implements Spec.
+func (s *CoverTimeSpec) Validate() error {
+	if s.Graph == "" {
+		return fmt.Errorf("engine: covertime: graph spec required")
+	}
+	if s.K < 1 {
+		return fmt.Errorf("engine: covertime: k must be >= 1")
+	}
+	if s.Trials < 1 {
+		return fmt.Errorf("engine: covertime: trials must be >= 1")
+	}
+	return nil
+}
+
+// Run implements Spec.
+func (s *CoverTimeSpec) Run(ctx context.Context, progress func(done, total int)) (*Output, error) {
+	g, err := cli.ParseGraph(s.Graph, s.GraphSeed)
+	if err != nil {
+		return nil, err
+	}
+	if int(s.Start) >= g.N() || s.Start < 0 {
+		return nil, fmt.Errorf("engine: covertime: start vertex %d outside graph %s", s.Start, g)
+	}
+	progress(0, s.Trials)
+	sample, err := sim.RunTrialsContext(ctx, s.Trials, s.Seed,
+		func(trial int, src *rng.Source) (float64, error) {
+			w := core.New(g, core.Config{K: s.K, MaxSteps: s.MaxSteps}, src)
+			w.Reset(s.Start)
+			steps, ok := w.RunUntilCovered()
+			if !ok {
+				return 0, fmt.Errorf("covertime: step cap exceeded on %s", g)
+			}
+			return float64(steps), nil
+		},
+		func(completed int) { progress(completed, s.Trials) })
+	if err != nil {
+		return nil, err
+	}
+	mean, hw := stats.MeanCI(sample)
+	return &Output{
+		Values: sample,
+		Summary: map[string]float64{
+			"mean": mean,
+			"ci95": hw,
+			"max":  stats.MaxFloat(sample),
+			"n":    float64(g.N()),
+			"m":    float64(g.M()),
+		},
+		Meta: map[string]string{"graph": s.Graph},
+	}, nil
+}
+
+// CobraWalkSpec runs k-cobra walks to a target coverage fraction and
+// reports both round and message costs — the broadcast view of the
+// process (every active vertex pushes k messages per round).
+type CobraWalkSpec struct {
+	// Graph is a cli graph spec.
+	Graph string `json:"graph"`
+	// GraphSeed seeds randomized graph families.
+	GraphSeed uint64 `json:"graph_seed,omitempty"`
+	// K is the cobra branching factor.
+	K int `json:"k"`
+	// Trials is the number of independent trials.
+	Trials int `json:"trials"`
+	// Seed is the root random seed.
+	Seed uint64 `json:"seed"`
+	// CoverFraction is the coverage target in (0, 1]; zero means 1
+	// (full cover).
+	CoverFraction float64 `json:"cover_fraction,omitempty"`
+	// MaxSteps caps each trial; zero selects core.DefaultMaxSteps.
+	MaxSteps int `json:"max_steps,omitempty"`
+	// Start is the start vertex.
+	Start int32 `json:"start,omitempty"`
+}
+
+// Kind implements Spec.
+func (s *CobraWalkSpec) Kind() string { return "cobra" }
+
+// Validate implements Spec.
+func (s *CobraWalkSpec) Validate() error {
+	if s.Graph == "" {
+		return fmt.Errorf("engine: cobra: graph spec required")
+	}
+	if s.K < 1 {
+		return fmt.Errorf("engine: cobra: k must be >= 1")
+	}
+	if s.Trials < 1 {
+		return fmt.Errorf("engine: cobra: trials must be >= 1")
+	}
+	if s.CoverFraction < 0 || s.CoverFraction > 1 {
+		return fmt.Errorf("engine: cobra: cover_fraction must be in (0, 1]")
+	}
+	return nil
+}
+
+// Run implements Spec.
+func (s *CobraWalkSpec) Run(ctx context.Context, progress func(done, total int)) (*Output, error) {
+	g, err := cli.ParseGraph(s.Graph, s.GraphSeed)
+	if err != nil {
+		return nil, err
+	}
+	if int(s.Start) >= g.N() || s.Start < 0 {
+		return nil, fmt.Errorf("engine: cobra: start vertex %d outside graph %s", s.Start, g)
+	}
+	frac := s.CoverFraction
+	if frac == 0 {
+		frac = 1
+	}
+	messages := make([]float64, s.Trials)
+	progress(0, s.Trials)
+	steps, err := sim.RunTrialsContext(ctx, s.Trials, s.Seed,
+		func(trial int, src *rng.Source) (float64, error) {
+			w := core.New(g, core.Config{K: s.K, MaxSteps: s.MaxSteps}, src)
+			w.Reset(s.Start)
+			n, ok := w.RunUntilCoveredFraction(frac)
+			if !ok {
+				return 0, fmt.Errorf("cobra: step cap exceeded on %s", g)
+			}
+			messages[trial] = float64(w.MessagesSent())
+			return float64(n), nil
+		},
+		func(completed int) { progress(completed, s.Trials) })
+	if err != nil {
+		return nil, err
+	}
+	stepMean, stepHW := stats.MeanCI(steps)
+	return &Output{
+		Values: steps,
+		Summary: map[string]float64{
+			"steps_mean":    stepMean,
+			"steps_ci95":    stepHW,
+			"steps_max":     stats.MaxFloat(steps),
+			"messages_mean": stats.Mean(messages),
+			"n":             float64(g.N()),
+			"m":             float64(g.M()),
+		},
+		Meta: map[string]string{"graph": s.Graph},
+	}, nil
+}
+
+// ExperimentSpec runs one registered paper-reproduction experiment
+// (E1-E20) at the given scale: the workload of cmd/experiments.
+type ExperimentSpec struct {
+	// ID is the experiment identifier, e.g. "E1".
+	ID string `json:"id"`
+	// Scale is "quick" or "full".
+	Scale string `json:"scale"`
+	// Seed is the root random seed.
+	Seed uint64 `json:"seed"`
+}
+
+// Kind implements Spec.
+func (s *ExperimentSpec) Kind() string { return "experiment" }
+
+// Validate implements Spec.
+func (s *ExperimentSpec) Validate() error {
+	if _, ok := experiments.Get(s.ID); !ok {
+		return fmt.Errorf("engine: experiment: unknown ID %q", s.ID)
+	}
+	if _, err := s.scale(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *ExperimentSpec) scale() (experiments.Scale, error) {
+	switch s.Scale {
+	case "quick", "":
+		return experiments.Quick, nil
+	case "full":
+		return experiments.Full, nil
+	default:
+		return 0, fmt.Errorf("engine: experiment: unknown scale %q", s.Scale)
+	}
+}
+
+// Run implements Spec. Experiments run to completion once started; the
+// engine's cancellation takes effect only before the run begins.
+func (s *ExperimentSpec) Run(ctx context.Context, progress func(done, total int)) (*Output, error) {
+	r, ok := experiments.Get(s.ID)
+	if !ok {
+		return nil, fmt.Errorf("engine: experiment: unknown ID %q", s.ID)
+	}
+	scale, err := s.scale()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	progress(0, 1)
+	res, err := r.Run(scale, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	progress(1, 1)
+	return &Output{
+		Tables:   res.Tables,
+		Findings: res.Findings,
+		Meta: map[string]string{
+			"experiment": res.ID,
+			"name":       r.Name,
+			"claim":      res.Claim,
+			"scale":      scale.String(),
+		},
+	}, nil
+}

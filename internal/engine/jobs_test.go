@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestDecodeSpec(t *testing.T) {
+	spec, err := DecodeSpec("covertime", json.RawMessage(`{"graph":"grid:2,8","k":2,"trials":5,"seed":1}`))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	ct, ok := spec.(*CoverTimeSpec)
+	if !ok {
+		t.Fatalf("decoded %T, want *CoverTimeSpec", spec)
+	}
+	if ct.Graph != "grid:2,8" || ct.K != 2 || ct.Trials != 5 || ct.Seed != 1 {
+		t.Errorf("decoded spec = %+v", ct)
+	}
+
+	if _, err := DecodeSpec("nonsense", json.RawMessage(`{}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := DecodeSpec("covertime", nil); err == nil {
+		t.Error("missing body accepted")
+	}
+	if _, err := DecodeSpec("covertime", json.RawMessage(`{"graph":"cycle:8","k":2,"trials":1,"seed":1,"typo_field":3}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []Spec{
+		&CoverTimeSpec{Graph: "", K: 2, Trials: 1},
+		&CoverTimeSpec{Graph: "cycle:8", K: 0, Trials: 1},
+		&CoverTimeSpec{Graph: "cycle:8", K: 2, Trials: 0},
+		&CobraWalkSpec{Graph: "cycle:8", K: 2, Trials: 1, CoverFraction: 1.5},
+		&ExperimentSpec{ID: "E999"},
+		&ExperimentSpec{ID: "E1", Scale: "enormous"},
+	}
+	for i, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d (%+v): invalid spec accepted", i, spec)
+		}
+	}
+}
+
+// TestCoverTimeSpecMatchesDirectRun is the engine-equivalence check: a
+// cover-time job routed through the engine must reproduce, value for
+// value, what the pre-engine CLI computed by calling sim.RunTrials
+// directly with the same seed discipline.
+func TestCoverTimeSpecMatchesDirectRun(t *testing.T) {
+	const (
+		graphSpec = "grid:2,8"
+		k         = 2
+		trials    = 8
+		seed      = uint64(42)
+	)
+	e := New(Options{Workers: 2})
+	defer shutdown(t, e)
+
+	out, err := e.RunSync(context.Background(), &CoverTimeSpec{
+		Graph: graphSpec, GraphSeed: 7, K: k, Trials: trials, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("engine run: %v", err)
+	}
+
+	g, err := cli.ParseGraph(graphSpec, 7)
+	if err != nil {
+		t.Fatalf("parse graph: %v", err)
+	}
+	direct, err := sim.RunTrials(trials, seed, func(trial int, src *rng.Source) (float64, error) {
+		w := core.New(g, core.Config{K: k}, src)
+		w.Reset(0)
+		steps, ok := w.RunUntilCovered()
+		if !ok {
+			return 0, fmt.Errorf("step cap exceeded")
+		}
+		return float64(steps), nil
+	})
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+
+	if len(out.Values) != len(direct) {
+		t.Fatalf("engine returned %d values, direct %d", len(out.Values), len(direct))
+	}
+	for i := range direct {
+		if out.Values[i] != direct[i] {
+			t.Errorf("trial %d: engine %v, direct %v", i, out.Values[i], direct[i])
+		}
+	}
+	if out.Summary["n"] != float64(g.N()) || out.Summary["m"] != float64(g.M()) {
+		t.Errorf("summary n/m = %v/%v, want %d/%d", out.Summary["n"], out.Summary["m"], g.N(), g.M())
+	}
+}
+
+func TestCoverTimeSpecBadGraphFails(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer shutdown(t, e)
+	if _, err := e.RunSync(context.Background(), &CoverTimeSpec{
+		Graph: "dodecahedron:12", K: 2, Trials: 1, Seed: 1,
+	}); err == nil {
+		t.Error("unknown graph family accepted")
+	}
+	if _, err := e.RunSync(context.Background(), &CoverTimeSpec{
+		Graph: "cycle:8", K: 2, Trials: 1, Seed: 1, Start: 99,
+	}); err == nil || !strings.Contains(err.Error(), "start vertex") {
+		t.Errorf("out-of-range start error = %v", err)
+	}
+}
+
+func TestCobraWalkSpec(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer shutdown(t, e)
+	out, err := e.RunSync(context.Background(), &CobraWalkSpec{
+		Graph: "complete:16", K: 2, Trials: 6, Seed: 3, CoverFraction: 0.5,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(out.Values) != 6 {
+		t.Fatalf("got %d values, want 6", len(out.Values))
+	}
+	for i, v := range out.Values {
+		if v < 1 {
+			t.Errorf("trial %d covered half of K16 in %v rounds", i, v)
+		}
+	}
+	if out.Summary["messages_mean"] <= 0 {
+		t.Errorf("messages_mean = %v, want > 0", out.Summary["messages_mean"])
+	}
+	if out.Summary["n"] != 16 {
+		t.Errorf("summary n = %v, want 16", out.Summary["n"])
+	}
+}
+
+func TestExperimentSpec(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer shutdown(t, e)
+	out, err := e.RunSync(context.Background(), &ExperimentSpec{ID: "E14", Scale: "quick", Seed: 1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Meta["experiment"] != "E14" {
+		t.Errorf("meta experiment = %q, want E14", out.Meta["experiment"])
+	}
+	if out.Meta["claim"] == "" {
+		t.Error("experiment output missing claim")
+	}
+	if len(out.Tables) == 0 {
+		t.Error("experiment output has no tables")
+	}
+}

@@ -1,0 +1,193 @@
+// Package service exposes the simulation engine over an HTTP/JSON API:
+// the interface cobrad serves.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a job: {"kind": ..., "priority": ..., "spec": {...}}
+//	GET    /v1/jobs             list all jobs (most recent first)
+//	GET    /v1/jobs/{id}        job status and progress
+//	GET    /v1/jobs/{id}/result output of a finished job
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness probe
+//	GET    /metrics             engine counters in Prometheus text format
+//
+// All responses are JSON except /metrics. Errors are {"error": "..."}
+// with a matching status code: 400 for malformed submissions, 404 for
+// unknown jobs, 409 for results requested before completion, and 503
+// when the queue is full or the engine is shutting down.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Server serves the engine API. Create one with New and mount Handler on
+// an http.Server.
+type Server struct {
+	eng     *engine.Engine
+	started time.Time
+}
+
+// New wraps an engine in an API server.
+func New(eng *engine.Engine) *Server {
+	return &Server{eng: eng, started: time.Now()}
+}
+
+// Handler returns the route mux for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	return mux
+}
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Kind     string          `json:"kind"`
+	Priority int             `json:"priority"`
+	Spec     json.RawMessage `json:"spec"`
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec, err := engine.DecodeSpec(req.Kind, req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.eng.Submit(spec, req.Priority)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, engine.ErrQueueFull) || errors.Is(err, engine.ErrShutdown) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]interface{}{"job": job.Snapshot()})
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	jobs := s.eng.Jobs()
+	statuses := make([]engine.Status, 0, len(jobs))
+	// Most recent first: the tail of the submission order is the most
+	// useful page for a human polling with curl.
+	for i := len(jobs) - 1; i >= 0; i-- {
+		statuses = append(statuses, jobs[i].Snapshot())
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": statuses})
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.eng.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"job": job.Snapshot()})
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.eng.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	out, err := job.Output()
+	if err != nil {
+		status := http.StatusConflict
+		if !errors.Is(err, engine.ErrNotFinished) {
+			// Terminal but unsuccessful: surface the job error itself.
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"job":    job.Snapshot(),
+		"result": out,
+	})
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.eng.Job(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	canceled := s.eng.Cancel(id)
+	writeJSON(w, http.StatusOK, map[string]interface{}{"id": id, "canceled": canceled})
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+// metrics renders the engine counters in the Prometheus text exposition
+// format, hand-written to keep the repo dependency-free.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	m := s.eng.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counters := []struct {
+		name string
+		help string
+		val  int64
+	}{
+		{"cobrad_jobs_submitted_total", "Jobs accepted by the engine.", m.Submitted},
+		{"cobrad_jobs_completed_total", "Jobs finished successfully.", m.Completed},
+		{"cobrad_jobs_failed_total", "Jobs finished with an error.", m.Failed},
+		{"cobrad_jobs_canceled_total", "Jobs canceled before completion.", m.Canceled},
+		{"cobrad_cache_hits_total", "Submissions served from the result cache.", m.CacheHits},
+		{"cobrad_jobs_rejected_total", "Submissions rejected (queue full or shutdown).", m.Rejected},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.val)
+	}
+	gauges := []struct {
+		name string
+		help string
+		val  int
+	}{
+		{"cobrad_jobs_queued", "Jobs waiting in the priority queue.", m.Queued},
+		{"cobrad_jobs_running", "Jobs executing on the worker pool.", m.Running},
+		{"cobrad_workers", "Worker pool size.", m.Workers},
+		{"cobrad_queue_capacity", "Maximum pending queue depth.", m.QueueDepth},
+		{"cobrad_cache_entries", "Result cache entries resident.", m.CacheLen},
+		{"cobrad_cache_capacity", "Result cache entry capacity.", m.CacheCap},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.val)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRunTrialsContextMatchesRunTrials(t *testing.T) {
+	fn := func(trial int, src *rng.Source) (float64, error) {
+		return float64(src.Intn(1000000)), nil
+	}
+	a, err := RunTrials(64, 42, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrialsContext(context.Background(), 64, 42, fn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunTrialsContextProgress(t *testing.T) {
+	var calls, max atomic.Int64
+	_, err := RunTrialsContext(context.Background(), 50, 7,
+		func(trial int, src *rng.Source) (float64, error) { return 0, nil },
+		func(completed int) {
+			calls.Add(1)
+			for {
+				cur := max.Load()
+				if int64(completed) <= cur || max.CompareAndSwap(cur, int64(completed)) {
+					return
+				}
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 50 {
+		t.Errorf("progress called %d times, want 50", calls.Load())
+	}
+	if max.Load() != 50 {
+		t.Errorf("max completed = %d, want 50", max.Load())
+	}
+}
+
+func TestRunTrialsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	_, err := RunTrialsContext(ctx, 100000, 1,
+		func(trial int, src *rng.Source) (float64, error) {
+			select {
+			case started <- struct{}{}:
+				cancel()
+			default:
+			}
+			return 0, nil
+		}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -6,12 +6,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -27,6 +29,17 @@ type TrialFunc func(trial int, src *rng.Source) (float64, error)
 // trial order. The first error encountered (lowest trial index) is
 // returned. Parallelism defaults to GOMAXPROCS.
 func RunTrials(trials int, seed uint64, fn TrialFunc) ([]float64, error) {
+	return RunTrialsContext(context.Background(), trials, seed, fn, nil)
+}
+
+// RunTrialsContext is RunTrials with cooperative cancellation and
+// progress reporting. Workers stop claiming new trials once ctx is done,
+// and the context error is returned. If onDone is non-nil it is called
+// after every finished trial with the total number of completed trials so
+// far; it must be safe for concurrent use (the engine's progress counters
+// are atomic). Trial dispatch uses a lock-free atomic counter so the hot
+// path scales with worker count.
+func RunTrialsContext(ctx context.Context, trials int, seed uint64, fn TrialFunc, onDone func(completed int)) ([]float64, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("sim: trials must be >= 1")
 	}
@@ -36,35 +49,33 @@ func RunTrials(trials int, seed uint64, fn TrialFunc) ([]float64, error) {
 	if workers > trials {
 		workers = trials
 	}
-	var next int64
-	var mu sync.Mutex
-	take := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= int64(trials) {
-			return -1
-		}
-		i := int(next)
-		next++
-		return i
-	}
+	var next, completed int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := take()
-				if i < 0 {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= trials {
 					return
 				}
 				v, err := fn(i, rng.NewStream(seed, i))
 				out[i] = v
 				errs[i] = err
+				if onDone != nil {
+					onDone(int(atomic.AddInt64(&completed, 1)))
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
