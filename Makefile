@@ -1,0 +1,34 @@
+# Development entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); bench-baseline records the performance
+# trajectory of the hot paths as a BENCH_<date>.json file in-tree.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke bench-baseline fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (experiments + engine microbenchmarks).
+bench:
+	$(GO) test -bench=. -benchtime=2s -run '^$$' ./...
+
+# One iteration per benchmark: a fast compile-and-smoke gate for CI.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+# Record the engine-microbenchmark baseline as BENCH_<date>.json.
+bench-baseline:
+	$(GO) run ./cmd/benchjson
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

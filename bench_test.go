@@ -74,6 +74,9 @@ func BenchmarkE19RapidCoverage(b *testing.B)  { benchExperiment(b, "E19") }
 func BenchmarkE20FaultTolerance(b *testing.B) { benchExperiment(b, "E20") }
 
 // --- engine microbenchmarks -------------------------------------------------
+//
+// KEEP IN SYNC with cmd/benchjson, which re-runs these workloads (same
+// graphs, seeds, configs, warmups) to record BENCH_<date>.json baselines.
 
 // BenchmarkCobraStepExpander measures one cobra round at steady state on
 // a 10k-vertex expander: the per-round cost Theorem 8's wall-clock
@@ -84,6 +87,27 @@ func BenchmarkCobraStepExpander(b *testing.B) {
 		b.Fatal(err)
 	}
 	w := NewCobraWalk(g, CobraConfig{K: 2}, NewRand(1))
+	w.Reset(0)
+	for i := 0; i < 60; i++ {
+		w.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+	b.ReportMetric(float64(w.ActiveCount()), "active")
+}
+
+// BenchmarkCobraStepExpanderSparse is BenchmarkCobraStepExpander with
+// the dense kernel disabled: it pins the seed-stable sparse path so a
+// regression in either half of the dual-mode engine is visible even
+// when the adaptive switch would mask it.
+func BenchmarkCobraStepExpanderSparse(b *testing.B) {
+	g, err := RandomRegular(10000, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := NewCobraWalk(g, CobraConfig{K: 2, DenseTheta: -1}, NewRand(1))
 	w.Reset(0)
 	for i := 0; i < 60; i++ {
 		w.Step()

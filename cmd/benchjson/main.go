@@ -1,0 +1,196 @@
+// Command benchjson runs the repository's engine microbenchmarks via
+// testing.Benchmark and writes the results as a JSON baseline file, so
+// the performance trajectory of the hot paths is recorded in-tree and
+// comparable across PRs:
+//
+//	go run ./cmd/benchjson                 # writes BENCH_<date>.json
+//	go run ./cmd/benchjson -out stdout     # prints to stdout
+//	make bench-baseline                    # Makefile alias
+//
+// The benchmark set mirrors the engine microbenchmarks of bench_test.go
+// (step kernels at steady state, full covers, graph construction) and
+// additionally pins the sparse kernel alone, so a regression in either
+// kernel of the dual-mode engine is visible even when the adaptive
+// switch hides it.
+//
+// KEEP IN SYNC with bench_test.go: a benchmark here and its namesake
+// there must use the same graph, seeds, config, and warmup, or the
+// committed BENCH_<date>.json baselines stop being comparable with
+// `go test -bench` output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// result is one benchmark measurement in the emitted JSON.
+type result struct {
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Iters   int                `json:"iterations"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// baseline is the emitted document.
+type baseline struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Benchtime string   `json:"benchtime"`
+	Results   []result `json:"results"`
+}
+
+// expander returns the 10k-vertex 5-regular steady-state benchmark graph.
+func expander() *repro.Graph {
+	g, err := repro.RandomRegular(10000, 5, 1)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// steadyWalk returns a cobra walk stepped to steady state on g.
+func steadyWalk(g *repro.Graph, cfg repro.CobraConfig) *repro.CobraWalk {
+	w := repro.NewCobraWalk(g, cfg, repro.NewRand(1))
+	w.Reset(0)
+	for i := 0; i < 60; i++ {
+		w.Step()
+	}
+	return w
+}
+
+func main() {
+	testing.Init() // registers test.benchtime, used to size testing.Benchmark runs
+	out := flag.String("out", "", "output path (default BENCH_<date>.json; \"stdout\" prints)")
+	benchtime := flag.Duration("benchtime", 2*time.Second, "per-benchmark measuring time")
+	flag.Parse()
+
+	benchmarks := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"CobraStepExpander", func(b *testing.B) {
+			w := steadyWalk(expander(), repro.CobraConfig{K: 2})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		}},
+		{"CobraStepExpanderSparse", func(b *testing.B) {
+			w := steadyWalk(expander(), repro.CobraConfig{K: 2, DenseTheta: -1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		}},
+		{"CobraCoverGrid", func(b *testing.B) {
+			g := repro.Grid(2, 33)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := repro.NewCobraWalk(g, repro.CobraConfig{K: 2}, repro.NewTrialRand(1, i))
+				w.Reset(0)
+				if _, ok := w.RunUntilCovered(); !ok {
+					b.Fatal("cover failed")
+				}
+			}
+		}},
+		{"CobraCoverExpander", func(b *testing.B) {
+			g := expander()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := repro.NewCobraWalk(g, repro.CobraConfig{K: 2}, repro.NewTrialRand(3, i))
+				w.Reset(0)
+				if _, ok := w.RunUntilCovered(); !ok {
+					b.Fatal("cover failed")
+				}
+			}
+		}},
+		{"WaltStep", func(b *testing.B) {
+			g, err := repro.RandomRegular(10000, 5, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := repro.NewWaltAtVertex(g, 5000, 0, repro.WaltConfig{Lazy: true}, repro.NewRand(1))
+			for i := 0; i < 60; i++ {
+				p.Step()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Step()
+			}
+		}},
+		{"GossipPush", func(b *testing.B) {
+			g, err := repro.RandomRegular(4096, 5, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := repro.NewGossip(g, repro.Push, 0, repro.NewTrialRand(2, i))
+				if _, ok := p.CompletionTime(1000000); !ok {
+					b.Fatal("gossip failed")
+				}
+			}
+		}},
+		{"GraphBuildRegular", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.RandomRegular(10000, 5, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	doc := baseline{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Benchtime: benchtime.String(),
+	}
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, bm := range benchmarks {
+		r := testing.Benchmark(bm.fn)
+		fmt.Fprintf(os.Stderr, "%-28s %12d ns/op  (%d iters)\n",
+			bm.name, r.NsPerOp(), r.N)
+		doc.Results = append(doc.Results, result{
+			Name:    bm.name,
+			NsPerOp: float64(r.NsPerOp()),
+			Iters:   r.N,
+		})
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	path := *out
+	if path == "stdout" {
+		os.Stdout.Write(data)
+		return
+	}
+	if path == "" {
+		path = "BENCH_" + doc.Date + ".json"
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

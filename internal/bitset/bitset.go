@@ -65,13 +65,23 @@ func (s *Set) TestAndAdd(i int) bool {
 }
 
 // Count returns the number of elements in the set.
-func (s *Set) Count() int {
+func (s *Set) Count() int { return s.OnesCount() }
+
+// OnesCount returns the number of elements in the set (population count
+// over the backing words).
+func (s *Set) OnesCount() int {
 	c := 0
 	for _, w := range s.words {
 		c += bits.OnesCount64(w)
 	}
 	return c
 }
+
+// Words returns the backing word slice: bit i%64 of word i/64 holds
+// element i. The slice aliases internal storage; callers that write to it
+// must keep bits beyond Len() clear. It is the word-iteration primitive
+// of the dense frontier kernels.
+func (s *Set) Words() []uint64 { return s.words }
 
 // Clear removes all elements, retaining capacity.
 func (s *Set) Clear() {
@@ -120,6 +130,23 @@ func (s *Set) Union(other *Set) {
 	for i, w := range other.words {
 		s.words[i] |= w
 	}
+}
+
+// UnionCount adds every element of other to s and returns the number of
+// elements that were not already present. It is the word-parallel
+// coverage-merge primitive of the dense cobra kernel: one pass of OR plus
+// popcount replaces per-element TestAndAdd.
+func (s *Set) UnionCount(other *Set) int {
+	if s.n != other.n {
+		panic("bitset: UnionCount size mismatch")
+	}
+	added := 0
+	for i, w := range other.words {
+		old := s.words[i]
+		added += bits.OnesCount64(w &^ old)
+		s.words[i] = old | w
+	}
+	return added
 }
 
 // Intersect removes from s every element not in other. The sets must have
@@ -188,6 +215,22 @@ func (s *Set) ForEach(fn func(i int)) {
 		for w != 0 {
 			tz := bits.TrailingZeros64(w)
 			fn(base + tz)
+			w &= w - 1
+		}
+	}
+}
+
+// ForEachSet calls fn for each element in increasing order until fn
+// returns false. It is the early-exit variant of ForEach; fn must not
+// modify s.
+func (s *Set) ForEachSet(fn func(i int) bool) {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(base + tz) {
+				return
+			}
 			w &= w - 1
 		}
 	}

@@ -320,3 +320,97 @@ func BenchmarkTestAndAdd(b *testing.B) {
 		s.TestAndAdd(i & 0xffff)
 	}
 }
+
+func TestWordsAliasesStorage(t *testing.T) {
+	s := New(130)
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	w := s.Words()
+	if len(w) != 3 {
+		t.Fatalf("130-element set has %d words, want 3", len(w))
+	}
+	if w[0] != 1 || w[1] != 1 || w[2] != 2 {
+		t.Fatalf("unexpected words %b %b %b", w[0], w[1], w[2])
+	}
+	// Writing through the slice must be visible to the set (it aliases).
+	w[0] |= 1 << 5
+	if !s.Contains(5) {
+		t.Fatal("write through Words() not visible to Contains")
+	}
+}
+
+func TestOnesCountMatchesCount(t *testing.T) {
+	s := New(500)
+	for i := 0; i < 500; i += 7 {
+		s.Add(i)
+	}
+	if s.OnesCount() != s.Count() {
+		t.Fatalf("OnesCount %d != Count %d", s.OnesCount(), s.Count())
+	}
+	if want := (499 / 7) + 1; s.OnesCount() != want {
+		t.Fatalf("OnesCount %d, want %d", s.OnesCount(), want)
+	}
+}
+
+func TestForEachSetEarlyExit(t *testing.T) {
+	s := New(200)
+	for _, v := range []int{3, 64, 65, 190} {
+		s.Add(v)
+	}
+	var seen []int
+	s.ForEachSet(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 3
+	})
+	if len(seen) != 3 || seen[0] != 3 || seen[1] != 64 || seen[2] != 65 {
+		t.Fatalf("early-exit iteration saw %v", seen)
+	}
+	// Full iteration must match ForEach.
+	var all, ref []int
+	s.ForEachSet(func(i int) bool { all = append(all, i); return true })
+	s.ForEach(func(i int) { ref = append(ref, i) })
+	if len(all) != len(ref) {
+		t.Fatalf("ForEachSet visited %v, ForEach visited %v", all, ref)
+	}
+	for i := range all {
+		if all[i] != ref[i] {
+			t.Fatalf("ForEachSet visited %v, ForEach visited %v", all, ref)
+		}
+	}
+}
+
+func TestUnionCount(t *testing.T) {
+	a, b := New(300), New(300)
+	for i := 0; i < 300; i += 3 {
+		a.Add(i)
+	}
+	for i := 0; i < 300; i += 5 {
+		b.Add(i)
+	}
+	before := a.Count()
+	fresh := a.UnionCount(b)
+	// New elements: multiples of 5 that are not multiples of 3.
+	want := 0
+	for i := 0; i < 300; i += 5 {
+		if i%3 != 0 {
+			want++
+		}
+	}
+	if fresh != want {
+		t.Fatalf("UnionCount reported %d new, want %d", fresh, want)
+	}
+	if a.Count() != before+want {
+		t.Fatalf("post-union count %d, want %d", a.Count(), before+want)
+	}
+	// Idempotent: a second union adds nothing.
+	if again := a.UnionCount(b); again != 0 {
+		t.Fatalf("repeated UnionCount added %d", again)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch not detected")
+		}
+	}()
+	a.UnionCount(New(299))
+}

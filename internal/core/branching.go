@@ -73,7 +73,9 @@ type GeneralWalk struct {
 	branch   BranchingFunc
 	maxSteps int
 	rnd      *rng.Source
+	blk      *rng.Block // buffered draws for the dense kernel
 
+	denseCut int // run the dense kernel when len(active) > denseCut
 	active   []int32
 	next     []int32
 	nextSet  *bitset.Set
@@ -102,6 +104,7 @@ func NewGeneral(g *graph.Graph, branch BranchingFunc, maxSteps int, rnd *rng.Sou
 		branch:   branch,
 		maxSteps: maxSteps,
 		rnd:      rnd,
+		denseCut: DenseCutoff(g.N(), 0),
 		active:   make([]int32, 0, g.N()),
 		next:     make([]int32, 0, g.N()),
 		nextSet:  bitset.New(g.N()),
@@ -117,6 +120,9 @@ func (w *GeneralWalk) Reset(start int32) {
 	w.covered.Clear()
 	w.nCovered = 1
 	w.steps = 0
+	if w.blk != nil {
+		w.blk.Reset(w.rnd)
+	}
 	w.covered.Add(int(start))
 	w.active = append(w.active, start)
 }
@@ -130,8 +136,14 @@ func (w *GeneralWalk) CoveredCount() int { return w.nCovered }
 // ActiveCount returns the current active-set size.
 func (w *GeneralWalk) ActiveCount() int { return len(w.active) }
 
-// Step executes one round with per-vertex branching factors.
+// Step executes one round with per-vertex branching factors. Like
+// Walk.Step it switches to the dense word-parallel kernel when the
+// frontier exceeds N/DefaultDenseTheta.
 func (w *GeneralWalk) Step() {
+	if len(w.active) > w.denseCut {
+		w.stepDense()
+		return
+	}
 	g := w.g
 	for _, v := range w.active {
 		deg := g.Degree(v)

@@ -31,6 +31,16 @@ type Config struct {
 	// MaxSteps caps a run; runs exceeding it report ok = false. Zero
 	// selects DefaultMaxSteps(n).
 	MaxSteps int
+	// DenseTheta is the kernel-switch density θ: a round runs the dense
+	// word-parallel kernel when the active set is larger than N/θ, and
+	// the sparse list kernel otherwise. Zero selects DefaultDenseTheta;
+	// a negative value disables the dense kernel, which pins the walk to
+	// the seed-stable sparse draw sequence (byte-identical results
+	// across releases for a fixed seed); θ >= N forces the dense kernel
+	// on every round. Dense rounds consume randomness in a different
+	// order than sparse rounds, so runs that enter dense mode are
+	// distribution-equivalent, not byte-identical, to sparse-only runs.
+	DenseTheta int
 }
 
 // DefaultMaxSteps returns the safety cap used when Config.MaxSteps is
@@ -53,7 +63,9 @@ type Walk struct {
 	g   *graph.Graph
 	cfg Config
 	rnd *rng.Source
+	blk *rng.Block // buffered draws for the dense kernel, created lazily
 
+	denseCut  int         // run the dense kernel when len(active) > denseCut
 	active    []int32     // current frontier (unique vertices)
 	next      []int32     // next frontier under construction
 	nextSet   *bitset.Set // membership for next
@@ -82,13 +94,24 @@ func New(g *graph.Graph, cfg Config, rnd *rng.Source) *Walk {
 		cfg.MaxSteps = DefaultMaxSteps(g.N())
 	}
 	return &Walk{
-		g:       g,
-		cfg:     cfg,
-		rnd:     rnd,
-		active:  make([]int32, 0, g.N()),
-		next:    make([]int32, 0, g.N()),
-		nextSet: bitset.New(g.N()),
-		covered: bitset.New(g.N()),
+		g:        g,
+		cfg:      cfg,
+		rnd:      rnd,
+		denseCut: DenseCutoff(g.N(), cfg.DenseTheta),
+		active:   make([]int32, 0, g.N()),
+		next:     make([]int32, 0, g.N()),
+		nextSet:  bitset.New(g.N()),
+		covered:  bitset.New(g.N()),
+	}
+}
+
+// SetRand rebinds the walk to a new random source, discarding any
+// buffered draws. Pooled trial runners call it before Reset so one Walk
+// can serve many deterministic per-trial streams.
+func (w *Walk) SetRand(rnd *rng.Source) {
+	w.rnd = rnd
+	if w.blk != nil {
+		w.blk.Reset(rnd)
 	}
 }
 
@@ -111,6 +134,9 @@ func (w *Walk) ResetSet(starts []int32) {
 	w.steps = 0
 	w.messages = 0
 	w.activeLog = w.activeLog[:0]
+	if w.blk != nil {
+		w.blk.Reset(w.rnd)
+	}
 	for _, v := range starts {
 		if !w.covered.TestAndAdd(int(v)) {
 			w.nCovered++
@@ -155,8 +181,14 @@ func (w *Walk) MessagesSent() int64 { return w.messages }
 
 // Step executes one cobra round: every active vertex samples K random
 // neighbors with replacement; the sampled vertices form the new active
-// set.
+// set. Rounds whose frontier exceeds N/θ run the dense word-parallel
+// kernel (see kernel.go); smaller rounds run the sparse list kernel,
+// whose draw sequence is byte-stable for a fixed seed.
 func (w *Walk) Step() {
+	if len(w.active) > w.denseCut {
+		w.stepDense()
+		return
+	}
 	g, k := w.g, w.cfg.K
 	w.messages += int64(k) * int64(len(w.active))
 	for _, v := range w.active {
@@ -250,9 +282,13 @@ func MeanCoverTime(g *graph.Graph, k int, start int32, trials int, seed uint64) 
 	if trials < 1 {
 		return nil, fmt.Errorf("core: trials must be >= 1")
 	}
+	// One Walk and one Source serve every trial: reseeding plus Reset
+	// reproduces the exact per-trial streams of freshly allocated state
+	// without the O(n) allocations per trial.
 	out := make([]float64, trials)
+	w := New(g, Config{K: k}, rng.New(0))
 	for i := 0; i < trials; i++ {
-		w := New(g, Config{K: k}, rng.NewStream(seed, i))
+		w.rnd.Seed(rng.Stream(seed, i))
 		w.Reset(start)
 		steps, ok := w.RunUntilCovered()
 		if !ok {
@@ -271,10 +307,11 @@ func MaxHittingTime(g *graph.Graph, k int, pairs [][2]int32, trials int, seed ui
 		return 0, fmt.Errorf("core: need pairs and trials")
 	}
 	worst := 0.0
+	w := New(g, Config{K: k}, rng.New(0))
 	for pi, p := range pairs {
 		sum := 0.0
 		for i := 0; i < trials; i++ {
-			w := New(g, Config{K: k}, rng.NewStream(seed, pi*trials+i))
+			w.rnd.Seed(rng.Stream(seed, pi*trials+i))
 			w.Reset(p[0])
 			steps, ok := w.RunUntilHit(p[1])
 			if !ok {

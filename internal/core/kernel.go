@@ -1,0 +1,190 @@
+package core
+
+// This file implements the dense half of the dual-mode cobra-step
+// engine. The sparse kernel (in core.go) walks the frontier as a vertex
+// list with one Lemire draw and one bitset TestAndAdd per sample; it is
+// optimal for small frontiers and is byte-identical to the original
+// engine for a fixed seed. At steady state on well-connected graphs the
+// active set is Θ(n), where per-sample branching and bookkeeping
+// dominate. The dense kernel removes them: neighbor indices come in
+// blocks from rng.Block (mask or fixed-point multiply instead of
+// rejection, two 32-bit samples per 64-bit draw on the K=2 fast path),
+// next-frontier membership is a branch-free bit OR, coverage is merged
+// word-by-word with popcounts, and the frontier list is materialized in
+// one pass over the bitset words.
+//
+// The two kernels consume randomness in different orders, so a walk that
+// ever enters dense mode is distribution-equivalent, not byte-identical,
+// to a sparse-only run (see TestDenseSparseDistributionEquivalence).
+
+import (
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// DefaultDenseTheta is the default kernel-switch density θ: a step runs
+// the dense kernel when the active set is larger than N/θ. At 1/8 of the
+// vertices the frontier's bitset words are populated enough that
+// word-parallel merging and block sampling beat the sparse list walk.
+const DefaultDenseTheta = 8
+
+// DenseCutoff returns the frontier size above which the dense kernel
+// runs, for a graph of n vertices and a Config/θ value of theta:
+// 0 selects DefaultDenseTheta, negative disables the dense kernel
+// entirely (the byte-stable sparse-only contract), and θ >= n makes the
+// dense kernel run on every step.
+func DenseCutoff(n, theta int) int {
+	switch {
+	case theta < 0:
+		return math.MaxInt
+	case theta == 0:
+		return n / DefaultDenseTheta
+	case theta >= n:
+		// n/theta would round to 1 at theta == n, which still sends
+		// single-vertex rounds to the sparse kernel; the documented
+		// contract is that theta >= n forces dense on every round.
+		return 0
+	default:
+		return n / theta
+	}
+}
+
+// SampleFrontierDense performs the sampling half of one dense branching
+// round: every vertex of active draws k uniform neighbors (with
+// replacement) from blk, and each sampled vertex's bit is set in next,
+// which must come in empty. Selection of the mask/multiply fast path
+// uses the graph's cached degree metadata. The draw order — one block
+// draw per sample pair, low 32 bits first — is part of the engine's
+// determinism contract: package epidemic replays it to stay
+// stream-for-stream identical with the cobra walk.
+func SampleFrontierDense(g *graph.Graph, active []int32, k int, next *bitset.Set, blk *rng.Block) {
+	adj, offs := g.Adj(), g.Offsets()
+	words := next.Words()
+	regular, deg := g.IsRegular()
+	if regular && deg == 0 && len(active) > 0 {
+		// Matches the sparse kernel's Int31n(0) panic instead of
+		// silently reading past the (empty) adjacency array.
+		panic("core: dense kernel on a graph with no edges")
+	}
+	switch {
+	case regular && g.DegreeIsPow2():
+		mask := uint32(deg - 1)
+		if k == 2 {
+			for _, v := range active {
+				base := offs[v]
+				w := blk.Next()
+				u1 := adj[base+int32(uint32(w)&mask)]
+				u2 := adj[base+int32(uint32(w>>32)&mask)]
+				words[int(u1)>>6] |= 1 << (uint(u1) & 63)
+				words[int(u2)>>6] |= 1 << (uint(u2) & 63)
+			}
+			return
+		}
+		for _, v := range active {
+			base := offs[v]
+			for j := 0; j < k; j++ {
+				u := adj[base+int32(blk.Next32()&mask)]
+				words[int(u)>>6] |= 1 << (uint(u) & 63)
+			}
+		}
+	case regular:
+		d := uint64(deg)
+		if k == 2 {
+			for _, v := range active {
+				base := offs[v]
+				w := blk.Next()
+				u1 := adj[base+int32(uint64(uint32(w))*d>>32)]
+				u2 := adj[base+int32((w>>32)*d>>32)]
+				words[int(u1)>>6] |= 1 << (uint(u1) & 63)
+				words[int(u2)>>6] |= 1 << (uint(u2) & 63)
+			}
+			return
+		}
+		for _, v := range active {
+			base := offs[v]
+			for j := 0; j < k; j++ {
+				u := adj[base+int32(uint64(blk.Next32())*d>>32)]
+				words[int(u)>>6] |= 1 << (uint(u) & 63)
+			}
+		}
+	default:
+		for _, v := range active {
+			base := offs[v]
+			d := uint64(offs[v+1] - base)
+			if d == 0 {
+				panic("core: dense kernel reached an isolated vertex")
+			}
+			if k == 2 {
+				w := blk.Next()
+				u1 := adj[base+int32(uint64(uint32(w))*d>>32)]
+				u2 := adj[base+int32((w>>32)*d>>32)]
+				words[int(u1)>>6] |= 1 << (uint(u1) & 63)
+				words[int(u2)>>6] |= 1 << (uint(u2) & 63)
+				continue
+			}
+			for j := 0; j < k; j++ {
+				u := adj[base+int32(uint64(blk.Next32())*d>>32)]
+				words[int(u)>>6] |= 1 << (uint(u) & 63)
+			}
+		}
+	}
+}
+
+// stepDense executes one cobra round with the dense kernel. Semantics
+// match the sparse Step exactly (active set, coverage, message and
+// recording accounting); only the randomness consumption order and the
+// ordering of the materialized frontier (ascending rather than insertion
+// order) differ.
+func (w *Walk) stepDense() {
+	k := w.cfg.K
+	w.messages += int64(k) * int64(len(w.active))
+	if w.blk == nil {
+		w.blk = rng.NewBlock(w.rnd)
+	}
+	SampleFrontierDense(w.g, w.active, k, w.nextSet, w.blk)
+	w.nCovered += w.covered.UnionCount(w.nextSet)
+	w.next = w.nextSet.AppendTo(w.next[:0])
+	w.nextSet.Clear()
+	w.active, w.next = w.next, w.active[:0]
+	w.steps++
+	if w.recording {
+		w.activeLog = append(w.activeLog, len(w.active))
+	}
+}
+
+// stepDense executes one generalized round with block-sampled draws and
+// word-parallel coverage merging. Branching factors still come from the
+// walk's BranchingFunc (which draws from the walk's Source, not the
+// block).
+func (w *GeneralWalk) stepDense() {
+	g := w.g
+	if w.blk == nil {
+		w.blk = rng.NewBlock(w.rnd)
+	}
+	blk := w.blk
+	adj, offs := g.Adj(), g.Offsets()
+	words := w.nextSet.Words()
+	for _, v := range w.active {
+		k := w.branch(v, w.steps, w.rnd)
+		if k < 1 {
+			panic("core: branching function returned < 1")
+		}
+		base := offs[v]
+		d := uint64(offs[v+1] - base)
+		if d == 0 {
+			panic("core: dense kernel reached an isolated vertex")
+		}
+		for j := 0; j < k; j++ {
+			u := adj[base+int32(uint64(blk.Next32())*d>>32)]
+			words[int(u)>>6] |= 1 << (uint(u) & 63)
+		}
+	}
+	w.nCovered += w.covered.UnionCount(w.nextSet)
+	w.next = w.nextSet.AppendTo(w.next[:0])
+	w.nextSet.Clear()
+	w.active, w.next = w.next, w.active[:0]
+	w.steps++
+}

@@ -24,7 +24,7 @@ type GridTracker struct {
 	d, side int
 	pos     []int
 	target  []int
-	rnd     *rng.Source
+	blk     *rng.Block // batched draws: move indices and tie-break bits
 	steps   int
 }
 
@@ -47,7 +47,7 @@ func NewGridTracker(d, side int, start, target []int, rnd *rng.Source) *GridTrac
 		side:   side,
 		pos:    append([]int(nil), start...),
 		target: append([]int(nil), target...),
-		rnd:    rnd,
+		blk:    rng.NewBlock(rnd),
 	}
 	for i := 0; i < d; i++ {
 		if start[i] < 0 || start[i] >= side || target[i] < 0 || target[i] >= side {
@@ -94,7 +94,7 @@ func (t *GridTracker) randomMove() move {
 			deg++
 		}
 	}
-	k := t.rnd.Intn(deg)
+	k := int(t.blk.Index(int32(deg)))
 	for i := 0; i < t.d; i++ {
 		if t.pos[i] > 0 {
 			if k == 0 {
@@ -140,7 +140,7 @@ func (t *GridTracker) choose(c1, c2 move) move {
 		case cl2 && !cl1:
 			return c2
 		default:
-			if t.rnd.Bool() {
+			if t.blk.Bool() {
 				return c1
 			}
 			return c2
@@ -153,7 +153,7 @@ func (t *GridTracker) choose(c1, c2 move) move {
 	case z2 == 0 && z1 != 0:
 		return c1
 	case z1 == 0 && z2 == 0:
-		if t.rnd.Bool() {
+		if t.blk.Bool() {
 			return c1
 		}
 		return c2
@@ -165,7 +165,7 @@ func (t *GridTracker) choose(c1, c2 move) move {
 	case cl2 && !cl1:
 		return c2
 	default:
-		if t.rnd.Bool() {
+		if t.blk.Bool() {
 			return c1
 		}
 		return c2

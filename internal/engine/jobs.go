@@ -133,15 +133,18 @@ func (s *CoverTimeSpec) Run(ctx context.Context, progress func(done, total int))
 		return nil, fmt.Errorf("engine: covertime: start vertex %d outside graph %s", s.Start, g)
 	}
 	progress(0, s.Trials)
-	sample, err := sim.RunTrialsContext(ctx, s.Trials, s.Seed,
-		func(trial int, src *rng.Source) (float64, error) {
-			w := core.New(g, core.Config{K: s.K, MaxSteps: s.MaxSteps}, src)
-			w.Reset(s.Start)
-			steps, ok := w.RunUntilCovered()
-			if !ok {
-				return 0, fmt.Errorf("covertime: step cap exceeded on %s", g)
+	sample, err := sim.RunTrialsPooledContext(ctx, s.Trials, s.Seed,
+		func() sim.TrialFunc {
+			w := core.New(g, core.Config{K: s.K, MaxSteps: s.MaxSteps}, rng.New(0))
+			return func(trial int, src *rng.Source) (float64, error) {
+				w.SetRand(src)
+				w.Reset(s.Start)
+				steps, ok := w.RunUntilCovered()
+				if !ok {
+					return 0, fmt.Errorf("covertime: step cap exceeded on %s", g)
+				}
+				return float64(steps), nil
 			}
-			return float64(steps), nil
 		},
 		func(completed int) { progress(completed, s.Trials) })
 	if err != nil {
@@ -219,16 +222,19 @@ func (s *CobraWalkSpec) Run(ctx context.Context, progress func(done, total int))
 	}
 	messages := make([]float64, s.Trials)
 	progress(0, s.Trials)
-	steps, err := sim.RunTrialsContext(ctx, s.Trials, s.Seed,
-		func(trial int, src *rng.Source) (float64, error) {
-			w := core.New(g, core.Config{K: s.K, MaxSteps: s.MaxSteps}, src)
-			w.Reset(s.Start)
-			n, ok := w.RunUntilCoveredFraction(frac)
-			if !ok {
-				return 0, fmt.Errorf("cobra: step cap exceeded on %s", g)
+	steps, err := sim.RunTrialsPooledContext(ctx, s.Trials, s.Seed,
+		func() sim.TrialFunc {
+			w := core.New(g, core.Config{K: s.K, MaxSteps: s.MaxSteps}, rng.New(0))
+			return func(trial int, src *rng.Source) (float64, error) {
+				w.SetRand(src)
+				w.Reset(s.Start)
+				n, ok := w.RunUntilCoveredFraction(frac)
+				if !ok {
+					return 0, fmt.Errorf("cobra: step cap exceeded on %s", g)
+				}
+				messages[trial] = float64(w.MessagesSent())
+				return float64(n), nil
 			}
-			messages[trial] = float64(w.MessagesSent())
-			return float64(n), nil
 		},
 		func(completed int) { progress(completed, s.Trials) })
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitset"
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -32,6 +33,13 @@ type Config struct {
 	Gamma float64
 	// MaxRounds caps runs; zero selects a generous default.
 	MaxRounds int
+	// DenseTheta is the kernel-switch density of the Beta = Gamma = 1
+	// idealization path, mirroring core.Config.DenseTheta: rounds whose
+	// infected set exceeds N/θ run the same dense word-parallel kernel
+	// as the cobra walk, keeping the two processes stream-for-stream
+	// identical. Zero selects core.DefaultDenseTheta; negative disables
+	// the dense kernel.
+	DenseTheta int
 }
 
 // validate panics on nonsensical configuration.
@@ -49,6 +57,9 @@ type Process struct {
 	g   *graph.Graph
 	cfg Config
 	rnd *rng.Source
+	blk *rng.Block // buffered draws for the dense idealization kernel
+
+	denseCut int // dense kernel when len(infected) > denseCut (Beta=Gamma=1 only)
 
 	infected    []int32     // current infected vertices (unique)
 	next        []int32     // next round's infected under construction
@@ -73,11 +84,12 @@ func New(g *graph.Graph, patientZero []int32, cfg Config, rnd *rng.Source) *Proc
 		cfg.MaxRounds = 200*g.N()*g.N() + 100000
 	}
 	p := &Process{
-		g:       g,
-		cfg:     cfg,
-		rnd:     rnd,
-		nextSet: bitset.New(g.N()),
-		everSet: bitset.New(g.N()),
+		g:        g,
+		cfg:      cfg,
+		rnd:      rnd,
+		denseCut: core.DenseCutoff(g.N(), cfg.DenseTheta),
+		nextSet:  bitset.New(g.N()),
+		everSet:  bitset.New(g.N()),
 	}
 	seen := bitset.New(g.N())
 	for _, v := range patientZero {
@@ -116,6 +128,10 @@ func (p *Process) TotalInfections() int64 { return p.totalInfect }
 // with probability Gamma, otherwise remaining infected next round.
 func (p *Process) Step() {
 	g := p.g
+	if p.cfg.Beta == 1 && p.cfg.Gamma == 1 && len(p.infected) > p.denseCut {
+		p.stepDense()
+		return
+	}
 	for _, v := range p.infected {
 		deg := g.Degree(v)
 		for j := 0; j < p.cfg.K; j++ {
@@ -142,6 +158,27 @@ func (p *Process) Step() {
 	for _, u := range p.infected {
 		p.nextSet.Remove(int(u))
 	}
+	if len(p.infected) > p.peak {
+		p.peak = len(p.infected)
+	}
+	p.rounds++
+}
+
+// stepDense executes one round of the Beta = Gamma = 1 idealization
+// with the cobra walk's dense kernel: every infected vertex transmits to
+// K sampled neighbors and recovers. It replays core.Walk.stepDense draw
+// for draw, preserving the exact stream correspondence between the SIS
+// idealization and the cobra walk in both kernel modes.
+func (p *Process) stepDense() {
+	if p.blk == nil {
+		p.blk = rng.NewBlock(p.rnd)
+	}
+	core.SampleFrontierDense(p.g, p.infected, p.cfg.K, p.nextSet, p.blk)
+	p.totalInfect += int64(p.nextSet.OnesCount())
+	p.everCount += p.everSet.UnionCount(p.nextSet)
+	p.next = p.nextSet.AppendTo(p.next[:0])
+	p.nextSet.Clear()
+	p.infected, p.next = p.next, p.infected[:0]
 	if len(p.infected) > p.peak {
 		p.peak = len(p.infected)
 	}

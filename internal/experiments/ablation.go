@@ -38,16 +38,8 @@ func E15BranchingK(scale Scale, seed uint64) (*Result, error) {
 	for gi, g := range graphs {
 		means := make([]float64, 4)
 		for ki, k := range []int{1, 2, 3, 4} {
-			sample, err := sim.RunTrials(trials, rng.Stream(seed, 100+10*gi+ki),
-				func(trial int, src *rng.Source) (float64, error) {
-					w := core.New(g, core.Config{K: k}, src)
-					w.Reset(0)
-					steps, ok := w.RunUntilCovered()
-					if !ok {
-						return 0, fmt.Errorf("E15: cover cap exceeded on %s (k=%d)", g, k)
-					}
-					return float64(steps), nil
-				})
+			sample, err := sim.RunTrialsPooled(trials, rng.Stream(seed, 100+10*gi+ki),
+				cobraCoverWorker(g, core.Config{K: k}, []int32{0}, "E15"))
 			if err != nil {
 				return nil, err
 			}

@@ -130,16 +130,8 @@ func E11Dominance(scale Scale, seed uint64) (*Result, error) {
 	for ci, pc := range cases {
 		g := pc.g
 		maxSteps := 500 * g.N() * g.N()
-		cobra, err := sim.RunTrials(trials, rng.Stream(seed, 30+ci),
-			func(trial int, src *rng.Source) (float64, error) {
-				w := core.New(g, core.Config{K: 2, MaxSteps: maxSteps}, src)
-				w.Reset(pc.u)
-				steps, ok := w.RunUntilHit(pc.v)
-				if !ok {
-					return 0, fmt.Errorf("E11: cobra cap exceeded")
-				}
-				return float64(steps), nil
-			})
+		cobra, err := sim.RunTrialsPooled(trials, rng.Stream(seed, 30+ci),
+			cobraHitWorker(g, core.Config{K: 2, MaxSteps: maxSteps}, pc.u, pc.v, "E11"))
 		if err != nil {
 			return nil, err
 		}

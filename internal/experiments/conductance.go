@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/core"
@@ -67,16 +66,8 @@ func E4Conductance(scale Scale, seed uint64) (*Result, error) {
 			f.phi = a.PhiHigh
 		}
 		g := f.g
-		sample, err := sim.RunTrials(trials, rng.Stream(seed, 50+fi),
-			func(trial int, src *rng.Source) (float64, error) {
-				w := core.New(g, core.Config{K: 2}, src)
-				w.Reset(0)
-				steps, ok := w.RunUntilCovered()
-				if !ok {
-					return 0, fmt.Errorf("E4: cover cap exceeded on %s", g)
-				}
-				return float64(steps), nil
-			})
+		sample, err := sim.RunTrialsPooled(trials, rng.Stream(seed, 50+fi),
+			cobraCoverWorker(g, core.Config{K: 2}, []int32{0}, "E4"))
 		if err != nil {
 			return nil, err
 		}
@@ -139,16 +130,8 @@ func E5Expander(scale Scale, seed uint64) (*Result, error) {
 	table := sim.NewTable("E5: expander cover times (2-cobra walk)",
 		"graph", "n", "cover mean", "95% CI", "cover max", "log²n", "cover/log²n")
 	measure := func(g *graph.Graph, streamBase int) (sim.Point, error) {
-		sample, err := sim.RunTrials(trials, rng.Stream(seed, streamBase),
-			func(trial int, src *rng.Source) (float64, error) {
-				w := core.New(g, core.Config{K: 2}, src)
-				w.Reset(0)
-				steps, ok := w.RunUntilCovered()
-				if !ok {
-					return sim.Point{}.X, fmt.Errorf("E5: cover cap exceeded on %s", g)
-				}
-				return float64(steps), nil
-			})
+		sample, err := sim.RunTrialsPooled(trials, rng.Stream(seed, streamBase),
+			cobraCoverWorker(g, core.Config{K: 2}, []int32{0}, "E5"))
 		if err != nil {
 			return sim.Point{}, err
 		}

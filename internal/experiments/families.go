@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/core"
@@ -36,16 +35,8 @@ func E19RapidCoverage(scale Scale, seed uint64) (*Result, error) {
 	table := sim.NewTable("E19: 2-cobra cover times on the §4 rapid-coverage families",
 		"graph", "n", "cover mean", "95% CI", "ln n", "cover/ln n", "cover/n")
 	measure := func(g *graph.Graph, streamBase int) (sim.Point, error) {
-		sample, err := sim.RunTrials(trials, rng.Stream(seed, streamBase),
-			func(trial int, src *rng.Source) (float64, error) {
-				w := core.New(g, core.Config{K: 2}, src)
-				w.Reset(0)
-				steps, ok := w.RunUntilCovered()
-				if !ok {
-					return 0, fmt.Errorf("E19: cover cap exceeded on %s", g)
-				}
-				return float64(steps), nil
-			})
+		sample, err := sim.RunTrialsPooled(trials, rng.Stream(seed, streamBase),
+			cobraCoverWorker(g, core.Config{K: 2}, []int32{0}, "E19"))
 		if err != nil {
 			return sim.Point{}, err
 		}

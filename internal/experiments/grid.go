@@ -47,16 +47,8 @@ func E1GridCover(scale Scale, seed uint64) (*Result, error) {
 		var points []sim.Point
 		for _, side := range sw.sides {
 			g := graph.Grid(sw.d, side)
-			sample, err := sim.RunTrials(trials, rng.Stream(seed, si*1000+side),
-				func(trial int, src *rng.Source) (float64, error) {
-					w := core.New(g, core.Config{K: 2}, src)
-					w.Reset(0)
-					steps, ok := w.RunUntilCovered()
-					if !ok {
-						return 0, fmt.Errorf("E1: cover cap exceeded on %s", g)
-					}
-					return float64(steps), nil
-				})
+			sample, err := sim.RunTrialsPooled(trials, rng.Stream(seed, si*1000+side),
+				cobraCoverWorker(g, core.Config{K: 2}, []int32{0}, "E1"))
 			if err != nil {
 				return nil, err
 			}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/core"
@@ -37,16 +36,8 @@ func E8RegularHitting(scale Scale, seed uint64) (*Result, error) {
 		for i, n := range sizes {
 			g := build(n)
 			target := int32(n / 2)
-			sample, err := sim.RunTrials(trials, rng.Stream(seed, streamBase+i),
-				func(trial int, src *rng.Source) (float64, error) {
-					w := core.New(g, core.Config{K: 2}, src)
-					w.Reset(0)
-					steps, ok := w.RunUntilHit(target)
-					if !ok {
-						return 0, fmt.Errorf("E8: hit cap exceeded on %s", g)
-					}
-					return float64(steps), nil
-				})
+			sample, err := sim.RunTrialsPooled(trials, rng.Stream(seed, streamBase+i),
+				cobraHitWorker(g, core.Config{K: 2}, 0, target, "E8"))
 			if err != nil {
 				return nil, err
 			}
@@ -120,16 +111,9 @@ func E9Lollipop(scale Scale, seed uint64) (*Result, error) {
 	for i, n := range sizes {
 		g := graph.Lollipop(n/2, n/2)
 		tail := int32(g.N() - 1)
-		sample, err := sim.RunTrials(trials, rng.Stream(seed, 900+i),
-			func(trial int, src *rng.Source) (float64, error) {
-				w := core.New(g, core.Config{K: 2, MaxSteps: 4000 * n * n}, src)
-				w.Reset(1) // a clique vertex away from the junction
-				steps, ok := w.RunUntilHit(tail)
-				if !ok {
-					return 0, fmt.Errorf("E9: cobra hit cap exceeded on %s", g)
-				}
-				return float64(steps), nil
-			})
+		// Start at vertex 1, a clique vertex away from the junction.
+		sample, err := sim.RunTrialsPooled(trials, rng.Stream(seed, 900+i),
+			cobraHitWorker(g, core.Config{K: 2, MaxSteps: 4000 * n * n}, 1, tail, "E9"))
 		if err != nil {
 			return nil, err
 		}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/core"
@@ -64,16 +63,8 @@ func E14Matthews(scale Scale, seed uint64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cover, err := sim.RunTrials(trials, rng.Stream(seed, 200+gi),
-			func(trial int, src *rng.Source) (float64, error) {
-				w := core.New(g, core.Config{K: 2}, src)
-				w.Reset(0)
-				steps, ok := w.RunUntilCovered()
-				if !ok {
-					return 0, fmt.Errorf("E14: cover cap exceeded on %s", g)
-				}
-				return float64(steps), nil
-			})
+		cover, err := sim.RunTrialsPooled(trials, rng.Stream(seed, 200+gi),
+			cobraCoverWorker(g, core.Config{K: 2}, []int32{0}, "E14"))
 		if err != nil {
 			return nil, err
 		}

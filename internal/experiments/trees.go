@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/core"
@@ -37,16 +36,8 @@ func E12Trees(scale Scale, seed uint64) (*Result, error) {
 			}
 			g := graph.KAryTree(k, depth)
 			diam := 2 * depth
-			sample, err := sim.RunTrials(trials, rng.Stream(seed, k*100+depth),
-				func(trial int, src *rng.Source) (float64, error) {
-					w := core.New(g, core.Config{K: 2}, src)
-					w.Reset(0)
-					steps, ok := w.RunUntilCovered()
-					if !ok {
-						return 0, fmt.Errorf("E12: cover cap exceeded on %s", g)
-					}
-					return float64(steps), nil
-				})
+			sample, err := sim.RunTrialsPooled(trials, rng.Stream(seed, k*100+depth),
+				cobraCoverWorker(g, core.Config{K: 2}, []int32{0}, "E12"))
 			if err != nil {
 				return nil, err
 			}
@@ -94,16 +85,8 @@ func E13Star(scale Scale, seed uint64) (*Result, error) {
 	var ratios []float64
 	for i, n := range sizes {
 		g := graph.Star(n)
-		sample, err := sim.RunTrials(trials, rng.Stream(seed, 40+i),
-			func(trial int, src *rng.Source) (float64, error) {
-				w := core.New(g, core.Config{K: 2}, src)
-				w.Reset(0)
-				steps, ok := w.RunUntilCovered()
-				if !ok {
-					return 0, fmt.Errorf("E13: cover cap exceeded on %s", g)
-				}
-				return float64(steps), nil
-			})
+		sample, err := sim.RunTrialsPooled(trials, rng.Stream(seed, 40+i),
+			cobraCoverWorker(g, core.Config{K: 2}, []int32{0}, "E13"))
 		if err != nil {
 			return nil, err
 		}

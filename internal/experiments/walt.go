@@ -47,16 +47,8 @@ func E6WaltDominance(scale Scale, seed uint64) (*Result, error) {
 		"graph", "process", "mean", "median", "q90", "max")
 	for ci, tc := range cases {
 		g := tc.g
-		cobra, err := sim.RunTrials(trials, rng.Stream(seed, 100+ci),
-			func(trial int, src *rng.Source) (float64, error) {
-				w := core.New(g, core.Config{K: 2}, src)
-				w.ResetSet(tc.starts)
-				steps, ok := w.RunUntilCovered()
-				if !ok {
-					return 0, fmt.Errorf("E6: cobra cover cap exceeded")
-				}
-				return float64(steps), nil
-			})
+		cobra, err := sim.RunTrialsPooled(trials, rng.Stream(seed, 100+ci),
+			cobraCoverWorker(g, core.Config{K: 2}, tc.starts, "E6"))
 		if err != nil {
 			return nil, err
 		}

@@ -49,9 +49,10 @@ type Process struct {
 	g        *graph.Graph
 	mode     Mode
 	rnd      *rng.Source
-	drop     float64 // per-message loss probability (fault model)
-	stamp    []int32 // round at which each vertex was informed, -1 if never
-	list     []int32 // informed vertices, in order of infection
+	blk      *rng.Block // batched contact draws
+	drop     float64    // per-message loss probability (fault model)
+	stamp    []int32    // round at which each vertex was informed, -1 if never
+	list     []int32    // informed vertices, in order of infection
 	count    int
 	rounds   int32
 	messages int64 // protocol messages sent (pushes + pull requests)
@@ -78,6 +79,7 @@ func NewWithDrops(g *graph.Graph, mode Mode, start int32, drop float64, rnd *rng
 		g:     g,
 		mode:  mode,
 		rnd:   rnd,
+		blk:   rng.NewBlock(rnd),
 		drop:  drop,
 		stamp: make([]int32, g.N()),
 		list:  make([]int32, 0, g.N()),
@@ -122,7 +124,7 @@ func (p *Process) Step() {
 		p.messages += int64(informedAtStart)
 		for i := 0; i < informedAtStart; i++ {
 			v := p.list[i]
-			u := g.Neighbor(v, p.rnd.Int31n(g.Degree(v)))
+			u := g.Neighbor(v, p.blk.Index(g.Degree(v)))
 			if p.stamp[u] == notInformed && p.delivered() {
 				p.stamp[u] = cur + 1
 				p.list = append(p.list, u)
@@ -136,7 +138,7 @@ func (p *Process) Step() {
 				continue
 			}
 			p.messages++
-			u := g.Neighbor(v, p.rnd.Int31n(g.Degree(v)))
+			u := g.Neighbor(v, p.blk.Index(g.Degree(v)))
 			if s := p.stamp[u]; s != notInformed && s <= cur && p.delivered() {
 				p.stamp[v] = cur + 1
 				p.list = append(p.list, v)

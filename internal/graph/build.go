@@ -101,6 +101,7 @@ func (b *Builder) Build() (*Graph, error) {
 		cursor[e.v]++
 	}
 	g := &Graph{offsets: offsets, adj: adj, name: b.name}
+	g.finalize()
 	// Neighbor lists are sorted because edges were processed in sorted
 	// order for the lower endpoint; the higher endpoint's list receives
 	// entries in increasing order of the lower endpoint, which is also

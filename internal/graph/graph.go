@@ -17,7 +17,44 @@ type Graph struct {
 	offsets []int32 // length n+1
 	adj     []int32 // length 2m (each undirected edge appears twice)
 	name    string  // human-readable family label, e.g. "grid(d=2,side=32)"
+
+	// Degree metadata cached by finalize at Build time so the walk
+	// kernels can select their sampling fast path in O(1): regDeg is the
+	// common degree if the graph is regular (-1 otherwise), and degPow2
+	// records whether that degree is a power of two.
+	metaDone bool
+	regDeg   int32
+	degPow2  bool
 }
+
+// finalize computes the cached degree metadata. Builders call it once at
+// construction; accessors fall back to it lazily for hand-assembled
+// graphs in tests.
+func (g *Graph) finalize() {
+	g.metaDone = true
+	g.regDeg = -1
+	g.degPow2 = false
+	if g.N() == 0 {
+		g.regDeg = 0
+		return
+	}
+	d := g.Degree(0)
+	for v := int32(1); v < int32(g.N()); v++ {
+		if g.Degree(v) != d {
+			return
+		}
+	}
+	g.regDeg = d
+	g.degPow2 = d > 0 && d&(d-1) == 0
+}
+
+// Offsets returns the CSR offset array (length N()+1). The slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Offsets() []int32 { return g.offsets }
+
+// Adj returns the flat CSR adjacency array (length 2M()). The slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Adj() []int32 { return g.adj }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.offsets) - 1 }
@@ -72,18 +109,26 @@ func (g *Graph) MaxDegree() int32 {
 }
 
 // IsRegular reports whether every vertex has the same degree, and returns
-// that degree. The empty graph is regular with degree 0.
+// that degree. The empty graph is regular with degree 0. The answer is
+// cached at Build time, so this is O(1) on built graphs.
 func (g *Graph) IsRegular() (bool, int32) {
-	if g.N() == 0 {
-		return true, 0
+	if !g.metaDone {
+		g.finalize()
 	}
-	d := g.Degree(0)
-	for v := int32(1); v < int32(g.N()); v++ {
-		if g.Degree(v) != d {
-			return false, 0
-		}
+	if g.regDeg < 0 {
+		return false, 0
 	}
-	return true, d
+	return true, g.regDeg
+}
+
+// DegreeIsPow2 reports whether the graph is regular with a power-of-two
+// degree, the precondition of the mask sampling fast path. Cached at
+// Build time.
+func (g *Graph) DegreeIsPow2() bool {
+	if !g.metaDone {
+		g.finalize()
+	}
+	return g.degPow2
 }
 
 // HasEdge reports whether {u, v} is an edge. Neighbor lists are sorted, so

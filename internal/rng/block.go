@@ -1,0 +1,129 @@
+package rng
+
+// This file implements the batched drawing layer used by the dense
+// frontier kernels: Source.Fill generates a block of outputs with the
+// generator state held in locals, and Block buffers those outputs so hot
+// loops amortize the per-draw call overhead and can split one 64-bit
+// draw into two 32-bit index samples.
+
+// BlockSize is the number of 64-bit outputs buffered by a Block refill.
+const BlockSize = 64
+
+// Fill overwrites dst with the next len(dst) outputs of the generator,
+// exactly as len(dst) successive Uint64 calls would. Keeping the state
+// in locals for the whole batch is measurably faster than per-call
+// loads/stores in sampling-bound loops.
+func (r *Source) Fill(dst []uint64) {
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	for i := range dst {
+		dst[i] = rotl23(s0+s3) + s0
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl45(s3)
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}
+
+func rotl23(x uint64) uint64 { return x<<23 | x>>(64-23) }
+func rotl45(x uint64) uint64 { return x<<45 | x>>(64-45) }
+
+// Block is a buffered reader over a Source: it refills BlockSize 64-bit
+// outputs at a time and serves them one word — or one 32-bit half — per
+// draw. The draw sequence is deterministic: a Block consumes exactly the
+// Uint64 sequence of its Source, BlockSize words per refill, so mixing
+// direct Source draws with Block draws remains reproducible (though the
+// interleaving differs from unbuffered code).
+//
+// Block is not safe for concurrent use.
+type Block struct {
+	src     *Source
+	buf     [BlockSize]uint64
+	i       int
+	half    uint32 // pending upper half for Next32
+	hasHalf bool
+}
+
+// NewBlock returns a Block reading from src. The first draw triggers a
+// refill; no randomness is consumed by construction.
+func NewBlock(src *Source) *Block {
+	return &Block{src: src, i: BlockSize}
+}
+
+// Reset discards any buffered randomness and rebinds the block to src.
+// Pooled simulation workers call it between trials so every trial
+// consumes its stream from the top.
+func (b *Block) Reset(src *Source) {
+	b.src = src
+	b.i = BlockSize
+	b.hasHalf = false
+}
+
+// Next returns the next buffered 64-bit output, refilling when the
+// buffer is exhausted.
+func (b *Block) Next() uint64 {
+	if b.i == BlockSize {
+		b.src.Fill(b.buf[:])
+		b.i = 0
+	}
+	v := b.buf[b.i]
+	b.i++
+	return v
+}
+
+// Next32 returns the next 32 buffered bits: each 64-bit output serves
+// two consecutive Next32 calls (low half first).
+func (b *Block) Next32() uint32 {
+	if b.hasHalf {
+		b.hasHalf = false
+		return b.half
+	}
+	w := b.Next()
+	b.half = uint32(w >> 32)
+	b.hasHalf = true
+	return uint32(w)
+}
+
+// Bool returns one random bit from the buffered stream.
+func (b *Block) Bool() bool { return b.Next32()&1 == 1 }
+
+// Index returns a uniform index in [0, n) from one 32-bit half using the
+// fixed-point multiply (mask-and-multiply) scheme: (r*n) >> 32 with r a
+// 32-bit draw. Unlike Lemire rejection this never loops; the bias is at
+// most n/2^32 per outcome, negligible for the vertex degrees sampled by
+// the walk kernels (see the chi-square tests). It panics if n <= 0.
+func (b *Block) Index(n int32) int32 {
+	if n <= 0 {
+		panic("rng: Block.Index called with n <= 0")
+	}
+	return int32(uint64(b.Next32()) * uint64(n) >> 32)
+}
+
+// IndexPow2 returns a uniform index in [0, n) for n a power of two, by
+// masking the low bits of a 32-bit draw (exactly uniform). It is the
+// testable specification of the mask sampling that core's dense kernel
+// inlines; the chi-square tests validate the scheme through it. It
+// panics if n is not a positive power of two.
+func (b *Block) IndexPow2(n int32) int32 {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("rng: IndexPow2 needs a positive power of two")
+	}
+	return int32(b.Next32() & uint32(n-1))
+}
+
+// TwoIndex returns two independent uniform indices in [0, n) from a
+// single buffered 64-bit draw (low half first). It is the testable
+// specification of the two-halves-per-word sampling that core's dense
+// K=2 fast path inlines; the joint-uniformity chi-square test validates
+// the scheme through it. It panics if n <= 0.
+func (b *Block) TwoIndex(n int32) (int32, int32) {
+	if n <= 0 {
+		panic("rng: TwoIndex called with n <= 0")
+	}
+	w := b.Next()
+	return int32(uint64(uint32(w)) * uint64(n) >> 32),
+		int32((w >> 32) * uint64(n) >> 32)
+}

@@ -21,8 +21,17 @@ import (
 
 // TrialFunc runs one trial with its own random source and returns a
 // measurement. Implementations must not share mutable state across
-// trials.
+// trials, and must not retain src beyond the call: the runner reuses one
+// Source per worker, reseeding it to stream i before trial i.
 type TrialFunc func(trial int, src *rng.Source) (float64, error)
+
+// WorkerFunc constructs the trial function of one worker goroutine. The
+// runner calls it once per worker; the returned TrialFunc is then
+// invoked serially by that worker, so it may own reusable state — a
+// pooled core.Walk reset per trial, scratch buffers — without
+// synchronization. Per-trial results must still depend only on (trial,
+// src) so that scheduling cannot change measurements.
+type WorkerFunc func() TrialFunc
 
 // RunTrials executes fn for trials independent trials in parallel,
 // seeding trial i with stream i of seed, and returns the measurements in
@@ -30,6 +39,22 @@ type TrialFunc func(trial int, src *rng.Source) (float64, error)
 // returned. Parallelism defaults to GOMAXPROCS.
 func RunTrials(trials int, seed uint64, fn TrialFunc) ([]float64, error) {
 	return RunTrialsContext(context.Background(), trials, seed, fn, nil)
+}
+
+// RunTrialsPooled is RunTrials with per-worker state reuse: newWorker is
+// called once per worker goroutine and the returned TrialFunc handles
+// that worker's share of trials. Simulations whose per-trial state is
+// O(n) (walks, processes) use this to allocate that state once per
+// worker instead of once per trial; determinism is unchanged because
+// trial i still consumes exactly stream i of seed.
+func RunTrialsPooled(trials int, seed uint64, newWorker WorkerFunc) ([]float64, error) {
+	return RunTrialsPooledContext(context.Background(), trials, seed, newWorker, nil)
+}
+
+// RunTrialsPooledContext is RunTrialsPooled with cooperative cancellation
+// and progress reporting (see RunTrialsContext for their semantics).
+func RunTrialsPooledContext(ctx context.Context, trials int, seed uint64, newWorker WorkerFunc, onDone func(completed int)) ([]float64, error) {
+	return runTrials(ctx, trials, seed, newWorker, onDone)
 }
 
 // RunTrialsContext is RunTrials with cooperative cancellation and
@@ -40,6 +65,14 @@ func RunTrials(trials int, seed uint64, fn TrialFunc) ([]float64, error) {
 // are atomic). Trial dispatch uses a lock-free atomic counter so the hot
 // path scales with worker count.
 func RunTrialsContext(ctx context.Context, trials int, seed uint64, fn TrialFunc, onDone func(completed int)) ([]float64, error) {
+	return runTrials(ctx, trials, seed, func() TrialFunc { return fn }, onDone)
+}
+
+// runTrials is the shared dispatch loop: each worker constructs its
+// TrialFunc once, owns one reseedable Source, and claims trials off a
+// lock-free counter. Trial i always runs with stream i of seed, so
+// results are independent of worker count and scheduling.
+func runTrials(ctx context.Context, trials int, seed uint64, newWorker WorkerFunc, onDone func(completed int)) ([]float64, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("sim: trials must be >= 1")
 	}
@@ -55,6 +88,8 @@ func RunTrialsContext(ctx context.Context, trials int, seed uint64, fn TrialFunc
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			fn := newWorker()
+			src := rng.New(0)
 			for {
 				if ctx.Err() != nil {
 					return
@@ -63,7 +98,8 @@ func RunTrialsContext(ctx context.Context, trials int, seed uint64, fn TrialFunc
 				if i >= trials {
 					return
 				}
-				v, err := fn(i, rng.NewStream(seed, i))
+				src.Seed(rng.Stream(seed, i))
+				v, err := fn(i, src)
 				out[i] = v
 				errs[i] = err
 				if onDone != nil {

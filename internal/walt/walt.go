@@ -42,6 +42,7 @@ type Process struct {
 	g   *graph.Graph
 	cfg Config
 	rnd *rng.Source
+	blk *rng.Block // batched neighbor draws and coalescence coin flips
 
 	pos      []int32 // pebble index -> vertex
 	head     []int32 // vertex -> first pebble index in bucket, -1 if none
@@ -68,6 +69,7 @@ func New(g *graph.Graph, positions []int32, cfg Config, rnd *rng.Source) *Proces
 		g:        g,
 		cfg:      cfg,
 		rnd:      rnd,
+		blk:      rng.NewBlock(rnd),
 		pos:      append([]int32(nil), positions...),
 		head:     make([]int32, g.N()),
 		next:     make([]int32, len(positions)),
@@ -137,20 +139,20 @@ func (p *Process) Step() {
 		switch {
 		case second == -1:
 			// Rule 1, single pebble.
-			p.move(first, g.Neighbor(v, p.rnd.Int31n(deg)))
+			p.move(first, g.Neighbor(v, p.blk.Index(deg)))
 		case p.next[second] == -1:
 			// Rule 1, two pebbles: both move independently.
-			p.move(first, g.Neighbor(v, p.rnd.Int31n(deg)))
-			p.move(second, g.Neighbor(v, p.rnd.Int31n(deg)))
+			p.move(first, g.Neighbor(v, p.blk.Index(deg)))
+			p.move(second, g.Neighbor(v, p.blk.Index(deg)))
 		default:
 			// Rule 2: the two lowest-order pebbles pick u and w; the
 			// rest coin-flip between them.
-			u := g.Neighbor(v, p.rnd.Int31n(deg))
-			w := g.Neighbor(v, p.rnd.Int31n(deg))
+			u := g.Neighbor(v, p.blk.Index(deg))
+			w := g.Neighbor(v, p.blk.Index(deg))
 			p.move(first, u)
 			p.move(second, w)
 			for i := p.next[second]; i != -1; i = p.next[i] {
-				if p.rnd.Bool() {
+				if p.blk.Bool() {
 					p.move(i, u)
 				} else {
 					p.move(i, w)

@@ -162,8 +162,15 @@ func WriteDOT(w io.Writer, g *Graph) error { return graph.WriteDOT(w, g) }
 // CobraWalk is a running coalescing-branching random walk.
 type CobraWalk = core.Walk
 
-// CobraConfig parameterizes a cobra walk (branching factor K, step cap).
+// CobraConfig parameterizes a cobra walk (branching factor K, step cap,
+// and the dense-kernel switch density DenseTheta).
 type CobraConfig = core.Config
+
+// DefaultDenseTheta is the default kernel-switch density θ of the
+// dual-mode step engine: rounds whose active set exceeds N/θ run the
+// dense word-parallel kernel. See the README's Performance section for
+// the determinism contract.
+const DefaultDenseTheta = core.DefaultDenseTheta
 
 // NewCobraWalk constructs a cobra walk on g; call Reset before stepping.
 func NewCobraWalk(g *Graph, cfg CobraConfig, src *Rand) *CobraWalk {
@@ -466,6 +473,18 @@ type TrialFunc = sim.TrialFunc
 // per-trial random streams.
 func RunTrials(trials int, seed uint64, fn TrialFunc) ([]float64, error) {
 	return sim.RunTrials(trials, seed, fn)
+}
+
+// WorkerFunc constructs one worker's trial function, letting it own
+// reusable per-worker state (e.g. a pooled CobraWalk reset per trial).
+type WorkerFunc = sim.WorkerFunc
+
+// RunTrialsPooled is RunTrials with per-worker state reuse: newWorker
+// runs once per worker goroutine and the returned trial function serves
+// that worker's trials serially. Determinism is unchanged — trial i
+// always consumes stream i of seed.
+func RunTrialsPooled(trials int, seed uint64, newWorker WorkerFunc) ([]float64, error) {
+	return sim.RunTrialsPooled(trials, seed, newWorker)
 }
 
 // ExperimentScale selects Quick (CI-sized) or Full experiment sizing.
