@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-baseline fmt vet
+.PHONY: build test race bench bench-smoke bench-baseline fmt vet cover e2e
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Coverage over the durability core, gated at the CI threshold.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/engine/ ./internal/store/
+	./scripts/coverage_gate.sh coverage.out 80
+
+# End-to-end smoke: real cobrad daemon, sweep over HTTP, SSE stream,
+# restart, result served from the persistent store.
+e2e:
+	./scripts/e2e_smoke.sh

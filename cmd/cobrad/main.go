@@ -4,13 +4,25 @@
 //
 // Usage:
 //
-//	cobrad -addr :8080 -workers 8 -queue 256 -cache 1024
+//	cobrad -addr :8080 -workers 8 -queue 256 -cache 1024 \
+//	       -data-dir /var/lib/cobrad -job-ttl 15m
 //
 // Submit a cover-time job and poll it:
 //
 //	curl -s localhost:8080/v1/jobs -d '{"kind":"covertime","spec":{"graph":"grid:2,16","k":2,"trials":20,"seed":1}}'
 //	curl -s localhost:8080/v1/jobs/j000001
 //	curl -s localhost:8080/v1/jobs/j000001/result
+//
+// Submit a server-side sweep and stream its progress:
+//
+//	curl -s localhost:8080/v1/sweeps -d '{"spec":{"child":"covertime","family":"grid:2","sizes":[8,16,32],"k":2,"trials":20,"seed":1}}'
+//	curl -sN localhost:8080/v1/jobs/j000001/events
+//
+// With -data-dir set, results persist across restarts in a
+// content-addressed store: resubmitting a finished spec after a restart
+// is served from disk without re-running a single trial. -job-ttl
+// bounds how long terminal jobs stay addressable by job ID (their
+// results remain reachable by resubmission).
 //
 // cobrad shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, lets in-flight HTTP requests finish, then drains the job
@@ -32,6 +44,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -40,15 +53,30 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
 		queue   = flag.Int("queue", 256, "pending job queue depth")
 		cache   = flag.Int("cache", 1024, "result cache entries (negative disables)")
+		dataDir = flag.String("data-dir", "", "persistent result store directory (empty: in-memory only)")
+		jobTTL  = flag.Duration("job-ttl", engine.DefaultJobTTL, "terminal job retention in the job table (negative disables eviction)")
 		drain   = flag.Duration("drain", 30*time.Second, "max time to drain jobs on shutdown")
 	)
 	flag.Parse()
 
-	eng := engine.New(engine.Options{
+	opts := engine.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheSize:  *cache,
-	})
+		JobTTL:     *jobTTL,
+	}
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir)
+		if err != nil {
+			fatal(err)
+		}
+		if skipped := st.Skipped(); skipped > 0 {
+			log.Printf("cobrad: store scan skipped %d invalid record files in %s", skipped, *dataDir)
+		}
+		log.Printf("cobrad: persistent store at %s (%d records)", *dataDir, st.Len())
+		opts.Store = st
+	}
+	eng := engine.New(opts)
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: service.New(eng).Handler(),
@@ -59,7 +87,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("cobrad: listening on %s (workers=%d queue=%d cache=%d)", *addr, *workers, *queue, *cache)
+		log.Printf("cobrad: listening on %s (workers=%d queue=%d cache=%d job-ttl=%v)", *addr, *workers, *queue, *cache, *jobTTL)
 		errc <- srv.ListenAndServe()
 	}()
 

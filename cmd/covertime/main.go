@@ -14,10 +14,11 @@
 // "regular:5" sweeps n with degree 5, "lollipop" sweeps n with
 // clique = path = n/2.
 //
-// Each size is one cover-time job submitted to the shared
-// internal/engine scheduler — the same execution core behind cobrad —
-// so all sizes of the sweep pipeline through the worker pool while
-// results are collected in order.
+// The whole size list is submitted as ONE sweep job to the shared
+// internal/engine scheduler — the same execution core and fan-out path
+// behind cobrad's /v1/sweeps endpoint — which expands it server-side
+// into per-size point jobs with the historical seed discipline, so the
+// output is byte-identical to the old client-side loop.
 package main
 
 import (
@@ -28,7 +29,6 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/engine"
-	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
@@ -48,45 +48,33 @@ func main() {
 		fatal(err)
 	}
 
-	// One engine worker: each cover-time job already fans its trials out
-	// across every core via sim.RunTrialsContext, so concurrent jobs
-	// would only oversubscribe the CPU. The queue must hold the whole
-	// sweep since all sizes are submitted up front.
+	// One engine worker: each cover-time point already fans its trials
+	// out across every core via sim.RunTrialsContext, so concurrent
+	// points would only oversubscribe the CPU. The queue must hold the
+	// whole fan-out since the sweep submits all sizes up front.
 	eng := engine.New(engine.Options{Workers: 1, QueueDepth: len(sizeList)})
 	defer eng.Shutdown(context.Background())
 
-	// Submit every size up front so the sweep pipelines through the
-	// worker pool, then collect in order so rendering stays stable.
-	jobs := make([]*engine.Job, len(sizeList))
-	for si, size := range sizeList {
-		spec, err := familySpec(*family, size)
-		if err != nil {
-			fatal(err)
-		}
-		jobs[si], err = eng.Submit(&engine.CoverTimeSpec{
-			Graph:     spec,
-			GraphSeed: rng.Stream(*seed, 9000+si),
-			K:         *k,
-			Trials:    *trials,
-			Seed:      rng.Stream(*seed, si),
-		}, 0)
-		if err != nil {
-			fatal(err)
-		}
+	out, err := eng.RunSync(context.Background(), &engine.SweepSpec{
+		Child:  "covertime",
+		Family: *family,
+		Sizes:  sizeList,
+		K:      *k,
+		Trials: *trials,
+		Seed:   *seed,
+	})
+	if err != nil {
+		fatal(err)
 	}
 
 	table := sim.NewTable(
 		fmt.Sprintf("%d-cobra cover time sweep: %s", *k, *family),
 		"size", "n", "m", "cover mean", "95% CI", "cover max")
 	var points []sim.Point
-	for si, size := range sizeList {
-		out, err := jobs[si].Wait(context.Background())
-		if err != nil {
-			fatal(err)
-		}
-		mean, ci, max := sim.SummaryCells(out.Values)
-		table.AddRowf(size, int(out.Summary["n"]), int(out.Summary["m"]), mean, ci, max)
-		points = append(points, sim.Point{X: float64(size), Sample: out.Values})
+	for _, p := range out.Points {
+		mean, ci, max := sim.SummaryCells(p.Values)
+		table.AddRowf(p.Size, int(p.Summary["n"]), int(p.Summary["m"]), mean, ci, max)
+		points = append(points, sim.Point{X: float64(p.Size), Sample: p.Values})
 	}
 
 	switch *format {
@@ -101,28 +89,6 @@ func main() {
 		fit := sim.FitExponent(points)
 		fmt.Printf("\nscaling fit: cover ≈ %.3g · size^%.3f   (R² = %.4f)\n",
 			fit.Constant, fit.Exponent, fit.R2)
-	}
-}
-
-// familySpec interprets the sweep spec for one size, returning the full
-// cli graph spec.
-func familySpec(family string, size int) (string, error) {
-	switch {
-	case family == "cycle", family == "path", family == "star",
-		family == "complete", family == "hypercube", family == "margulis":
-		return fmt.Sprintf("%s:%d", family, size), nil
-	case family == "lollipop":
-		return fmt.Sprintf("lollipop:%d,%d", size/2, size-size/2), nil
-	case len(family) > 5 && family[:5] == "grid:":
-		return fmt.Sprintf("grid:%s,%d", family[5:], size), nil
-	case len(family) > 6 && family[:6] == "torus:":
-		return fmt.Sprintf("torus:%s,%d", family[6:], size), nil
-	case len(family) > 5 && family[:5] == "kary:":
-		return fmt.Sprintf("kary:%s,%d", family[5:], size), nil
-	case len(family) > 8 && family[:8] == "regular:":
-		return fmt.Sprintf("regular:%d,%s", size, family[8:]), nil
-	default:
-		return "", fmt.Errorf("covertime: unknown family sweep spec %q", family)
 	}
 }
 

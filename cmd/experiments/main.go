@@ -10,9 +10,11 @@
 //	experiments -only E1,E9         # a subset
 //	experiments -markdown           # emit Markdown tables
 //
-// Each experiment executes as a job on the shared internal/engine
-// scheduler — the same execution core behind cobrad — so repeated runs
-// of an experiment within one process are served from the result cache.
+// The selected experiments are submitted as ONE sweep job on the shared
+// internal/engine scheduler — the same execution core and fan-out path
+// behind cobrad's /v1/sweeps endpoint — which runs each experiment as a
+// child point job and aggregates the results in ID order; repeated runs
+// within one process are served from the result cache.
 package main
 
 import (
@@ -77,25 +79,33 @@ func main() {
 		}
 	}
 
-	// One engine worker: experiments run strictly sequentially (RunSync)
-	// and parallelize internally via sim.RunTrials.
-	eng := engine.New(engine.Options{Workers: 1})
+	// One engine worker: experiments run strictly sequentially and
+	// parallelize internally via sim.RunTrials. The whole selection goes
+	// up as one sweep; the fan-out happens engine-side.
+	eng := engine.New(engine.Options{Workers: 1, QueueDepth: len(runners) + 1})
 	defer eng.Shutdown(context.Background())
 
-	for _, r := range runners {
-		start := time.Now()
-		out, err := eng.RunSync(context.Background(), &engine.ExperimentSpec{
-			ID:    r.ID,
-			Scale: *scaleFlag,
-			Seed:  *seed,
-		})
-		if err != nil {
-			fatal(fmt.Errorf("%s failed: %w", r.ID, err))
-		}
-		elapsed := time.Since(start).Round(time.Millisecond)
-		fmt.Printf("\n########## %s — %s [%s scale, %v]\n", out.Meta["experiment"], r.Name, *scaleFlag, elapsed)
-		fmt.Printf("claim: %s\n\n", out.Meta["claim"])
-		for _, tb := range out.Tables {
+	ids := make([]string, len(runners))
+	names := make(map[string]string, len(runners))
+	for i, r := range runners {
+		ids[i] = r.ID
+		names[r.ID] = r.Name
+	}
+	start := time.Now()
+	out, err := eng.RunSync(context.Background(), &engine.SweepSpec{
+		Child: "experiment",
+		IDs:   ids,
+		Scale: *scaleFlag,
+		Seed:  *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, p := range out.Points {
+		fmt.Printf("\n########## %s — %s [%s scale]\n", p.Experiment, names[p.Experiment], *scaleFlag)
+		fmt.Printf("claim: %s\n\n", p.Meta["claim"])
+		for _, tb := range p.Tables {
 			if *markdown {
 				fmt.Println(tb.Markdown())
 			} else {
@@ -103,32 +113,34 @@ func main() {
 				fmt.Println()
 			}
 		}
-		for _, f := range out.Findings {
+		for _, f := range p.Findings {
 			fmt.Printf("finding: %s\n", f)
 		}
 		if *outDir != "" {
-			if err := writeMarkdown(*outDir, r.Name, out, *scaleFlag, *seed); err != nil {
+			if err := writeMarkdown(*outDir, names[p.Experiment], p, *seed); err != nil {
 				fatal(err)
 			}
 		}
 	}
+	fmt.Printf("\n%d experiments in %v\n", len(out.Points), time.Since(start).Round(time.Millisecond))
 }
 
-// writeMarkdown renders one experiment as a standalone Markdown file.
-func writeMarkdown(dir, name string, out *engine.Output, scale string, seed uint64) error {
+// writeMarkdown renders one experiment sweep point as a standalone
+// Markdown file.
+func writeMarkdown(dir, name string, p engine.SweepPointResult, seed uint64) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "# %s — %s\n\n", out.Meta["experiment"], name)
-	fmt.Fprintf(&b, "*Claim:* %s\n\n", out.Meta["claim"])
-	fmt.Fprintf(&b, "*Configuration:* scale=%s, seed=%d.\n\n", scale, seed)
-	for _, tb := range out.Tables {
+	fmt.Fprintf(&b, "# %s — %s\n\n", p.Experiment, name)
+	fmt.Fprintf(&b, "*Claim:* %s\n\n", p.Meta["claim"])
+	fmt.Fprintf(&b, "*Configuration:* scale=%s, seed=%d.\n\n", p.Meta["scale"], seed)
+	for _, tb := range p.Tables {
 		b.WriteString(tb.Markdown())
 		b.WriteString("\n")
 	}
 	b.WriteString("## Findings\n\n")
-	for _, f := range out.Findings {
+	for _, f := range p.Findings {
 		fmt.Fprintf(&b, "- %s\n", f)
 	}
-	path := filepath.Join(dir, out.Meta["experiment"]+".md")
+	path := filepath.Join(dir, p.Experiment+".md")
 	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 

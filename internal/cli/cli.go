@@ -203,6 +203,33 @@ func Families() []string {
 	}
 }
 
+// FamilySpec interprets a family sweep spec — a graph spec with the
+// size parameter omitted — for one size, returning the full graph spec.
+// "grid:2" sweeps the side at dimension 2, "regular:5" sweeps n at
+// degree 5, "lollipop" sweeps n with clique = path = n/2, and the
+// single-parameter families ("cycle", "hypercube", ...) take the size
+// directly. Shared by cmd/covertime and the engine's server-side sweep
+// fan-out, which must expand specs identically.
+func FamilySpec(family string, size int) (string, error) {
+	switch {
+	case family == "cycle", family == "path", family == "star",
+		family == "complete", family == "hypercube", family == "margulis":
+		return fmt.Sprintf("%s:%d", family, size), nil
+	case family == "lollipop":
+		return fmt.Sprintf("lollipop:%d,%d", size/2, size-size/2), nil
+	case strings.HasPrefix(family, "grid:"):
+		return fmt.Sprintf("grid:%s,%d", family[len("grid:"):], size), nil
+	case strings.HasPrefix(family, "torus:"):
+		return fmt.Sprintf("torus:%s,%d", family[len("torus:"):], size), nil
+	case strings.HasPrefix(family, "kary:"):
+		return fmt.Sprintf("kary:%s,%d", family[len("kary:"):], size), nil
+	case strings.HasPrefix(family, "regular:"):
+		return fmt.Sprintf("regular:%d,%s", size, family[len("regular:"):]), nil
+	default:
+		return "", fmt.Errorf("cli: unknown family sweep spec %q", family)
+	}
+}
+
 // ParseSizes parses a comma-separated list of integers ("8,16,32").
 func ParseSizes(s string) ([]int, error) {
 	parts := strings.Split(s, ",")

@@ -13,12 +13,15 @@ package engine
 import (
 	"container/heap"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/store"
 )
 
 // Errors returned by Submit and job accessors.
@@ -49,6 +52,10 @@ const (
 // Terminal reports whether s is a terminal state.
 func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
 
+// DefaultJobTTL is the retention window for terminal jobs in the job
+// table when Options.JobTTL is zero.
+const DefaultJobTTL = 15 * time.Minute
+
 // Options configures an Engine. Zero fields select defaults.
 type Options struct {
 	// Workers is the worker pool size; defaults to GOMAXPROCS.
@@ -58,6 +65,17 @@ type Options struct {
 	// CacheSize bounds the result cache entry count; defaults to 1024.
 	// Negative disables caching.
 	CacheSize int
+	// Store, when non-nil, backs the in-memory result cache with a
+	// disk-backed content-addressed store: successful outputs are
+	// written through on completion and consulted on cache misses, so
+	// results survive engine (and process) restarts.
+	Store *store.Store
+	// JobTTL bounds how long terminal jobs stay in the job table before
+	// the janitor evicts them; zero selects DefaultJobTTL, negative
+	// disables eviction. Evicted job IDs become unknown to Job/Cancel;
+	// their results remain reachable by resubmitting the same spec
+	// (cache or Store).
+	JobTTL time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -70,24 +88,32 @@ func (o Options) withDefaults() Options {
 	if o.CacheSize == 0 {
 		o.CacheSize = 1024
 	}
+	if o.JobTTL == 0 {
+		o.JobTTL = DefaultJobTTL
+	}
 	return o
 }
 
 // Metrics is a snapshot of the engine's monotonic counters and gauges.
 type Metrics struct {
-	Submitted int64 `json:"submitted"`
-	Completed int64 `json:"completed"`
-	Failed    int64 `json:"failed"`
-	Canceled  int64 `json:"canceled"`
-	CacheHits int64 `json:"cache_hits"`
-	Rejected  int64 `json:"rejected"`
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Canceled    int64 `json:"canceled"`
+	CacheHits   int64 `json:"cache_hits"`
+	StoreHits   int64 `json:"store_hits"`
+	StoreErrors int64 `json:"store_errors"`
+	Rejected    int64 `json:"rejected"`
+	Evicted     int64 `json:"evicted"`
 
-	Queued     int `json:"queued"`
-	Running    int `json:"running"`
-	Workers    int `json:"workers"`
-	QueueDepth int `json:"queue_depth"`
-	CacheLen   int `json:"cache_len"`
-	CacheCap   int `json:"cache_cap"`
+	Queued       int `json:"queued"`
+	Running      int `json:"running"`
+	Workers      int `json:"workers"`
+	QueueDepth   int `json:"queue_depth"`
+	CacheLen     int `json:"cache_len"`
+	CacheCap     int `json:"cache_cap"`
+	Jobs         int `json:"jobs"`
+	StoreEntries int `json:"store_entries"`
 }
 
 // Engine schedules Spec jobs onto a bounded worker pool.
@@ -104,34 +130,188 @@ type Engine struct {
 	closed  bool
 	running int
 	wg      sync.WaitGroup
+	sweepWG sync.WaitGroup
+
+	gcStop chan struct{}
+	gcDone chan struct{}
 
 	submitted, completed, failed, canceled, cacheHits, rejected atomic.Int64
+	storeHits, storeErrors, evicted                             atomic.Int64
 }
 
-// New creates an engine and starts its worker pool.
+// New creates an engine and starts its worker pool and, when a job TTL
+// is in force, the janitor that evicts expired terminal jobs.
 func New(opts Options) *Engine {
 	opts = opts.withDefaults()
 	e := &Engine{
-		opts:  opts,
-		cache: newResultCache(opts.CacheSize),
-		jobs:  make(map[string]*Job),
+		opts:   opts,
+		cache:  newResultCache(opts.CacheSize),
+		jobs:   make(map[string]*Job),
+		gcStop: make(chan struct{}),
+		gcDone: make(chan struct{}),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	for w := 0; w < opts.Workers; w++ {
 		e.wg.Add(1)
 		go e.worker()
 	}
+	if opts.JobTTL > 0 {
+		go e.gcLoop()
+	} else {
+		close(e.gcDone)
+	}
 	return e
+}
+
+// gcLoop periodically evicts expired terminal jobs from the job table.
+// The sweep interval tracks the TTL so short TTLs (tests) evict promptly
+// while long TTLs don't wake the process needlessly.
+func (e *Engine) gcLoop() {
+	defer close(e.gcDone)
+	interval := e.opts.JobTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.gcStop:
+			return
+		case <-ticker.C:
+			e.evictExpired(time.Now())
+		}
+	}
+}
+
+// evictExpired removes terminal jobs older than the TTL from the job
+// table, returning how many were evicted. A sweep child outlives its TTL
+// while its parent sweep is still live, so the parent's aggregate view
+// never dangles. Without this eviction the table — and the order slice
+// behind the list endpoint — would grow without bound in a long-running
+// daemon.
+func (e *Engine) evictExpired(now time.Time) int {
+	if e.opts.JobTTL <= 0 {
+		return 0
+	}
+	expired := func(j *Job) bool {
+		j.mu.Lock()
+		terminal, finished := j.state.Terminal(), j.finished
+		parent := j.parent
+		j.mu.Unlock()
+		if !terminal || now.Sub(finished) < e.opts.JobTTL {
+			return false
+		}
+		if parent != nil {
+			parent.mu.Lock()
+			parentTerminal := parent.state.Terminal()
+			parent.mu.Unlock()
+			if !parentTerminal {
+				return false
+			}
+		}
+		return true
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	kept := make([]*Job, 0, len(e.order))
+	evicted := 0
+	for _, j := range e.order {
+		if expired(j) {
+			delete(e.jobs, j.id)
+			evicted++
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	if evicted > 0 {
+		e.order = kept
+		e.evicted.Add(int64(evicted))
+	}
+	return evicted
+}
+
+// cachedOutputLocked finds a cached output for fp, falling back to the
+// persistent store on a memory miss. e.mu must be held on entry and is
+// held again on return — but it is RELEASED around the store's disk
+// read, so callers must re-validate any mutex-guarded preconditions
+// (notably e.closed) after calling. Store hits are promoted into the
+// memory cache.
+func (e *Engine) cachedOutputLocked(fp string) (*Output, bool) {
+	if out, ok := e.cache.get(fp); ok {
+		return out, true
+	}
+	if e.opts.Store == nil {
+		return nil, false
+	}
+	e.mu.Unlock()
+	out, ok := e.loadFromStore(fp)
+	e.mu.Lock()
+	if !ok {
+		// Another submitter may have completed the spec while the lock
+		// was released.
+		return e.cache.get(fp)
+	}
+	e.cache.put(fp, out)
+	e.storeHits.Add(1)
+	return out, true
+}
+
+// loadFromStore reads and decodes one output record; no locks held.
+func (e *Engine) loadFromStore(fp string) (*Output, bool) {
+	data, ok, err := e.opts.Store.Get(fp)
+	if err != nil {
+		e.storeErrors.Add(1)
+		return nil, false
+	}
+	if !ok {
+		return nil, false
+	}
+	var out Output
+	if err := json.Unmarshal(data, &out); err != nil {
+		e.storeErrors.Add(1)
+		return nil, false
+	}
+	return &out, true
+}
+
+// persist writes a successful output through to the persistent store.
+func (e *Engine) persist(fp string, out *Output) {
+	if e.opts.Store == nil || out == nil {
+		return
+	}
+	data, err := json.Marshal(out)
+	if err == nil {
+		err = e.opts.Store.Put(fp, data)
+	}
+	if err != nil {
+		e.storeErrors.Add(1)
+	}
 }
 
 // Submit validates and enqueues a job for spec with the given priority
 // (higher runs first; equal priorities run in submission order). If an
-// identical spec has a cached result the returned job is already Done
-// with CacheHit set. Submit never blocks on job execution.
+// identical spec has a cached result — in memory or in the persistent
+// store — the returned job is already Done with CacheHit set. A
+// *SweepSpec fans out server-side into child point jobs (see sweep.go).
+// Submit never blocks on job execution.
 func (e *Engine) Submit(spec Spec, priority int) (*Job, error) {
 	if spec == nil {
 		return nil, fmt.Errorf("engine: nil spec")
 	}
+	if sw, ok := spec.(*SweepSpec); ok {
+		return e.submitSweep(sw, priority)
+	}
+	return e.submit(spec, priority, nil)
+}
+
+// submit is the point-job submission path; parent links a sweep child to
+// its coordinating sweep job.
+func (e *Engine) submit(spec Spec, priority int, parent *Job) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -143,8 +323,14 @@ func (e *Engine) Submit(spec Spec, priority int) (*Job, error) {
 		e.rejected.Add(1)
 		return nil, ErrShutdown
 	}
-	if out, ok := e.cache.get(fp); ok {
+	out, hit := e.cachedOutputLocked(fp)
+	if e.closed { // the lock may have cycled during a store read
+		e.rejected.Add(1)
+		return nil, ErrShutdown
+	}
+	if hit {
 		j := e.newJobLocked(spec, priority, fp)
+		j.parent = parent
 		j.cacheHit = true
 		j.state = Done
 		j.output = out
@@ -159,10 +345,16 @@ func (e *Engine) Submit(spec Spec, priority int) (*Job, error) {
 		return j, nil
 	}
 	if e.pending.Len() >= e.opts.QueueDepth {
-		e.rejected.Add(1)
+		// A full queue seen by a sweep coordinator is backpressure, not
+		// shed load: it retries as slots free, so only client-facing
+		// submissions count as rejections.
+		if parent == nil {
+			e.rejected.Add(1)
+		}
 		return nil, ErrQueueFull
 	}
 	j := e.newJobLocked(spec, priority, fp)
+	j.parent = parent
 	heap.Push(&e.pending, j)
 	e.submitted.Add(1)
 	e.cond.Signal()
@@ -252,13 +444,21 @@ func (e *Engine) Cancel(id string) bool {
 // are cancelled and Shutdown returns ctx.Err() after the pool stops.
 func (e *Engine) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
+	alreadyClosed := e.closed
 	e.closed = true
 	e.cond.Broadcast()
 	e.mu.Unlock()
+	if !alreadyClosed {
+		close(e.gcStop)
+	}
+	<-e.gcDone
 
 	stopped := make(chan struct{})
 	go func() {
 		e.wg.Wait()
+		// Workers are drained, so every child is terminal and each
+		// sweep coordinator is at most an aggregation away from exit.
+		e.sweepWG.Wait()
 		close(stopped)
 	}()
 	select {
@@ -279,20 +479,30 @@ func (e *Engine) Metrics() Metrics {
 	queued := e.pending.Len()
 	running := e.running
 	cacheLen := e.cache.len()
+	tracked := len(e.jobs)
 	e.mu.Unlock()
+	storeEntries := 0
+	if e.opts.Store != nil {
+		storeEntries = e.opts.Store.Len()
+	}
 	return Metrics{
-		Submitted:  e.submitted.Load(),
-		Completed:  e.completed.Load(),
-		Failed:     e.failed.Load(),
-		Canceled:   e.canceled.Load(),
-		CacheHits:  e.cacheHits.Load(),
-		Rejected:   e.rejected.Load(),
-		Queued:     queued,
-		Running:    running,
-		Workers:    e.opts.Workers,
-		QueueDepth: e.opts.QueueDepth,
-		CacheLen:   cacheLen,
-		CacheCap:   e.opts.CacheSize,
+		Submitted:    e.submitted.Load(),
+		Completed:    e.completed.Load(),
+		Failed:       e.failed.Load(),
+		Canceled:     e.canceled.Load(),
+		CacheHits:    e.cacheHits.Load(),
+		StoreHits:    e.storeHits.Load(),
+		StoreErrors:  e.storeErrors.Load(),
+		Rejected:     e.rejected.Load(),
+		Evicted:      e.evicted.Load(),
+		Queued:       queued,
+		Running:      running,
+		Workers:      e.opts.Workers,
+		QueueDepth:   e.opts.QueueDepth,
+		CacheLen:     cacheLen,
+		CacheCap:     e.opts.CacheSize,
+		Jobs:         tracked,
+		StoreEntries: storeEntries,
 	}
 }
 
@@ -338,6 +548,7 @@ func (e *Engine) runJob(j *Job) {
 	}
 	j.state = Running
 	j.started = time.Now()
+	j.notifyLocked()
 	j.mu.Unlock()
 
 	out, err := j.spec.Run(j.ctx, j.reportProgress)
@@ -371,17 +582,21 @@ func (e *Engine) finishJob(j *Job, out *Output, err error) {
 		j.err = err
 	}
 	state := j.state
+	j.notifyLocked()
 	j.mu.Unlock()
 
-	// Publish the result to the cache and counters before closing done:
-	// a waiter that resubmits the identical spec the instant Wait
-	// returns must observe the cache entry.
+	// Publish the result to the cache, the persistent store, and the
+	// counters before closing done: a waiter that resubmits the
+	// identical spec the instant Wait returns must observe the cache
+	// entry, and a daemon restarted the instant a job reports done must
+	// find its record on disk.
 	switch state {
 	case Done:
 		e.completed.Add(1)
 		e.mu.Lock()
 		e.cache.put(j.fingerprint, out)
 		e.mu.Unlock()
+		e.persist(j.fingerprint, out)
 	case Canceled:
 		e.canceled.Add(1)
 	case Failed:
@@ -415,6 +630,9 @@ type Job struct {
 	cacheHit                    bool
 	submitted, started          time.Time
 	finished                    time.Time
+	parent                      *Job
+	children                    []*Job
+	subs                        map[chan Status]struct{}
 }
 
 // ID returns the engine-assigned job identifier.
@@ -423,10 +641,68 @@ func (j *Job) ID() string { return j.id }
 // Fingerprint returns the content address of the job's spec.
 func (j *Job) Fingerprint() string { return j.fingerprint }
 
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Children returns the child point jobs of a sweep job, in point order;
+// nil for point jobs.
+func (j *Job) Children() []*Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]*Job(nil), j.children...)
+}
+
+// Watch subscribes to the job's status updates: state transitions and
+// progress changes. The channel carries the latest snapshot with
+// latest-wins coalescing (a slow reader skips intermediate updates, but
+// always observes the most recent one, including the terminal state).
+// The returned cancel must be called to release the subscription.
+func (j *Job) Watch() (<-chan Status, func()) {
+	ch := make(chan Status, 1)
+	j.mu.Lock()
+	if j.subs == nil {
+		j.subs = make(map[chan Status]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	cancel := func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// notifyLocked publishes the current snapshot to all watchers with
+// latest-wins coalescing; j.mu must be held. All publishers hold j.mu,
+// so the drain-then-push below cannot interleave with another publisher
+// — only with the reader, in whose favor it resolves.
+func (j *Job) notifyLocked() {
+	if len(j.subs) == 0 {
+		return
+	}
+	s := j.snapshotLocked()
+	for ch := range j.subs {
+		select {
+		case ch <- s:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- s:
+			default:
+			}
+		}
+	}
+}
+
 // reportProgress is handed to Spec.Run as its progress callback.
 func (j *Job) reportProgress(done, total int) {
 	j.mu.Lock()
 	j.progressDone, j.progressTotal = done, total
+	j.notifyLocked()
 	j.mu.Unlock()
 }
 
@@ -471,12 +747,21 @@ type Status struct {
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitzero"`
 	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	// Parent is the sweep job this point job belongs to, if any.
+	Parent string `json:"parent,omitempty"`
+	// Children are the point-job IDs of a sweep job, in point order.
+	Children []string `json:"children,omitempty"`
 }
 
 // Snapshot returns the job's current status.
 func (j *Job) Snapshot() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+// snapshotLocked builds the status; j.mu must be held.
+func (j *Job) snapshotLocked() Status {
 	s := Status{
 		ID:          j.id,
 		Kind:        j.spec.Kind(),
@@ -492,6 +777,12 @@ func (j *Job) Snapshot() Status {
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()
+	}
+	if j.parent != nil {
+		s.Parent = j.parent.id
+	}
+	for _, c := range j.children {
+		s.Children = append(s.Children, c.id)
 	}
 	return s
 }

@@ -42,6 +42,8 @@ type Output struct {
 	Findings []string `json:"findings,omitempty"`
 	// Meta carries string annotations (experiment id, claim, graph).
 	Meta map[string]string `json:"meta,omitempty"`
+	// Points holds per-point results of a sweep job, in flat grid order.
+	Points []SweepPointResult `json:"points,omitempty"`
 }
 
 // Fingerprint returns the content address of a spec: a SHA-256 over the
@@ -72,6 +74,8 @@ func DecodeSpec(kind string, raw json.RawMessage) (Spec, error) {
 		spec = &CobraWalkSpec{}
 	case "experiment":
 		spec = &ExperimentSpec{}
+	case "sweep":
+		spec = &SweepSpec{}
 	default:
 		return nil, fmt.Errorf("engine: unknown job kind %q", kind)
 	}

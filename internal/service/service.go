@@ -7,14 +7,27 @@
 //	GET    /v1/jobs             list all jobs (most recent first)
 //	GET    /v1/jobs/{id}        job status and progress
 //	GET    /v1/jobs/{id}/result output of a finished job
+//	GET    /v1/jobs/{id}/events live status stream (Server-Sent Events)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	POST   /v1/sweeps           submit a sweep: {"priority": ..., "spec": {<SweepSpec>}}
+//	GET    /v1/sweeps/{id}      sweep status with per-child statuses
 //	GET    /healthz             liveness probe
 //	GET    /metrics             engine counters in Prometheus text format
 //
-// All responses are JSON except /metrics. Errors are {"error": "..."}
-// with a matching status code: 400 for malformed submissions, 404 for
-// unknown jobs, 409 for results requested before completion, and 503
-// when the queue is full or the engine is shutting down.
+// A sweep is also a job: /v1/jobs/{id}, /result, /events, and DELETE
+// all work on a sweep ID, and POST /v1/jobs accepts {"kind": "sweep"}.
+// The /v1/sweeps routes add the fan-out view (child statuses) and a
+// sweep-typed submission path.
+//
+// The events stream emits "status" events whose data is the job Status
+// JSON, coalesced to the latest state, and ends after the terminal
+// status; comment keep-alives are sent while a job is idle in queue.
+//
+// All responses are JSON except /metrics and /events. Errors are
+// {"error": "..."} with a matching status code: 400 for malformed
+// submissions, 404 for unknown jobs, 409 for results requested before
+// completion, and 503 when the queue is full or the engine is shutting
+// down.
 package service
 
 import (
@@ -46,7 +59,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.list)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("POST /v1/sweeps", s.submitSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.sweepStatus)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	return mux
@@ -126,6 +142,130 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// sweepRequest is the POST /v1/sweeps body.
+type sweepRequest struct {
+	Priority int             `json:"priority"`
+	Spec     json.RawMessage `json:"spec"`
+}
+
+func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec, err := engine.DecodeSpec("sweep", req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.eng.Submit(spec, req.Priority)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, engine.ErrQueueFull) || errors.Is(err, engine.ErrShutdown) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]interface{}{"sweep": job.Snapshot()})
+}
+
+func (s *Server) sweepStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.eng.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	snap := job.Snapshot()
+	if snap.Kind != "sweep" {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %q is not a sweep", snap.ID))
+		return
+	}
+	children := job.Children()
+	childStatuses := make([]engine.Status, 0, len(children))
+	for _, c := range children {
+		childStatuses = append(childStatuses, c.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"sweep":    snap,
+		"children": childStatuses,
+	})
+}
+
+// events streams job status over Server-Sent Events until the job is
+// terminal or the client disconnects. Each event is
+//
+//	event: status
+//	data: {Status JSON}
+//
+// with latest-wins coalescing (a slow consumer skips intermediate
+// progress states, never the terminal one).
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.eng.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer does not support streaming"))
+		return
+	}
+	// Subscribe before the initial snapshot so no transition between
+	// snapshot and subscription is lost.
+	updates, unsubscribe := job.Watch()
+	defer unsubscribe()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	send := func(st engine.Status) {
+		data, err := json.Marshal(st)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: status\ndata: %s\n\n", data)
+		fl.Flush()
+	}
+
+	st := job.Snapshot()
+	send(st)
+	if st.State.Terminal() {
+		return
+	}
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case st := <-updates:
+			send(st)
+			if st.State.Terminal() {
+				return
+			}
+		case <-job.Done():
+			// The job went terminal with no pending update (the
+			// subscription raced the final notify, or coalescing
+			// swallowed it): emit the final snapshot and end the stream.
+			select {
+			case st := <-updates:
+				send(st)
+			default:
+				send(job.Snapshot())
+			}
+			return
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
 func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.eng.Job(id); !ok {
@@ -158,7 +298,10 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		{"cobrad_jobs_failed_total", "Jobs finished with an error.", m.Failed},
 		{"cobrad_jobs_canceled_total", "Jobs canceled before completion.", m.Canceled},
 		{"cobrad_cache_hits_total", "Submissions served from the result cache.", m.CacheHits},
+		{"cobrad_store_hits_total", "Cache misses served from the persistent store.", m.StoreHits},
+		{"cobrad_store_errors_total", "Persistent store read/write failures.", m.StoreErrors},
 		{"cobrad_jobs_rejected_total", "Submissions rejected (queue full or shutdown).", m.Rejected},
+		{"cobrad_jobs_evicted_total", "Terminal jobs evicted from the job table by TTL.", m.Evicted},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.val)
@@ -174,6 +317,8 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		{"cobrad_queue_capacity", "Maximum pending queue depth.", m.QueueDepth},
 		{"cobrad_cache_entries", "Result cache entries resident.", m.CacheLen},
 		{"cobrad_cache_capacity", "Result cache entry capacity.", m.CacheCap},
+		{"cobrad_jobs_tracked", "Jobs resident in the job table.", m.Jobs},
+		{"cobrad_store_entries", "Records resident in the persistent store.", m.StoreEntries},
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.val)

@@ -1,0 +1,260 @@
+// Package store is a disk-backed, content-addressed record store: the
+// persistence layer under the engine's result cache. Records are JSON
+// payloads keyed by the engine's SHA-256 spec fingerprint, written with
+// an atomic temp-file + rename protocol so readers and concurrent
+// writers never observe a partial record, and validated by an embedded
+// payload checksum so a corrupt or truncated file degrades to a cache
+// miss instead of an error.
+//
+// On-disk layout under the store root:
+//
+//	<root>/results/<key[:2]>/<key>.json   one record per key, sharded
+//	<root>/tmp/                           staging area for atomic writes
+//
+// Records are immutable once written: a key is a content address, so a
+// second Put of the same key may safely overwrite (the payload is
+// byte-identical by construction) and last-rename-wins is harmless.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// record is the on-disk envelope around one payload.
+type record struct {
+	Version int             `json:"version"`
+	Key     string          `json:"key"`
+	SHA256  string          `json:"sha256"`
+	SavedAt time.Time       `json:"saved_at"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+const recordVersion = 1
+
+// Store is a content-addressed record store rooted at one directory.
+// All methods are safe for concurrent use, including by multiple Store
+// instances sharing a directory (writes are atomic renames).
+type Store struct {
+	root string
+
+	mu      sync.Mutex
+	keys    map[string]struct{}
+	skipped int
+}
+
+// Open creates (if needed) and scans a store rooted at dir. The scan is
+// corruption-tolerant: unreadable, truncated, or otherwise invalid
+// record files are skipped — and counted in Skipped — never fatal.
+// Stale temp files from crashed writers are removed.
+func Open(dir string) (*Store, error) {
+	s := &Store{root: dir, keys: make(map[string]struct{})}
+	for _, sub := range []string{s.resultsDir(), s.tmpDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	// Clear the staging area: anything left behind is a crashed write
+	// that never reached its rename, so it holds no committed data.
+	if leftovers, err := os.ReadDir(s.tmpDir()); err == nil {
+		for _, f := range leftovers {
+			_ = os.Remove(filepath.Join(s.tmpDir(), f.Name()))
+		}
+	}
+	shards, err := os.ReadDir(s.resultsDir())
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			s.skipped++
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.resultsDir(), shard.Name()))
+		if err != nil {
+			s.skipped++
+			continue
+		}
+		for _, f := range files {
+			key, ok := keyFromFilename(f.Name())
+			if !ok {
+				s.skipped++
+				continue
+			}
+			if _, err := s.load(key); err != nil {
+				s.skipped++
+				continue
+			}
+			s.keys[key] = struct{}{}
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.root }
+
+func (s *Store) resultsDir() string { return filepath.Join(s.root, "results") }
+func (s *Store) tmpDir() string     { return filepath.Join(s.root, "tmp") }
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.resultsDir(), key[:2], key+".json")
+}
+
+func keyFromFilename(name string) (string, bool) {
+	key, ok := strings.CutSuffix(name, ".json")
+	if !ok || len(key) < 3 {
+		return "", false
+	}
+	if _, err := hex.DecodeString(key); err != nil {
+		return "", false
+	}
+	return key, true
+}
+
+// load reads and validates one record from disk.
+func (s *Store) load(key string) ([]byte, error) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, err
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("store: record %s: %w", key, err)
+	}
+	if rec.Version != recordVersion {
+		return nil, fmt.Errorf("store: record %s: unknown version %d", key, rec.Version)
+	}
+	if rec.Key != key {
+		return nil, fmt.Errorf("store: record %s: embedded key %s mismatch", key, rec.Key)
+	}
+	if sum := payloadSum(rec.Payload); sum != rec.SHA256 {
+		return nil, fmt.Errorf("store: record %s: payload checksum mismatch", key)
+	}
+	return rec.Payload, nil
+}
+
+func payloadSum(payload []byte) string {
+	h := sha256.Sum256(payload)
+	return hex.EncodeToString(h[:])
+}
+
+// Get returns the payload stored under key. A missing or corrupt record
+// reports ok=false; only environmental failures (permissions) return an
+// error. A record written by another process after this store was
+// opened is still found: Get falls through to disk on an unknown key.
+func (s *Store) Get(key string) (payload []byte, ok bool, err error) {
+	if len(key) < 3 {
+		return nil, false, nil
+	}
+	payload, lerr := s.load(key)
+	if lerr != nil {
+		if os.IsNotExist(lerr) {
+			return nil, false, nil
+		}
+		if os.IsPermission(lerr) {
+			return nil, false, lerr
+		}
+		// Corrupt record: degrade to a miss so the caller recomputes.
+		return nil, false, nil
+	}
+	s.mu.Lock()
+	s.keys[key] = struct{}{}
+	s.mu.Unlock()
+	return payload, true, nil
+}
+
+// Put durably stores payload under key using write-to-temp + rename, so
+// concurrent writers (even across processes) can never leave a partial
+// record at the final path.
+func (s *Store) Put(key string, payload []byte) error {
+	if len(key) < 3 {
+		return fmt.Errorf("store: key %q too short", key)
+	}
+	rec := record{
+		Version: recordVersion,
+		Key:     key,
+		SHA256:  payloadSum(payload),
+		SavedAt: time.Now().UTC(),
+		Payload: json.RawMessage(payload),
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: marshal record %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(s.tmpDir(), key[:8]+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: stage record %s: %w", key, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: write record %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: close record %s: %w", key, err)
+	}
+	final := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: shard for %s: %w", key, err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: commit record %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.keys[key] = struct{}{}
+	s.mu.Unlock()
+	return nil
+}
+
+// Delete removes the record stored under key, if any.
+func (s *Store) Delete(key string) error {
+	if len(key) < 3 {
+		return nil
+	}
+	err := os.Remove(s.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete record %s: %w", key, err)
+	}
+	s.mu.Lock()
+	delete(s.keys, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of valid records known to this store instance.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.keys)
+}
+
+// Keys returns the known record keys in unspecified order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.keys))
+	for k := range s.keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Skipped returns the number of invalid files the opening scan skipped:
+// the store's corruption telemetry.
+func (s *Store) Skipped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
+}

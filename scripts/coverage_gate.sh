@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Coverage threshold gate: fails if the total statement coverage in a
+# Go cover profile is below the given minimum percentage.
+#
+#   ./scripts/coverage_gate.sh <profile> <min-percent>
+#
+# CI runs this over internal/engine + internal/store, the durability
+# core this repo cannot afford to regress silently.
+set -euo pipefail
+
+PROFILE="${1:?usage: coverage_gate.sh <profile> <min-percent>}"
+MIN="${2:?usage: coverage_gate.sh <profile> <min-percent>}"
+
+TOTAL="$(go tool cover -func="${PROFILE}" | awk '/^total:/ {gsub(/%/, "", $3); print $3}')"
+[ -n "${TOTAL}" ] || { echo "coverage_gate: no total line in ${PROFILE}" >&2; exit 1; }
+
+echo "coverage_gate: total ${TOTAL}% (minimum ${MIN}%)"
+awk -v total="${TOTAL}" -v min="${MIN}" 'BEGIN { exit (total + 0 >= min + 0) ? 0 : 1 }' || {
+  echo "coverage_gate: FAIL — ${TOTAL}% < ${MIN}%" >&2
+  exit 1
+}

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# End-to-end durability smoke for cobrad: start the daemon with a
+# temporary persistent data dir, submit a 12-point sweep over HTTP,
+# stream SSE progress until the terminal event, then restart the daemon
+# on the same data dir and assert the resubmitted sweep is served from
+# the persistent store (cache hit, identical result, zero trials
+# re-run).
+#
+# Requires: go, curl, jq. Run from the repository root:
+#
+#   ./scripts/e2e_smoke.sh
+set -euo pipefail
+
+PORT="${COBRAD_PORT:-18080}"
+ADDR="127.0.0.1:${PORT}"
+BASE="http://${ADDR}"
+WORK="$(mktemp -d)"
+DATA="${WORK}/data"
+BIN="${WORK}/cobrad"
+SWEEP='{"spec":{"child":"covertime","family":"cycle","sizes":[8,10,12,14,16,18],"ks":[1,2],"trials":3,"seed":99}}'
+
+COBRAD_PID=""
+cleanup() {
+  [ -n "${COBRAD_PID}" ] && kill "${COBRAD_PID}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+fail() { echo "e2e: FAIL: $*" >&2; exit 1; }
+
+start_daemon() {
+  "${BIN}" -addr "${ADDR}" -data-dir "${DATA}" -job-ttl 10m >"${WORK}/cobrad.$1.log" 2>&1 &
+  COBRAD_PID=$!
+  for _ in $(seq 1 100); do
+    if curl -sf "${BASE}/healthz" >/dev/null 2>&1; then return 0; fi
+    kill -0 "${COBRAD_PID}" 2>/dev/null || { cat "${WORK}/cobrad.$1.log" >&2; fail "daemon died on startup"; }
+    sleep 0.1
+  done
+  fail "daemon did not become healthy"
+}
+
+stop_daemon() {
+  kill -TERM "${COBRAD_PID}"
+  for _ in $(seq 1 100); do
+    kill -0 "${COBRAD_PID}" 2>/dev/null || { COBRAD_PID=""; return 0; }
+    sleep 0.1
+  done
+  fail "daemon did not shut down"
+}
+
+echo "e2e: building cobrad"
+go build -o "${BIN}" ./cmd/cobrad
+
+echo "e2e: first daemon run (data dir ${DATA})"
+start_daemon first
+
+SUBMIT="$(curl -sf "${BASE}/v1/sweeps" -d "${SWEEP}")"
+JOB_ID="$(jq -r '.sweep.id' <<<"${SUBMIT}")"
+[ "${JOB_ID}" != "null" ] || fail "sweep submission rejected: ${SUBMIT}"
+echo "e2e: sweep ${JOB_ID} submitted"
+
+echo "e2e: streaming SSE until terminal"
+EVENTS="${WORK}/events.log"
+# The stream ends on its own after the terminal status event.
+curl -sN --max-time 120 "${BASE}/v1/jobs/${JOB_ID}/events" >"${EVENTS}" || true
+STATUS_EVENTS="$(grep -c '^event: status' "${EVENTS}")" || fail "no SSE status events received"
+FINAL_STATE="$(grep '^data: ' "${EVENTS}" | tail -1 | sed 's/^data: //' | jq -r '.state')"
+[ "${FINAL_STATE}" = "done" ] || fail "final streamed state = ${FINAL_STATE} (events: $(cat "${EVENTS}"))"
+echo "e2e: observed ${STATUS_EVENTS} SSE status events, final state done"
+
+CHILDREN="$(curl -sf "${BASE}/v1/sweeps/${JOB_ID}" | jq '.children | length')"
+[ "${CHILDREN}" -eq 12 ] || fail "fan-out view has ${CHILDREN} children, want 12"
+
+curl -sf "${BASE}/v1/jobs/${JOB_ID}/result" | jq -S '.result' >"${WORK}/result.first.json"
+POINTS="$(jq '.points | length' "${WORK}/result.first.json")"
+[ "${POINTS}" -eq 12 ] || fail "result has ${POINTS} points, want 12"
+
+COMPLETED_FIRST="$(curl -sf "${BASE}/metrics" | awk '/^cobrad_jobs_completed_total/ {print $2}')"
+echo "e2e: first run completed ${COMPLETED_FIRST} jobs (parent + children)"
+
+echo "e2e: restarting daemon on the same data dir"
+stop_daemon
+start_daemon second
+
+RESUBMIT="$(curl -sf "${BASE}/v1/sweeps" -d "${SWEEP}")"
+JOB2_ID="$(jq -r '.sweep.id' <<<"${RESUBMIT}")"
+CACHE_HIT="$(jq -r '.sweep.cache_hit' <<<"${RESUBMIT}")"
+STATE2="$(jq -r '.sweep.state' <<<"${RESUBMIT}")"
+[ "${CACHE_HIT}" = "true" ] || fail "restarted daemon did not serve sweep from store: ${RESUBMIT}"
+[ "${STATE2}" = "done" ] || fail "restarted sweep state = ${STATE2}, want immediate done"
+
+# The SSE stream of an already-terminal job emits the final status and closes.
+curl -sN --max-time 30 "${BASE}/v1/jobs/${JOB2_ID}/events" >"${WORK}/events2.log" || true
+grep -q '"cache_hit":true' "${WORK}/events2.log" || fail "post-restart SSE missing cached terminal status"
+
+curl -sf "${BASE}/v1/jobs/${JOB2_ID}/result" | jq -S '.result' >"${WORK}/result.second.json"
+cmp -s "${WORK}/result.first.json" "${WORK}/result.second.json" \
+  || fail "result changed across restart: $(diff "${WORK}/result.first.json" "${WORK}/result.second.json" | head)"
+
+# Zero trials re-run: the only completed job in the fresh process is the
+# cache-served parent itself.
+METRICS="$(curl -sf "${BASE}/metrics")"
+COMPLETED_SECOND="$(awk '/^cobrad_jobs_completed_total/ {print $2}' <<<"${METRICS}")"
+STORE_ENTRIES="$(awk '/^cobrad_store_entries/ {print $2}' <<<"${METRICS}")"
+[ "${COMPLETED_SECOND}" -eq 1 ] || fail "restarted daemon completed ${COMPLETED_SECOND} jobs, want 1 (cached parent only)"
+[ "${STORE_ENTRIES}" -ge 13 ] || fail "store has ${STORE_ENTRIES} records, want >= 13 (12 points + sweep)"
+
+stop_daemon
+echo "e2e: PASS — sweep of ${POINTS} points streamed over SSE, survived restart from ${STORE_ENTRIES} store records, byte-identical result with zero trials re-run"
