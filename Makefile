@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-baseline fmt vet cover e2e
+.PHONY: build test race bench bench-smoke bench-baseline profile fmt vet cover e2e
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,14 @@ bench-smoke:
 # Record the engine-microbenchmark baseline as BENCH_<date>.json.
 bench-baseline:
 	$(GO) run ./cmd/benchjson
+
+# Profile the engine microbenchmarks: cpu.pprof + mem.pprof for
+# `go tool pprof`, keeping the remaining per-round kernel cost
+# attributable.
+profile:
+	$(GO) run ./cmd/benchjson -benchtime 500ms -out /dev/null \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof — inspect with: go tool pprof cpu.pprof"
 
 fmt:
 	gofmt -l .

@@ -1,0 +1,98 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Follow streams the job's Server-Sent-Events status feed until the job
+// reaches a terminal state, the stream ends, or ctx is done. Each
+// decoded status — the feed coalesces to the latest, so slow consumers
+// skip intermediate progress but never the terminal state — is passed
+// to onStatus when non-nil. The terminal status is returned.
+//
+// The SSE wire format here is the minimal subset cobrad emits: "event:"
+// and "data:" lines separated by blank lines, with ":" comment
+// keep-alives while a job idles in queue.
+func (c *Client) Follow(ctx context.Context, id string, onStatus func(engine.Status)) (engine.Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return engine.Status{}, fmt.Errorf("client: build events request: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return engine.Status{}, fmt.Errorf("client: events %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data := make([]byte, 4096)
+		n, _ := resp.Body.Read(data)
+		return engine.Status{}, decodeError(resp.StatusCode, data[:n])
+	}
+
+	var (
+		last     engine.Status
+		sawAny   bool
+		event    string
+		dataBuf  strings.Builder
+		sc       = bufio.NewScanner(resp.Body)
+		dispatch = func() error {
+			defer func() { event = ""; dataBuf.Reset() }()
+			if event != "status" || dataBuf.Len() == 0 {
+				return nil
+			}
+			var st engine.Status
+			if err := json.Unmarshal([]byte(dataBuf.String()), &st); err != nil {
+				return fmt.Errorf("client: decode status event: %w", err)
+			}
+			last, sawAny = st, true
+			if onStatus != nil {
+				onStatus(st)
+			}
+			return nil
+		}
+	)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := dispatch(); err != nil {
+				return engine.Status{}, err
+			}
+			if sawAny && last.State.Terminal() {
+				return last, nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// Comment keep-alive.
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			dataBuf.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return engine.Status{}, ctx.Err()
+		}
+		return engine.Status{}, fmt.Errorf("client: events stream %s: %w", id, err)
+	}
+	// The stream ended cleanly. cobrad closes it only after the terminal
+	// status event, so reaching EOF with a non-terminal (or no) status
+	// means the daemon went away mid-job.
+	if err := dispatch(); err != nil {
+		return engine.Status{}, err
+	}
+	if sawAny && last.State.Terminal() {
+		return last, nil
+	}
+	return engine.Status{}, fmt.Errorf("client: events stream %s ended before a terminal status", id)
+}

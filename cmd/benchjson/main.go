@@ -6,6 +6,11 @@
 //	go run ./cmd/benchjson                 # writes BENCH_<date>.json
 //	go run ./cmd/benchjson -out stdout     # prints to stdout
 //	make bench-baseline                    # Makefile alias
+//	make profile                           # cpu.pprof + mem.pprof via the flags below
+//
+// -cpuprofile and -memprofile write pprof profiles spanning the
+// benchmark runs, so the remaining per-round kernel cost stays
+// attributable with `go tool pprof` without hand-rolling a harness.
 //
 // The benchmark set mirrors the engine microbenchmarks of bench_test.go
 // (step kernels at steady state, full covers, graph construction) and
@@ -25,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -73,7 +79,23 @@ func main() {
 	testing.Init() // registers test.benchtime, used to size testing.Benchmark runs
 	out := flag.String("out", "", "output path (default BENCH_<date>.json; \"stdout\" prints)")
 	benchtime := flag.Duration("benchtime", 2*time.Second, "per-benchmark measuring time")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile spanning the benchmark runs to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the benchmark runs to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	benchmarks := []struct {
 		name string
@@ -172,6 +194,20 @@ func main() {
 			NsPerOp: float64(r.NsPerOp()),
 			Iters:   r.N,
 		})
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize the steady-state heap before sampling
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")

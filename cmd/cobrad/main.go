@@ -5,7 +5,8 @@
 // Usage:
 //
 //	cobrad -addr :8080 -workers 8 -queue 256 -cache 1024 \
-//	       -data-dir /var/lib/cobrad -job-ttl 15m
+//	       -data-dir /var/lib/cobrad -job-ttl 15m \
+//	       -store-max-bytes 1073741824 -store-max-age 720h
 //
 // Submit a cover-time job and poll it:
 //
@@ -22,7 +23,10 @@
 // content-addressed store: resubmitting a finished spec after a restart
 // is served from disk without re-running a single trial. -job-ttl
 // bounds how long terminal jobs stay addressable by job ID (their
-// results remain reachable by resubmission).
+// results remain reachable by resubmission). -store-max-bytes and
+// -store-max-age bound the store itself: a background sweep evicts
+// expired records first, then the oldest records until the size cap is
+// met, so a long-running daemon's disk footprint stays bounded.
 //
 // cobrad shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, lets in-flight HTTP requests finish, then drains the job
@@ -49,13 +53,16 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
-		queue   = flag.Int("queue", 256, "pending job queue depth")
-		cache   = flag.Int("cache", 1024, "result cache entries (negative disables)")
-		dataDir = flag.String("data-dir", "", "persistent result store directory (empty: in-memory only)")
-		jobTTL  = flag.Duration("job-ttl", engine.DefaultJobTTL, "terminal job retention in the job table (negative disables eviction)")
-		drain   = flag.Duration("drain", 30*time.Second, "max time to drain jobs on shutdown")
+		addr          = flag.String("addr", ":8080", "listen address")
+		workers       = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+		queue         = flag.Int("queue", 256, "pending job queue depth")
+		cache         = flag.Int("cache", 1024, "result cache entries (negative disables)")
+		dataDir       = flag.String("data-dir", "", "persistent result store directory (empty: in-memory only)")
+		jobTTL        = flag.Duration("job-ttl", engine.DefaultJobTTL, "terminal job retention in the job table (negative disables eviction)")
+		drain         = flag.Duration("drain", 30*time.Second, "max time to drain jobs on shutdown")
+		storeMaxBytes = flag.Int64("store-max-bytes", 0, "persistent store size cap in bytes; oldest records evicted beyond it (0 disables)")
+		storeMaxAge   = flag.Duration("store-max-age", 0, "persistent store record retention; older records evicted (0 disables)")
+		storeGCEvery  = flag.Duration("store-gc-interval", time.Minute, "how often the store GC sweep runs")
 	)
 	flag.Parse()
 
@@ -65,6 +72,8 @@ func main() {
 		CacheSize:  *cache,
 		JobTTL:     *jobTTL,
 	}
+	gcStop := make(chan struct{})
+	var gcDone chan struct{}
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir)
 		if err != nil {
@@ -73,8 +82,13 @@ func main() {
 		if skipped := st.Skipped(); skipped > 0 {
 			log.Printf("cobrad: store scan skipped %d invalid record files in %s", skipped, *dataDir)
 		}
-		log.Printf("cobrad: persistent store at %s (%d records)", *dataDir, st.Len())
+		log.Printf("cobrad: persistent store at %s (%d records, %d bytes)", *dataDir, st.Len(), st.TotalBytes())
 		opts.Store = st
+		if *storeMaxBytes > 0 || *storeMaxAge > 0 {
+			st.SetLimits(store.Limits{MaxBytes: *storeMaxBytes, MaxAge: *storeMaxAge})
+			gcDone = make(chan struct{})
+			go storeGCLoop(st, *storeGCEvery, gcStop, gcDone)
+		}
 	}
 	eng := engine.New(opts)
 	srv := &http.Server{
@@ -106,10 +120,42 @@ func main() {
 	if err := eng.Shutdown(shutdownCtx); err != nil {
 		log.Printf("cobrad: engine shutdown: %v", err)
 	}
+	close(gcStop)
+	if gcDone != nil {
+		<-gcDone
+	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
 	log.Printf("cobrad: stopped")
+}
+
+// storeGCLoop applies the store's eviction limits on a fixed cadence —
+// once right away, so a daemon restarted over an oversized store trims
+// it before serving traffic, then every interval until shutdown.
+func storeGCLoop(st *store.Store, interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	sweep := func() {
+		removed, freed, err := st.GC(time.Now())
+		if err != nil {
+			log.Printf("cobrad: store gc: %v", err)
+		}
+		if removed > 0 {
+			log.Printf("cobrad: store gc evicted %d records (%d bytes); %d records (%d bytes) remain",
+				removed, freed, st.Len(), st.TotalBytes())
+		}
+	}
+	sweep()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			sweep()
+		}
+	}
 }
 
 func fatal(err error) {

@@ -18,7 +18,10 @@
 // internal/engine scheduler — the same execution core and fan-out path
 // behind cobrad's /v1/sweeps endpoint — which expands it server-side
 // into per-size point jobs with the historical seed discipline, so the
-// output is byte-identical to the old client-side loop.
+// output is byte-identical to the old client-side loop. With -server
+// the identical sweep is submitted to a remote cobrad daemon through
+// the typed client SDK instead of the in-process engine; the spec,
+// seed discipline, and rendering are the same either way.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/client"
 	"repro/internal/cli"
 	"repro/internal/engine"
 	"repro/internal/sim"
@@ -40,6 +44,7 @@ func main() {
 		trials = flag.Int("trials", 20, "independent trials per size")
 		seed   = flag.Uint64("seed", 1, "root random seed")
 		format = flag.String("format", "text", "output format: text|markdown|csv")
+		server = flag.String("server", "", "cobrad base URL; empty runs the sweep in-process")
 	)
 	flag.Parse()
 
@@ -48,21 +53,14 @@ func main() {
 		fatal(err)
 	}
 
-	// One engine worker: each cover-time point already fans its trials
-	// out across every core via sim.RunTrialsContext, so concurrent
-	// points would only oversubscribe the CPU. The queue must hold the
-	// whole fan-out since the sweep submits all sizes up front.
-	eng := engine.New(engine.Options{Workers: 1, QueueDepth: len(sizeList)})
-	defer eng.Shutdown(context.Background())
-
-	out, err := eng.RunSync(context.Background(), &engine.SweepSpec{
+	out, err := client.ExecuteSweep(context.Background(), *server, engine.SweepSpec{
 		Child:  "covertime",
 		Family: *family,
 		Sizes:  sizeList,
 		K:      *k,
 		Trials: *trials,
 		Seed:   *seed,
-	})
+	}, len(sizeList))
 	if err != nil {
 		fatal(err)
 	}

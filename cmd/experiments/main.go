@@ -14,7 +14,9 @@
 // internal/engine scheduler — the same execution core and fan-out path
 // behind cobrad's /v1/sweeps endpoint — which runs each experiment as a
 // child point job and aggregates the results in ID order; repeated runs
-// within one process are served from the result cache.
+// within one process are served from the result cache. With -server the
+// identical sweep is submitted to a remote cobrad daemon through the
+// typed client SDK instead of the in-process engine.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/client"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 )
@@ -38,6 +41,7 @@ func main() {
 		markdown  = flag.Bool("markdown", false, "emit Markdown tables")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		outDir    = flag.String("out", "", "also write one Markdown file per experiment to this directory")
+		server    = flag.String("server", "", "cobrad base URL; empty runs the sweep in-process")
 	)
 	flag.Parse()
 
@@ -79,12 +83,6 @@ func main() {
 		}
 	}
 
-	// One engine worker: experiments run strictly sequentially and
-	// parallelize internally via sim.RunTrials. The whole selection goes
-	// up as one sweep; the fan-out happens engine-side.
-	eng := engine.New(engine.Options{Workers: 1, QueueDepth: len(runners) + 1})
-	defer eng.Shutdown(context.Background())
-
 	ids := make([]string, len(runners))
 	names := make(map[string]string, len(runners))
 	for i, r := range runners {
@@ -92,12 +90,12 @@ func main() {
 		names[r.ID] = r.Name
 	}
 	start := time.Now()
-	out, err := eng.RunSync(context.Background(), &engine.SweepSpec{
+	out, err := client.ExecuteSweep(context.Background(), *server, engine.SweepSpec{
 		Child: "experiment",
 		IDs:   ids,
 		Scale: *scaleFlag,
 		Seed:  *seed,
-	})
+	}, len(runners)+1)
 	if err != nil {
 		fatal(err)
 	}

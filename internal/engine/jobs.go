@@ -9,11 +9,9 @@ import (
 	"fmt"
 
 	"repro/internal/cli"
-	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/rng"
+	"repro/internal/process"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 // Spec describes one deterministic unit of simulation work. A Spec must
@@ -21,7 +19,8 @@ import (
 // Fingerprints must produce equal Outputs, which is what makes the
 // result cache sound.
 type Spec interface {
-	// Kind names the job type ("covertime", "cobra", "experiment").
+	// Kind names the job type ("process", "experiment", "sweep", or a
+	// legacy adapter kind: "covertime", "cobra").
 	Kind() string
 	// Validate rejects malformed specs before they reach the queue.
 	Validate() error
@@ -68,6 +67,8 @@ func Fingerprint(spec Spec) string {
 func DecodeSpec(kind string, raw json.RawMessage) (Spec, error) {
 	var spec Spec
 	switch kind {
+	case "process":
+		spec = &ProcessSpec{}
 	case "covertime":
 		spec = &CoverTimeSpec{}
 	case "cobra":
@@ -93,6 +94,11 @@ func DecodeSpec(kind string, raw json.RawMessage) (Spec, error) {
 // CoverTimeSpec measures the k-cobra cover time on one graph over
 // independent Monte Carlo trials: the workload of cmd/covertime and the
 // paper's headline quantity.
+//
+// CoverTimeSpec is a legacy adapter over the registered "cobra"
+// process, retained so stored fingerprints and the "covertime" wire
+// kind keep verifying byte-for-byte; new clients should submit
+// {"kind": "process", "spec": {"process": "cobra", ...}} instead.
 type CoverTimeSpec struct {
 	// Graph is a cli graph spec, e.g. "grid:2,16" or "regular:1024,5".
 	Graph string `json:"graph"`
@@ -127,50 +133,61 @@ func (s *CoverTimeSpec) Validate() error {
 	return nil
 }
 
-// Run implements Spec.
+// Run implements Spec by delegating to the registered "cobra" process
+// with cover_fraction 1 and reshaping the result to the historical
+// covertime output: identical per-trial draw sequence, identical
+// summary keys, so covertime results stay byte-identical through the
+// ProcessSpec path.
 func (s *CoverTimeSpec) Run(ctx context.Context, progress func(done, total int)) (*Output, error) {
-	g, err := cli.ParseGraph(s.Graph, s.GraphSeed)
+	res, err := runCobraProcess(ctx, s.Graph, s.GraphSeed, process.Params{
+		"k":         float64(s.K),
+		"max_steps": float64(s.MaxSteps),
+		"start":     float64(s.Start),
+	}, s.Trials, s.Seed, progress)
 	if err != nil {
 		return nil, err
 	}
-	if int(s.Start) >= g.N() || s.Start < 0 {
-		return nil, fmt.Errorf("engine: covertime: start vertex %d outside graph %s", s.Start, g)
-	}
-	progress(0, s.Trials)
-	sample, err := sim.RunTrialsPooledContext(ctx, s.Trials, s.Seed,
-		func() sim.TrialFunc {
-			w := core.New(g, core.Config{K: s.K, MaxSteps: s.MaxSteps}, rng.New(0))
-			return func(trial int, src *rng.Source) (float64, error) {
-				w.SetRand(src)
-				w.Reset(s.Start)
-				steps, ok := w.RunUntilCovered()
-				if !ok {
-					return 0, fmt.Errorf("covertime: step cap exceeded on %s", g)
-				}
-				return float64(steps), nil
-			}
-		},
-		func(completed int) { progress(completed, s.Trials) })
-	if err != nil {
-		return nil, err
-	}
-	mean, hw := stats.MeanCI(sample)
 	return &Output{
-		Values: sample,
+		Values: res.Values,
 		Summary: map[string]float64{
-			"mean": mean,
-			"ci95": hw,
-			"max":  stats.MaxFloat(sample),
-			"n":    float64(g.N()),
-			"m":    float64(g.M()),
+			"mean": res.Summary["mean"],
+			"ci95": res.Summary["ci95"],
+			"max":  res.Summary["max"],
+			"n":    res.Summary["n"],
+			"m":    res.Summary["m"],
 		},
 		Meta: map[string]string{"graph": s.Graph},
 	}, nil
 }
 
+// runCobraProcess is the shared delegation path of the two deprecated
+// cobra-walk adapters.
+func runCobraProcess(ctx context.Context, graphSpec string, graphSeed uint64, params process.Params, trials int, seed uint64, progress func(done, total int)) (*process.Result, error) {
+	proc, ok := process.Get("cobra")
+	if !ok {
+		return nil, fmt.Errorf("engine: cobra process not registered")
+	}
+	g, err := cli.ParseGraph(graphSpec, graphSeed)
+	if err != nil {
+		return nil, err
+	}
+	return proc.Run(ctx, process.Run{
+		Graph:    g,
+		Params:   params,
+		Trials:   trials,
+		Seed:     seed,
+		Progress: progress,
+	})
+}
+
 // CobraWalkSpec runs k-cobra walks to a target coverage fraction and
 // reports both round and message costs — the broadcast view of the
 // process (every active vertex pushes k messages per round).
+//
+// CobraWalkSpec is a legacy adapter over the registered "cobra"
+// process, retained so stored fingerprints and the "cobra" wire kind
+// keep verifying byte-for-byte; new clients should submit
+// {"kind": "process", "spec": {"process": "cobra", ...}} instead.
 type CobraWalkSpec struct {
 	// Graph is a cli graph spec.
 	Graph string `json:"graph"`
@@ -211,49 +228,32 @@ func (s *CobraWalkSpec) Validate() error {
 	return nil
 }
 
-// Run implements Spec.
+// Run implements Spec by delegating to the registered "cobra" process
+// and renaming the uniform summary keys to the historical broadcast
+// view (steps_mean, steps_ci95, steps_max, messages_mean).
 func (s *CobraWalkSpec) Run(ctx context.Context, progress func(done, total int)) (*Output, error) {
-	g, err := cli.ParseGraph(s.Graph, s.GraphSeed)
-	if err != nil {
-		return nil, err
-	}
-	if int(s.Start) >= g.N() || s.Start < 0 {
-		return nil, fmt.Errorf("engine: cobra: start vertex %d outside graph %s", s.Start, g)
-	}
 	frac := s.CoverFraction
 	if frac == 0 {
 		frac = 1
 	}
-	messages := make([]float64, s.Trials)
-	progress(0, s.Trials)
-	steps, err := sim.RunTrialsPooledContext(ctx, s.Trials, s.Seed,
-		func() sim.TrialFunc {
-			w := core.New(g, core.Config{K: s.K, MaxSteps: s.MaxSteps}, rng.New(0))
-			return func(trial int, src *rng.Source) (float64, error) {
-				w.SetRand(src)
-				w.Reset(s.Start)
-				n, ok := w.RunUntilCoveredFraction(frac)
-				if !ok {
-					return 0, fmt.Errorf("cobra: step cap exceeded on %s", g)
-				}
-				messages[trial] = float64(w.MessagesSent())
-				return float64(n), nil
-			}
-		},
-		func(completed int) { progress(completed, s.Trials) })
+	res, err := runCobraProcess(ctx, s.Graph, s.GraphSeed, process.Params{
+		"k":              float64(s.K),
+		"cover_fraction": frac,
+		"max_steps":      float64(s.MaxSteps),
+		"start":          float64(s.Start),
+	}, s.Trials, s.Seed, progress)
 	if err != nil {
 		return nil, err
 	}
-	stepMean, stepHW := stats.MeanCI(steps)
 	return &Output{
-		Values: steps,
+		Values: res.Values,
 		Summary: map[string]float64{
-			"steps_mean":    stepMean,
-			"steps_ci95":    stepHW,
-			"steps_max":     stats.MaxFloat(steps),
-			"messages_mean": stats.Mean(messages),
-			"n":             float64(g.N()),
-			"m":             float64(g.M()),
+			"steps_mean":    res.Summary["mean"],
+			"steps_ci95":    res.Summary["ci95"],
+			"steps_max":     res.Summary["max"],
+			"messages_mean": res.Summary["messages_mean"],
+			"n":             res.Summary["n"],
+			"m":             res.Summary["m"],
 		},
 		Meta: map[string]string{"graph": s.Graph},
 	}, nil

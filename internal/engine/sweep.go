@@ -7,14 +7,17 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/process"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
 // SweepSpec is a server-side parameter sweep: one submitted spec fans
 // out into child point jobs over a grid of graph families, sizes, and
-// branching factors (for "covertime" and "cobra" children) or over a
-// list of experiment IDs (for "experiment" children). The engine runs
+// branching factors (for "covertime", "cobra", and "process" children)
+// or over a list of experiment IDs (for "experiment" children). A
+// "process" sweep additionally fans over registered process names, so
+// one spec can span families × ks × sizes × processes. The engine runs
 // the children on its worker pool, aggregates their progress and
 // results, and caches the aggregate under the sweep's own fingerprint —
 // so identical sweeps, and any point shared with a past sweep or point
@@ -22,12 +25,24 @@ import (
 //
 // Seed discipline matches the historical client-side loops exactly:
 // size index si uses graph-seed stream 9000+si, and the flat point
-// index p (families × ks × sizes, sizes fastest) uses trial-seed stream
-// p. A single-family, single-k sweep therefore reproduces, byte for
-// byte, what cmd/covertime computed before sweeps moved server-side.
+// index p (processes × families × ks × sizes, sizes fastest) uses
+// trial-seed stream p. A single-family, single-k sweep therefore
+// reproduces, byte for byte, what cmd/covertime computed before sweeps
+// moved server-side.
 type SweepSpec struct {
-	// Child is the child job kind: "covertime", "cobra", or "experiment".
+	// Child is the child job kind: "process", "covertime", "cobra", or
+	// "experiment".
 	Child string `json:"child"`
+	// Process is a registered process name for "process" children;
+	// Processes, when set, sweeps several.
+	Process   string   `json:"process,omitempty"`
+	Processes []string `json:"processes,omitempty"`
+	// Params carries base process parameters shared by every point of a
+	// "process" sweep. A sweep may span processes with different
+	// schemas: each point keeps only the base parameters its process
+	// declares ("k=2 where applicable"), and the ks axis overrides the
+	// "k" parameter per point.
+	Params process.Params `json:"params,omitempty"`
 	// Family is a family sweep spec (see cli.FamilySpec), e.g. "grid:2"
 	// or "regular:5". Families, when set, sweeps several.
 	Family   string   `json:"family,omitempty"`
@@ -56,6 +71,7 @@ type SweepSpec struct {
 // sweep Output is a pure function of its SweepSpec and safe to cache.
 type SweepPointResult struct {
 	Index      int                `json:"index"`
+	Process    string             `json:"process,omitempty"`
 	Family     string             `json:"family,omitempty"`
 	Graph      string             `json:"graph,omitempty"`
 	Size       int                `json:"size,omitempty"`
@@ -96,24 +112,33 @@ func (s *SweepSpec) Run(ctx context.Context, progress func(done, total int)) (*O
 
 // sweepPoint pairs one child spec with its grid coordinates.
 type sweepPoint struct {
-	spec   Spec
-	family string
-	graph  string
-	size   int
-	k      int
-	id     string // experiment ID
+	spec    Spec
+	process string // process name, for "process" children
+	family  string
+	graph   string
+	size    int
+	k       int
+	id      string // experiment ID
 }
 
 func (p sweepPoint) describe() string {
 	if p.id != "" {
 		return p.id
 	}
+	if p.process != "" {
+		return fmt.Sprintf("%s %s k=%d", p.process, p.graph, p.k)
+	}
 	return fmt.Sprintf("%s k=%d", p.graph, p.k)
 }
 
 // points expands the grid into child specs, in flat point order.
 func (s *SweepSpec) points() ([]sweepPoint, error) {
+	if s.Child != "process" && (s.Process != "" || len(s.Processes) > 0 || len(s.Params) > 0) {
+		return nil, fmt.Errorf("engine: sweep: process/processes/params are process-sweep fields")
+	}
 	switch s.Child {
+	case "process":
+		return s.processPoints()
 	case "covertime", "cobra":
 		return s.walkPoints()
 	case "experiment":
@@ -121,6 +146,111 @@ func (s *SweepSpec) points() ([]sweepPoint, error) {
 	default:
 		return nil, fmt.Errorf("engine: sweep: unknown child kind %q", s.Child)
 	}
+}
+
+// processPoints expands a "process" sweep: processes × families × ks ×
+// sizes, sizes fastest. The ks axis is optional — processes that take
+// their branching factor from Params (or none at all) sweep with an
+// empty ks — and when present it must be applicable: every swept
+// process must declare a "k" parameter.
+func (s *SweepSpec) processPoints() ([]sweepPoint, error) {
+	procs := s.Processes
+	if len(procs) == 0 {
+		if s.Process == "" {
+			return nil, fmt.Errorf("engine: sweep: process or processes required")
+		}
+		procs = []string{s.Process}
+	} else if s.Process != "" {
+		return nil, fmt.Errorf("engine: sweep: process and processes are mutually exclusive")
+	}
+	families := s.Families
+	if len(families) == 0 {
+		if s.Family == "" {
+			return nil, fmt.Errorf("engine: sweep: family or families required")
+		}
+		families = []string{s.Family}
+	} else if s.Family != "" {
+		return nil, fmt.Errorf("engine: sweep: family and families are mutually exclusive")
+	}
+	ks := s.Ks
+	if len(ks) == 0 && s.K != 0 {
+		ks = []int{s.K}
+	} else if len(ks) > 0 && s.K != 0 {
+		return nil, fmt.Errorf("engine: sweep: k and ks are mutually exclusive")
+	}
+	if len(s.Sizes) == 0 {
+		return nil, fmt.Errorf("engine: sweep: sizes required")
+	}
+	if len(s.IDs) > 0 || s.Scale != "" {
+		return nil, fmt.Errorf("engine: sweep: ids/scale are experiment-sweep fields")
+	}
+	if s.CoverFraction != 0 || s.MaxSteps != 0 {
+		return nil, fmt.Errorf("engine: sweep: cover_fraction/max_steps of a process sweep belong in params")
+	}
+	byName := make(map[string]process.Process, len(procs))
+	for _, name := range procs {
+		proc, ok := process.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("engine: sweep: unknown process %q (known: %v)", name, process.Names())
+		}
+		if len(ks) > 0 && !process.HasParam(proc, "k") {
+			return nil, fmt.Errorf("engine: sweep: process %q has no k parameter; drop the ks axis or set params per process", name)
+		}
+		byName[name] = proc
+	}
+
+	var pts []sweepPoint
+	for pi, name := range procs {
+		// A sweep may span processes with different schemas: keep only
+		// the base parameters this process declares.
+		baseParams := process.Params{}
+		for pname, v := range s.Params {
+			if process.HasParam(byName[name], pname) {
+				baseParams[pname] = v
+			}
+		}
+		if len(baseParams) == 0 {
+			baseParams = nil
+		}
+		for fi, family := range families {
+			kAxis := ks
+			if len(kAxis) == 0 {
+				kAxis = []int{0} // no k axis: a single slice per family
+			}
+			for ki, k := range kAxis {
+				for si, size := range s.Sizes {
+					graphSpec, err := cli.FamilySpec(family, size)
+					if err != nil {
+						return nil, fmt.Errorf("engine: sweep: %w", err)
+					}
+					p := ((pi*len(families)+fi)*len(kAxis)+ki)*len(s.Sizes) + si
+					params := baseParams.Clone()
+					if k != 0 {
+						if params == nil {
+							params = process.Params{}
+						}
+						params["k"] = float64(k)
+					}
+					pts = append(pts, sweepPoint{
+						spec: &ProcessSpec{
+							Process:   name,
+							Graph:     graphSpec,
+							GraphSeed: rng.Stream(s.Seed, 9000+si),
+							Params:    params,
+							Trials:    s.Trials,
+							Seed:      rng.Stream(s.Seed, p),
+						},
+						process: name,
+						family:  family,
+						graph:   graphSpec,
+						size:    size,
+						k:       k,
+					})
+				}
+			}
+		}
+	}
+	return pts, nil
 }
 
 func (s *SweepSpec) walkPoints() ([]sweepPoint, error) {
@@ -423,6 +553,7 @@ func aggregateSweep(spec *SweepSpec, pts []sweepPoint, children []*Job) (*Output
 		}
 		points[i] = SweepPointResult{
 			Index:      i,
+			Process:    pts[i].process,
 			Family:     pts[i].family,
 			Graph:      pts[i].graph,
 			Size:       pts[i].size,
@@ -444,7 +575,7 @@ func aggregateSweep(spec *SweepSpec, pts []sweepPoint, children []*Job) (*Output
 		},
 	}
 	switch spec.Child {
-	case "covertime", "cobra":
+	case "covertime", "cobra", "process":
 		agg.Tables = walkSweepTables(spec, points)
 	case "experiment":
 		for _, p := range points {
@@ -455,18 +586,19 @@ func aggregateSweep(spec *SweepSpec, pts []sweepPoint, children []*Job) (*Output
 	return agg, nil
 }
 
-// walkSweepTables renders one table per (family, k) slice of a walk
-// sweep, rows ordered by size — the server-side counterpart of the
-// table cmd/covertime used to assemble client-side.
+// walkSweepTables renders one table per (process, family, k) slice of a
+// walk or process sweep, rows ordered by size — the server-side
+// counterpart of the table cmd/covertime used to assemble client-side.
 func walkSweepTables(spec *SweepSpec, points []SweepPointResult) []*sim.Table {
 	type slice struct {
-		family string
-		k      int
+		process string
+		family  string
+		k       int
 	}
 	var orderIdx []slice
 	rows := map[slice][]SweepPointResult{}
 	for _, p := range points {
-		s := slice{p.Family, p.K}
+		s := slice{p.Process, p.Family, p.K}
 		if _, seen := rows[s]; !seen {
 			orderIdx = append(orderIdx, s)
 		}
@@ -474,7 +606,15 @@ func walkSweepTables(spec *SweepSpec, points []SweepPointResult) []*sim.Table {
 	}
 	var tables []*sim.Table
 	for _, s := range orderIdx {
-		title := fmt.Sprintf("%d-cobra %s sweep: %s", s.k, spec.Child, s.family)
+		var title string
+		switch {
+		case s.process != "" && s.k != 0:
+			title = fmt.Sprintf("%s sweep (k=%d): %s", s.process, s.k, s.family)
+		case s.process != "":
+			title = fmt.Sprintf("%s sweep: %s", s.process, s.family)
+		default:
+			title = fmt.Sprintf("%d-cobra %s sweep: %s", s.k, spec.Child, s.family)
+		}
 		tb := sim.NewTable(title, "size", "n", "m", "mean", "95% CI", "max")
 		for _, p := range rows[s] {
 			mean, ci, max := sim.SummaryCells(p.Values)

@@ -1,0 +1,285 @@
+package process
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// validParams returns a minimal valid parameterization for each
+// registered process: the fixture the conformance suite runs under.
+// Registering a new process without adding it here fails the suite
+// loudly, which is the point — every process must pass the contract.
+func validParams(t *testing.T, name string) Params {
+	t.Helper()
+	switch name {
+	case "cobra", "general", "sis", "parallel-walk":
+		return Params{"k": 2.0}
+	case "walt":
+		return Params{"pebbles": 3.0}
+	case "push", "pull", "push-pull", "simple-walk", "lazy-walk":
+		return Params{}
+	default:
+		t.Fatalf("no conformance fixture for process %q — add one", name)
+		return nil
+	}
+}
+
+const (
+	confTrials = 4
+	confSeed   = uint64(17)
+)
+
+func confGraph() *graph.Graph { return graph.Cycle(12) }
+
+func runOnce(t *testing.T, p Process, trials int) *Result {
+	t.Helper()
+	res, err := p.Run(context.Background(), Run{
+		Graph:  confGraph(),
+		Params: validParams(t, p.Name()),
+		Trials: trials,
+		Seed:   confSeed,
+	})
+	if err != nil {
+		t.Fatalf("%s: run: %v", p.Name(), err)
+	}
+	return res
+}
+
+// TestConformanceRegistryShape pins the registry basics: at least 8
+// registered processes, unique sorted names, complete discovery info.
+func TestConformanceRegistryShape(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("registry holds %d processes, want >= 8: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not strictly sorted at %d: %v", i, names)
+		}
+	}
+	for _, info := range Catalog() {
+		if info.Name == "" || info.Doc == "" || len(info.Params) == 0 {
+			t.Errorf("catalog entry incomplete: %+v", info)
+		}
+		if _, ok := Get(info.Name); !ok {
+			t.Errorf("catalog lists unregistered process %q", info.Name)
+		}
+	}
+}
+
+// TestConformanceDeterminism runs every registered process twice with a
+// fixed seed: the results must be identical, which is the soundness
+// condition for content-addressed result caching.
+func TestConformanceDeterminism(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			t.Parallel()
+			a := runOnce(t, p, confTrials)
+			b := runOnce(t, p, confTrials)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("two runs with one seed diverge:\n%+v\n%+v", a, b)
+			}
+			if len(a.Values) != confTrials {
+				t.Errorf("run returned %d values, want %d", len(a.Values), confTrials)
+			}
+			for _, key := range []string{"mean", "ci95", "max", "n", "m"} {
+				if _, ok := a.Summary[key]; !ok {
+					t.Errorf("summary missing uniform key %q: %v", key, a.Summary)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceTrialStreamIndependence pins the seed discipline:
+// trial i consumes exactly random stream i, so a shorter run is a
+// prefix of a longer one and trial results cannot depend on scheduling
+// or on how many trials ran alongside them.
+func TestConformanceTrialStreamIndependence(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			t.Parallel()
+			short := runOnce(t, p, 2)
+			long := runOnce(t, p, confTrials)
+			if !reflect.DeepEqual(short.Values, long.Values[:2]) {
+				t.Errorf("2-trial run %v is not a prefix of %d-trial run %v",
+					short.Values, confTrials, long.Values)
+			}
+		})
+	}
+}
+
+// TestConformanceProgressReporting pins that every process drives the
+// progress callback to completion — what the engine's job progress and
+// the sweep aggregation are built on.
+func TestConformanceProgressReporting(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			t.Parallel()
+			var mu sync.Mutex
+			lastDone, lastTotal := -1, -1
+			_, err := p.Run(context.Background(), Run{
+				Graph:  confGraph(),
+				Params: validParams(t, p.Name()),
+				Trials: confTrials,
+				Seed:   confSeed,
+				Progress: func(done, total int) {
+					mu.Lock()
+					if done >= lastDone { // progress callbacks may race; track the high-water mark
+						lastDone, lastTotal = done, total
+					}
+					mu.Unlock()
+				},
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if lastDone != confTrials || lastTotal != confTrials {
+				t.Errorf("final progress = %d/%d, want %d/%d", lastDone, lastTotal, confTrials, confTrials)
+			}
+		})
+	}
+}
+
+// TestConformanceParamValidation feeds every process schema-violating
+// input: unknown names, missing required parameters, type mismatches,
+// and out-of-range values must all be rejected before any work runs.
+func TestConformanceParamValidation(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			valid := validParams(t, p.Name())
+			if err := p.Validate(valid); err != nil {
+				t.Fatalf("fixture params rejected: %v", err)
+			}
+
+			// Unknown parameter.
+			unknown := valid.Clone()
+			if unknown == nil {
+				unknown = Params{}
+			}
+			unknown["definitely_not_a_param"] = 1.0
+			if err := p.Validate(unknown); err == nil {
+				t.Error("unknown parameter accepted")
+			}
+
+			for _, ps := range p.ParamSpecs() {
+				// Missing required parameter.
+				if ps.Required {
+					missing := valid.Clone()
+					delete(missing, ps.Name)
+					if err := p.Validate(missing); err == nil {
+						t.Errorf("missing required %q accepted", ps.Name)
+					}
+				}
+				// Type mismatch: hand a numeric/bool parameter a string
+				// and vice versa.
+				mismatched := valid.Clone()
+				if mismatched == nil {
+					mismatched = Params{}
+				}
+				if ps.Type == "string" {
+					mismatched[ps.Name] = 3.0
+				} else {
+					mismatched[ps.Name] = "not-a-" + ps.Type
+				}
+				if err := p.Validate(mismatched); err == nil {
+					t.Errorf("type mismatch on %q accepted", ps.Name)
+				}
+				// Below-minimum numeric value.
+				if ps.Min != nil && (ps.Type == "int" || ps.Type == "float") {
+					low := valid.Clone()
+					if low == nil {
+						low = Params{}
+					}
+					low[ps.Name] = *ps.Min - 1
+					if err := p.Validate(low); err == nil {
+						t.Errorf("below-minimum %q = %v accepted", ps.Name, *ps.Min-1)
+					}
+				}
+				// Out-of-enum string.
+				if len(ps.Enum) > 0 {
+					bad := valid.Clone()
+					if bad == nil {
+						bad = Params{}
+					}
+					bad[ps.Name] = "definitely-not-in-enum"
+					if err := p.Validate(bad); err == nil {
+						t.Errorf("out-of-enum %q accepted", ps.Name)
+					}
+				}
+			}
+
+			// Non-integral value for integer parameters.
+			for _, ps := range p.ParamSpecs() {
+				if ps.Type != "int" {
+					continue
+				}
+				frac := valid.Clone()
+				if frac == nil {
+					frac = Params{}
+				}
+				frac[ps.Name] = 2.5
+				if err := p.Validate(frac); err == nil {
+					t.Errorf("non-integral %q accepted", ps.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceFingerprintStability pins the canonical fingerprint:
+// insensitive to parameter insertion order, sensitive to every
+// parameter value, distinct across processes, and anchored by a golden
+// value so the canonicalization can never drift silently.
+func TestConformanceFingerprintStability(t *testing.T) {
+	for _, p := range All() {
+		valid := validParams(t, p.Name())
+		fp := Fingerprint(p.Name(), valid)
+		if len(fp) != 64 {
+			t.Errorf("%s: fingerprint %q is not a sha256 hex", p.Name(), fp)
+		}
+		if fp != Fingerprint(p.Name(), valid) {
+			t.Errorf("%s: fingerprint unstable across calls", p.Name())
+		}
+		// Insertion order cannot matter.
+		reordered := Params{}
+		reordered["start"] = 0.0
+		for k, v := range valid {
+			reordered[k] = v
+		}
+		ordered := valid.Clone()
+		if ordered == nil {
+			ordered = Params{}
+		}
+		ordered["start"] = 0.0
+		if Fingerprint(p.Name(), reordered) != Fingerprint(p.Name(), ordered) {
+			t.Errorf("%s: fingerprint depends on param insertion order", p.Name())
+		}
+		// Any changed value is a different address.
+		changed := ordered.Clone()
+		changed["start"] = 1.0
+		if Fingerprint(p.Name(), changed) == Fingerprint(p.Name(), ordered) {
+			t.Errorf("%s: fingerprint ignores param values", p.Name())
+		}
+	}
+
+	if a, b := Fingerprint("push", nil), Fingerprint("pull", nil); a == b {
+		t.Error("distinct processes share a fingerprint")
+	}
+
+	// Golden pin: the canonical address of the default 2-cobra walk. If
+	// this changes, every stored record keyed through it silently
+	// orphans — bump it only with a deliberate store migration.
+	const golden = "0cf2dd30f79b2904a518a529d08fef2b564aec12d01d2143f7103c1728a560d8"
+	if got := Fingerprint("cobra", Params{"k": 2.0}); got != golden {
+		t.Errorf("golden cobra fingerprint drifted:\n got %s\nwant %s", got, golden)
+	}
+}

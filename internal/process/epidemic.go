@@ -1,0 +1,65 @@
+package process
+
+import (
+	"context"
+
+	"repro/internal/epidemic"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func init() {
+	Register(sisProcess{base{
+		name: "sis",
+		doc:  "SIS epidemic contact process: rounds until full exposure or extinction (beta=gamma=1 is exactly the k-cobra walk)",
+		params: []ParamSpec{
+			{Name: "k", Type: "int", Required: true, Min: limit(1), Doc: "neighbor contacts drawn per infected vertex per round"},
+			{Name: "beta", Type: "float", Default: 1.0, Min: limit(0), Max: limit(1), Doc: "per-contact transmission probability"},
+			{Name: "gamma", Type: "float", Default: 1.0, Min: limit(0), Max: limit(1), Doc: "per-round recovery probability"},
+			{Name: "max_steps", Type: "int", Default: 0, Min: limit(0), Doc: "per-trial round cap; 0 selects a generous default"},
+			{Name: "start", Type: "int", Default: 0, Min: limit(0), Doc: "patient-zero vertex"},
+		},
+	}})
+}
+
+// sisProcess adapts epidemic.Process to the Process contract. The
+// per-trial value is the round the run ended (full exposure, extinction,
+// or cap); the summary adds survival_rate, the fraction of trials that
+// did not go extinct — timeouts count as survival, matching the
+// historical epidemic.SurvivalProbability convention.
+type sisProcess struct{ base }
+
+func (s sisProcess) Run(ctx context.Context, r Run) (*Result, error) {
+	start, err := startVertex(r)
+	if err != nil {
+		return nil, err
+	}
+	cfg := epidemic.Config{
+		K:         r.Params.Int("k", 1),
+		Beta:      r.Params.Float("beta", 1),
+		Gamma:     r.Params.Float("gamma", 1),
+		MaxRounds: r.Params.Int("max_steps", 0),
+	}
+	outcomes := make([]epidemic.Outcome, r.Trials)
+	r.progress()(0, r.Trials)
+	values, err := sim.RunTrialsContext(ctx, r.Trials, r.Seed,
+		func(trial int, src *rng.Source) (float64, error) {
+			p := epidemic.New(r.Graph, []int32{start}, cfg, src)
+			outcome, rounds := p.Run()
+			outcomes[trial] = outcome
+			return float64(rounds), nil
+		},
+		func(completed int) { r.progress()(completed, r.Trials) })
+	if err != nil {
+		return nil, err
+	}
+	survived := 0
+	for _, o := range outcomes {
+		if o != epidemic.Extinction {
+			survived++
+		}
+	}
+	summary := uniformSummary(values, r.Graph)
+	summary["survival_rate"] = float64(survived) / float64(r.Trials)
+	return &Result{Values: values, Summary: summary}, nil
+}

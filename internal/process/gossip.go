@@ -1,0 +1,75 @@
+package process
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/gossip"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func init() {
+	for mode, doc := range map[gossip.Mode]string{
+		gossip.Push:     "push gossip: rounds for every informed vertex pushing to one random neighbor to inform the graph",
+		gossip.Pull:     "pull gossip: rounds for every uninformed vertex pulling from one random neighbor to inform the graph",
+		gossip.PushPull: "push-pull gossip: rounds for the combined push+pull protocol to inform the graph",
+	} {
+		Register(gossipProcess{base: base{
+			name: mode.String(),
+			doc:  doc,
+			params: []ParamSpec{
+				{Name: "drop", Type: "float", Default: 0.0, Min: limit(0), Doc: "per-message loss probability in [0,1)"},
+				{Name: "max_steps", Type: "int", Default: 0, Min: limit(0), Doc: "per-trial round cap; 0 selects a generous default"},
+				{Name: "start", Type: "int", Default: 0, Min: limit(0), Doc: "vertex holding the rumor initially"},
+			},
+		}, mode: mode})
+	}
+}
+
+// gossipProcess adapts the rumor-spreading protocols to the Process
+// contract; the same implementation serves push, pull, and push-pull,
+// distinguished only by registry name.
+type gossipProcess struct {
+	base
+	mode gossip.Mode
+}
+
+func (g gossipProcess) Validate(p Params) error {
+	if err := CheckParams(g.params, p); err != nil {
+		return err
+	}
+	if d, ok := p["drop"].(float64); ok && d >= 1 {
+		return fmt.Errorf("process: %s: drop probability must be in [0, 1)", g.name)
+	}
+	return nil
+}
+
+func (g gossipProcess) Run(ctx context.Context, r Run) (*Result, error) {
+	start, err := startVertex(r)
+	if err != nil {
+		return nil, err
+	}
+	drop := r.Params.Float("drop", 0)
+	maxRounds := walkCap(r)
+	messages := make([]float64, r.Trials)
+	r.progress()(0, r.Trials)
+	values, err := sim.RunTrialsContext(ctx, r.Trials, r.Seed,
+		func(trial int, src *rng.Source) (float64, error) {
+			p := gossip.NewWithDrops(r.Graph, g.mode, start, drop, src)
+			rounds, ok := p.CompletionTime(maxRounds)
+			if !ok {
+				return 0, fmt.Errorf("%s: round cap exceeded on %s", g.name, r.Graph)
+			}
+			messages[trial] = float64(p.MessagesSent())
+			return float64(rounds), nil
+		},
+		func(completed int) { r.progress()(completed, r.Trials) })
+	if err != nil {
+		return nil, err
+	}
+	summary := uniformSummary(values, r.Graph)
+	summary["messages_mean"] = stats.Mean(messages)
+	return &Result{Values: values, Summary: summary}, nil
+}

@@ -1,0 +1,324 @@
+// Package process defines the uniform contract for "a process you can
+// run, sweep, and cache": every stochastic process in this repository —
+// the k-cobra walk, its generalized-branching variants, the Walt
+// coalescing process of Section 4, the SIS epidemic idealization, the
+// push/pull gossip baselines, and the plain random-walk baselines — is
+// registered here as a named Process with a typed parameter schema and
+// one deterministic entry point.
+//
+// The contract is deliberately narrow so the engine, the HTTP service,
+// and the client SDK can treat every process identically:
+//
+//   - a Process has a unique Name and a self-describing parameter
+//     schema ([]ParamSpec), served verbatim by GET /v1/processes;
+//   - Validate rejects malformed Params before work is scheduled;
+//   - Run(ctx, Run) executes Trials independent trials on one graph,
+//     trial i consuming exactly random stream i of the root seed, so a
+//     Result is a pure function of (process, params, graph, trials,
+//     seed) — which is what makes content-addressed caching sound;
+//   - Fingerprint(name, params) is the canonical content address of a
+//     parameterization, stable across param map ordering and process
+//     restarts.
+//
+// The open universe of the paper's related work — killed branching
+// random walks, minima of BRWs, and whatever comes next — slots in by
+// calling Register from an init function, with no engine changes.
+package process
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// Params is one parameterization of a process: JSON-shaped parameter
+// values keyed by schema name. Values follow encoding/json conventions
+// (numbers are float64, plus bool and string); CheckParams enforces the
+// schema's declared types, so accessors may assume them.
+type Params map[string]any
+
+// Int returns the named integer parameter, or def when absent.
+func (p Params) Int(name string, def int) int {
+	if v, ok := p[name].(float64); ok {
+		return int(v)
+	}
+	return def
+}
+
+// Float returns the named float parameter, or def when absent.
+func (p Params) Float(name string, def float64) float64 {
+	if v, ok := p[name].(float64); ok {
+		return v
+	}
+	return def
+}
+
+// Bool returns the named bool parameter, or def when absent.
+func (p Params) Bool(name string, def bool) bool {
+	if v, ok := p[name].(bool); ok {
+		return v
+	}
+	return def
+}
+
+// String returns the named string parameter, or def when absent.
+func (p Params) String(name string, def string) string {
+	if v, ok := p[name].(string); ok {
+		return v
+	}
+	return def
+}
+
+// Clone returns a shallow copy of p (parameter values are scalars).
+func (p Params) Clone() Params {
+	if p == nil {
+		return nil
+	}
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// ParamSpec describes one parameter of a process: the unit of the
+// self-describing schema served by GET /v1/processes and enforced by
+// CheckParams.
+type ParamSpec struct {
+	// Name is the parameter key in Params.
+	Name string `json:"name"`
+	// Type is "int", "float", "bool", or "string".
+	Type string `json:"type"`
+	// Required marks parameters without a usable default.
+	Required bool `json:"required,omitempty"`
+	// Default documents the value used when the parameter is omitted.
+	Default any `json:"default,omitempty"`
+	// Min and Max bound numeric parameters (inclusive), when set.
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+	// Enum lists the admissible values of a string parameter.
+	Enum []string `json:"enum,omitempty"`
+	// Doc is a one-line description.
+	Doc string `json:"doc"`
+}
+
+// limit is a convenience constructor for ParamSpec.Min / ParamSpec.Max.
+func limit(v float64) *float64 { return &v }
+
+// Run is one deterministic batch of work handed to Process.Run: Trials
+// independent trials of the process on Graph, trial i seeded with
+// stream i of Seed.
+type Run struct {
+	// Graph is the (already built) topology.
+	Graph *graph.Graph
+	// Params is the validated parameterization.
+	Params Params
+	// Trials is the number of independent trials (>= 1).
+	Trials int
+	// Seed is the root random seed; trial i uses stream i.
+	Seed uint64
+	// Progress, when non-nil, is called as trials complete.
+	Progress func(done, total int)
+}
+
+// progress returns a never-nil progress callback.
+func (r Run) progress() func(done, total int) {
+	if r.Progress != nil {
+		return r.Progress
+	}
+	return func(int, int) {}
+}
+
+// Result is a process run's outcome, shaped for JSON transport and
+// content-addressed caching: it must be a pure function of the Run.
+type Result struct {
+	// Values holds the primary per-trial measurement (rounds, steps),
+	// in trial order.
+	Values []float64 `json:"values,omitempty"`
+	// Summary holds derived scalars. Every process emits the uniform
+	// keys "mean", "ci95", "max", "n", "m"; process-specific extras
+	// (messages_mean, survival_rate, ...) ride alongside.
+	Summary map[string]float64 `json:"summary,omitempty"`
+	// Meta carries string annotations.
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// Process is the uniform contract every registered process implements.
+// Implementations must be stateless values: all run state lives inside
+// Run, so one Process serves concurrent jobs.
+type Process interface {
+	// Name is the unique registry key ("cobra", "walt", "push", ...).
+	Name() string
+	// Doc is a one-line description for discovery listings.
+	Doc() string
+	// ParamSpecs is the parameter schema, in display order.
+	ParamSpecs() []ParamSpec
+	// Validate rejects malformed params (schema violations and
+	// process-specific semantic constraints).
+	Validate(p Params) error
+	// Run executes the batch described by r. Implementations must be
+	// deterministic given (Params, Graph, Trials, Seed), observe ctx
+	// for cancellation, and report progress as trials complete.
+	Run(ctx context.Context, r Run) (*Result, error)
+}
+
+// Info is the discovery view of one registered process, the element
+// type of GET /v1/processes.
+type Info struct {
+	Name   string      `json:"name"`
+	Doc    string      `json:"doc"`
+	Params []ParamSpec `json:"params"`
+}
+
+// CheckParams validates p against a parameter schema: unknown names,
+// missing required parameters, type mismatches, out-of-range numerics,
+// and out-of-enum strings are all rejected. Processes call it from
+// Validate before their semantic checks.
+func CheckParams(schema []ParamSpec, p Params) error {
+	byName := make(map[string]ParamSpec, len(schema))
+	for _, ps := range schema {
+		byName[ps.Name] = ps
+	}
+	for name := range p {
+		if _, ok := byName[name]; !ok {
+			return fmt.Errorf("process: unknown parameter %q", name)
+		}
+	}
+	for _, ps := range schema {
+		v, present := p[ps.Name]
+		if !present {
+			if ps.Required {
+				return fmt.Errorf("process: parameter %q is required", ps.Name)
+			}
+			continue
+		}
+		switch ps.Type {
+		case "int":
+			f, ok := v.(float64)
+			if !ok || f != math.Trunc(f) || math.Abs(f) > 1<<53 {
+				return fmt.Errorf("process: parameter %q must be an integer, got %v", ps.Name, v)
+			}
+			if err := checkRange(ps, f); err != nil {
+				return err
+			}
+		case "float":
+			f, ok := v.(float64)
+			if !ok {
+				return fmt.Errorf("process: parameter %q must be a number, got %v", ps.Name, v)
+			}
+			if err := checkRange(ps, f); err != nil {
+				return err
+			}
+		case "bool":
+			if _, ok := v.(bool); !ok {
+				return fmt.Errorf("process: parameter %q must be a bool, got %v", ps.Name, v)
+			}
+		case "string":
+			s, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("process: parameter %q must be a string, got %v", ps.Name, v)
+			}
+			if len(ps.Enum) > 0 {
+				found := false
+				for _, e := range ps.Enum {
+					if s == e {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("process: parameter %q must be one of %v, got %q", ps.Name, ps.Enum, s)
+				}
+			}
+		default:
+			return fmt.Errorf("process: schema bug: parameter %q has unknown type %q", ps.Name, ps.Type)
+		}
+	}
+	return nil
+}
+
+func checkRange(ps ParamSpec, f float64) error {
+	if ps.Min != nil && f < *ps.Min {
+		return fmt.Errorf("process: parameter %q = %v below minimum %v", ps.Name, f, *ps.Min)
+	}
+	if ps.Max != nil && f > *ps.Max {
+		return fmt.Errorf("process: parameter %q = %v above maximum %v", ps.Name, f, *ps.Max)
+	}
+	return nil
+}
+
+// HasParam reports whether the process declares a parameter of the
+// given name — how the sweep planner decides whether a "ks" axis can
+// apply to a process.
+func HasParam(proc Process, name string) bool {
+	for _, ps := range proc.ParamSpecs() {
+		if ps.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Fingerprint returns the canonical content address of one process
+// parameterization: SHA-256 over the process name and the canonical
+// JSON encoding of params (encoding/json sorts map keys, so insertion
+// order cannot perturb the address). It addresses (process, params)
+// pairs on their own — e.g. for conformance pinning or external
+// catalogs; the engine's job cache keys are computed independently by
+// engine.Fingerprint over the full spec (graph, trials, seed
+// included), which relies on the same sorted-map-key canonicalization
+// for the embedded params.
+func Fingerprint(name string, p Params) string {
+	payload, err := json.Marshal(p)
+	if err != nil {
+		// Params hold only JSON scalars; marshal cannot fail in practice.
+		panic(fmt.Sprintf("process: fingerprint marshal: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// base supplies the boilerplate half of a Process implementation: name,
+// doc, schema, and schema-driven validation. Processes with semantic
+// constraints beyond the schema override Validate and call CheckParams
+// first.
+type base struct {
+	name   string
+	doc    string
+	params []ParamSpec
+}
+
+func (b base) Name() string            { return b.name }
+func (b base) Doc() string             { return b.doc }
+func (b base) ParamSpecs() []ParamSpec { return append([]ParamSpec(nil), b.params...) }
+func (b base) Validate(p Params) error { return CheckParams(b.params, p) }
+
+// startVertex resolves the shared "start" parameter against a graph.
+func startVertex(r Run) (int32, error) {
+	start := int32(r.Params.Int("start", 0))
+	if start < 0 || int(start) >= r.Graph.N() {
+		return 0, fmt.Errorf("process: start vertex %d outside graph %s", start, r.Graph)
+	}
+	return start, nil
+}
+
+// uniformSummary builds the summary scalars every process shares.
+func uniformSummary(values []float64, g *graph.Graph) map[string]float64 {
+	mean, hw := stats.MeanCI(values)
+	return map[string]float64{
+		"mean": mean,
+		"ci95": hw,
+		"max":  stats.MaxFloat(values),
+		"n":    float64(g.N()),
+		"m":    float64(g.M()),
+	}
+}

@@ -1,0 +1,74 @@
+package process
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The package-level registry. Processes self-register from init
+// functions in their defining files; external packages may Register
+// additional processes before serving traffic.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Process)
+)
+
+// Register adds p to the registry. It panics on an empty name or a
+// duplicate registration: both are programming errors that must fail at
+// startup, not at first use.
+func Register(p Process) {
+	name := p.Name()
+	if name == "" {
+		panic("process: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("process: duplicate registration of %q", name))
+	}
+	registry[name] = p
+}
+
+// Get returns the registered process of the given name.
+func Get(name string) (Process, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Names returns the registered process names in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the registered processes sorted by name.
+func All() []Process {
+	names := Names()
+	out := make([]Process, 0, len(names))
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, name := range names {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// Catalog returns the discovery view of every registered process, the
+// payload of GET /v1/processes.
+func Catalog() []Info {
+	procs := All()
+	out := make([]Info, len(procs))
+	for i, p := range procs {
+		out[i] = Info{Name: p.Name(), Doc: p.Doc(), Params: p.ParamSpecs()}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package process
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/walt"
+)
+
+func init() {
+	Register(waltProcess{base{
+		name: "walt",
+		doc:  "Walt coalescence-limited pebble process (Section 4): rounds for a fixed pebble population to cover the graph",
+		params: []ParamSpec{
+			{Name: "pebbles", Type: "int", Required: true, Min: limit(1), Doc: "pebble population size (invariant over time)"},
+			{Name: "lazy", Type: "bool", Default: true, Doc: "paper's lazy variant: each round is skipped with probability 1/2"},
+			{Name: "max_steps", Type: "int", Default: 0, Min: limit(0), Doc: "per-trial round cap; 0 selects a generous default"},
+			{Name: "start", Type: "int", Default: 0, Min: limit(0), Doc: "vertex holding all pebbles initially"},
+		},
+	}})
+}
+
+// waltProcess adapts walt.Process to the Process contract. Trial i
+// constructs a fresh Walt process on random stream i, matching the
+// historical walt.CoverTimes seed discipline.
+type waltProcess struct{ base }
+
+func (w waltProcess) Run(ctx context.Context, r Run) (*Result, error) {
+	start, err := startVertex(r)
+	if err != nil {
+		return nil, err
+	}
+	cfg := walt.Config{
+		Lazy:     r.Params.Bool("lazy", true),
+		MaxSteps: r.Params.Int("max_steps", 0),
+	}
+	pebbles := r.Params.Int("pebbles", 1)
+	r.progress()(0, r.Trials)
+	values, err := sim.RunTrialsContext(ctx, r.Trials, r.Seed,
+		func(trial int, src *rng.Source) (float64, error) {
+			p := walt.NewAtVertex(r.Graph, pebbles, start, cfg, src)
+			steps, ok := p.CoverTime()
+			if !ok {
+				return 0, fmt.Errorf("walt: step cap exceeded on %s", r.Graph)
+			}
+			return float64(steps), nil
+		},
+		func(completed int) { r.progress()(completed, r.Trials) })
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Values: values, Summary: uniformSummary(values, r.Graph)}, nil
+}

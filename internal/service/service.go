@@ -3,8 +3,9 @@
 //
 // Endpoints:
 //
+//	GET    /v1/processes        registered processes with parameter schemas
 //	POST   /v1/jobs             submit a job: {"kind": ..., "priority": ..., "spec": {...}}
-//	GET    /v1/jobs             list all jobs (most recent first)
+//	GET    /v1/jobs             list jobs (most recent first; ?status= filters)
 //	GET    /v1/jobs/{id}        job status and progress
 //	GET    /v1/jobs/{id}/result output of a finished job
 //	GET    /v1/jobs/{id}/events live status stream (Server-Sent Events)
@@ -23,11 +24,18 @@
 // JSON, coalesced to the latest state, and ends after the terminal
 // status; comment keep-alives are sent while a job is idle in queue.
 //
-// All responses are JSON except /metrics and /events. Errors are
-// {"error": "..."} with a matching status code: 400 for malformed
-// submissions, 404 for unknown jobs, 409 for results requested before
-// completion, and 503 when the queue is full or the engine is shutting
-// down.
+// All responses are JSON except /metrics and /events. Every error, on
+// every handler, uses the uniform envelope
+//
+//	{"error": {"code": "...", "message": "...", "detail": "..."}}
+//
+// with a matching status code: 400 bad_request for malformed
+// submissions, 404 not_found for unknown jobs, 409 not_finished for
+// results requested before completion, 422 job_failed for results of
+// failed or canceled jobs, and 503 unavailable when the queue is full
+// or the engine is shutting down. The machine-readable code is what the
+// client SDK switches on; message is human text; detail, when present,
+// is an actionable hint.
 package service
 
 import (
@@ -35,9 +43,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/process"
 )
 
 // Server serves the engine API. Create one with New and mount Handler on
@@ -55,6 +65,7 @@ func New(eng *engine.Engine) *Server {
 // Handler returns the route mux for the API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/processes", s.processes)
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.list)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
@@ -75,46 +86,69 @@ type submitRequest struct {
 	Spec     json.RawMessage `json:"spec"`
 }
 
+// processes serves the discovery listing: every registered process with
+// its parameter schema, the machine-readable half of the v1 contract.
+func (s *Server) processes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"processes": process.Catalog()})
+}
+
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad request body: %w", err), "")
 		return
 	}
 	spec, err := engine.DecodeSpec(req.Kind, req.Spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err, "GET /v1/processes lists the registered processes and their parameter schemas")
 		return
 	}
 	job, err := s.eng.Submit(spec, req.Priority)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, engine.ErrQueueFull) || errors.Is(err, engine.ErrShutdown) {
-			status = http.StatusServiceUnavailable
-		}
-		writeError(w, status, err)
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]interface{}{"job": job.Snapshot()})
 }
 
+// list serves the job listing: deterministically ordered (most recent
+// submission first, job ID as the tie-break) and optionally filtered by
+// ?status=queued|running|done|failed|canceled, so scripted clients can
+// assert on the output.
 func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	filter := r.URL.Query().Get("status")
+	switch engine.State(filter) {
+	case "", engine.Queued, engine.Running, engine.Done, engine.Failed, engine.Canceled:
+	default:
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Errorf("unknown status filter %q", filter),
+			"valid filters: queued, running, done, failed, canceled")
+		return
+	}
 	jobs := s.eng.Jobs()
 	statuses := make([]engine.Status, 0, len(jobs))
-	// Most recent first: the tail of the submission order is the most
-	// useful page for a human polling with curl.
-	for i := len(jobs) - 1; i >= 0; i-- {
-		statuses = append(statuses, jobs[i].Snapshot())
+	for _, j := range jobs {
+		st := j.Snapshot()
+		if filter != "" && st.State != engine.State(filter) {
+			continue
+		}
+		statuses = append(statuses, st)
 	}
+	sort.SliceStable(statuses, func(a, b int) bool {
+		if !statuses[a].SubmittedAt.Equal(statuses[b].SubmittedAt) {
+			return statuses[a].SubmittedAt.After(statuses[b].SubmittedAt)
+		}
+		return statuses[a].ID > statuses[b].ID
+	})
 	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": statuses})
 }
 
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.eng.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeNotFound(w, "job", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{"job": job.Snapshot()})
@@ -123,17 +157,17 @@ func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.eng.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeNotFound(w, "job", r.PathValue("id"))
 		return
 	}
 	out, err := job.Output()
 	if err != nil {
-		status := http.StatusConflict
-		if !errors.Is(err, engine.ErrNotFinished) {
+		if errors.Is(err, engine.ErrNotFinished) {
+			writeError(w, http.StatusConflict, codeNotFinished, err, "poll the job status or stream /events until terminal")
+		} else {
 			// Terminal but unsuccessful: surface the job error itself.
-			status = http.StatusUnprocessableEntity
+			writeError(w, http.StatusUnprocessableEntity, codeJobFailed, err, "")
 		}
-		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -153,21 +187,17 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad request body: %w", err), "")
 		return
 	}
 	spec, err := engine.DecodeSpec("sweep", req.Spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err, "")
 		return
 	}
 	job, err := s.eng.Submit(spec, req.Priority)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, engine.ErrQueueFull) || errors.Is(err, engine.ErrShutdown) {
-			status = http.StatusServiceUnavailable
-		}
-		writeError(w, status, err)
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]interface{}{"sweep": job.Snapshot()})
@@ -176,12 +206,13 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) sweepStatus(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.eng.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		writeNotFound(w, "sweep", r.PathValue("id"))
 		return
 	}
 	snap := job.Snapshot()
 	if snap.Kind != "sweep" {
-		writeError(w, http.StatusNotFound, fmt.Errorf("job %q is not a sweep", snap.ID))
+		writeError(w, http.StatusNotFound, codeNotFound,
+			fmt.Errorf("job %q is not a sweep", snap.ID), "use /v1/jobs/{id} for point jobs")
 		return
 	}
 	children := job.Children()
@@ -206,12 +237,13 @@ func (s *Server) sweepStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.eng.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeNotFound(w, "job", r.PathValue("id"))
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer does not support streaming"))
+		writeError(w, http.StatusInternalServerError, codeInternal,
+			fmt.Errorf("response writer does not support streaming"), "")
 		return
 	}
 	// Subscribe before the initial snapshot so no transition between
@@ -269,7 +301,7 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.eng.Job(id); !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		writeNotFound(w, "job", id)
 		return
 	}
 	canceled := s.eng.Cancel(id)
@@ -333,6 +365,53 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// Machine-readable error codes of the v1 error envelope. The client SDK
+// switches on these; human-facing text lives in message and detail.
+const (
+	codeBadRequest  = "bad_request"
+	codeNotFound    = "not_found"
+	codeNotFinished = "not_finished"
+	codeJobFailed   = "job_failed"
+	codeUnavailable = "unavailable"
+	codeInternal    = "internal"
+)
+
+// APIError is the uniform error envelope carried under the "error" key
+// of every non-2xx JSON response.
+type APIError struct {
+	// Code is a stable machine-readable identifier (bad_request,
+	// not_found, not_finished, job_failed, unavailable, internal).
+	Code string `json:"code"`
+	// Message is the human-readable error description.
+	Message string `json:"message"`
+	// Detail, when present, is an actionable hint.
+	Detail string `json:"detail,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error, detail string) {
+	writeJSON(w, status, map[string]APIError{"error": {
+		Code:    code,
+		Message: err.Error(),
+		Detail:  detail,
+	}})
+}
+
+func writeNotFound(w http.ResponseWriter, what, id string) {
+	writeError(w, http.StatusNotFound, codeNotFound,
+		fmt.Errorf("unknown %s %q", what, id),
+		"terminal jobs are evicted from the job table after the TTL; resubmit the spec to recover its result from the cache or store")
+}
+
+// writeSubmitError maps an engine submission error to its envelope: 503
+// unavailable for backpressure and shutdown, 400 bad_request otherwise.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, engine.ErrQueueFull) {
+		writeError(w, http.StatusServiceUnavailable, codeUnavailable, err, "retry with backoff: the pending queue is at capacity")
+		return
+	}
+	if errors.Is(err, engine.ErrShutdown) {
+		writeError(w, http.StatusServiceUnavailable, codeUnavailable, err, "")
+		return
+	}
+	writeError(w, http.StatusBadRequest, codeBadRequest, err, "")
 }

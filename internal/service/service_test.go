@@ -85,6 +85,10 @@ type resultEnvelope struct {
 	Result *engine.Output `json:"result"`
 }
 
+type errorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
 // submitCoverTime posts a small deterministic cover-time job.
 func submitCoverTime(t *testing.T, ts *httptest.Server, seed int) engine.Status {
 	t.Helper()
@@ -191,12 +195,12 @@ func TestResultBeforeCompletionConflicts(t *testing.T) {
 		t.Fatalf("park worker: %v", err)
 	}
 	job := submitCoverTime(t, ts, 5) // queued behind the parked job
-	var errBody map[string]string
+	var errBody errorEnvelope
 	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/"+job.ID+"/result", "", &errBody); code != http.StatusConflict {
 		t.Fatalf("early result status = %d, want 409", code)
 	}
-	if errBody["error"] == "" {
-		t.Error("conflict response missing error message")
+	if errBody.Error.Code != "not_finished" || errBody.Error.Message == "" {
+		t.Errorf("conflict envelope = %+v, want code not_finished with a message", errBody.Error)
 	}
 }
 
@@ -220,9 +224,12 @@ func TestCancelEndpoint(t *testing.T) {
 	if final := pollUntilDone(t, ts, job.ID); final.State != engine.Canceled {
 		t.Errorf("state after cancel = %s, want canceled", final.State)
 	}
-	var res map[string]string
+	var res errorEnvelope
 	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/"+job.ID+"/result", "", &res); code != http.StatusUnprocessableEntity {
 		t.Errorf("canceled result status = %d, want 422", code)
+	}
+	if res.Error.Code != "job_failed" {
+		t.Errorf("canceled result envelope = %+v, want code job_failed", res.Error)
 	}
 }
 
@@ -261,22 +268,133 @@ func TestBadRequests(t *testing.T) {
 		{"unknown spec field", `{"kind":"covertime","spec":{"graph":"cycle:8","k":2,"trials":1,"seed":1,"bogus":1}}`, http.StatusBadRequest},
 	}
 	for _, c := range cases {
-		var errBody map[string]string
+		var errBody errorEnvelope
 		if code := doJSON(t, "POST", ts.URL+"/v1/jobs", c.body, &errBody); code != c.wantCode {
 			t.Errorf("%s: status = %d, want %d", c.name, code, c.wantCode)
-		} else if errBody["error"] == "" {
-			t.Errorf("%s: missing error message", c.name)
+		} else if errBody.Error.Code != "bad_request" || errBody.Error.Message == "" {
+			t.Errorf("%s: envelope = %+v, want code bad_request with a message", c.name, errBody.Error)
 		}
 	}
 
-	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/j424242", "", &map[string]string{}); code != http.StatusNotFound {
+	var nf errorEnvelope
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/j424242", "", &nf); code != http.StatusNotFound {
 		t.Errorf("unknown job status = %d, want 404", code)
 	}
-	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/j424242/result", "", &map[string]string{}); code != http.StatusNotFound {
+	if nf.Error.Code != "not_found" {
+		t.Errorf("not-found envelope = %+v, want code not_found", nf.Error)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/j424242/result", "", &map[string]any{}); code != http.StatusNotFound {
 		t.Errorf("unknown job result = %d, want 404", code)
 	}
-	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/j424242", "", &map[string]string{}); code != http.StatusNotFound {
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/j424242", "", &map[string]any{}); code != http.StatusNotFound {
 		t.Errorf("unknown job cancel = %d, want 404", code)
+	}
+}
+
+// TestProcessesDiscovery pins the v1 discovery contract: at least 8
+// registered processes, each with a name, a doc line, and a parameter
+// schema the client can validate against.
+func TestProcessesDiscovery(t *testing.T) {
+	ts, _ := newTestServer(t, engine.Options{Workers: 1})
+
+	var listing struct {
+		Processes []struct {
+			Name   string `json:"name"`
+			Doc    string `json:"doc"`
+			Params []struct {
+				Name string `json:"name"`
+				Type string `json:"type"`
+				Doc  string `json:"doc"`
+			} `json:"params"`
+		} `json:"processes"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/processes", "", &listing); code != http.StatusOK {
+		t.Fatalf("processes status = %d, want 200", code)
+	}
+	if len(listing.Processes) < 8 {
+		t.Fatalf("discovery lists %d processes, want >= 8", len(listing.Processes))
+	}
+	seen := map[string]bool{}
+	for _, p := range listing.Processes {
+		if p.Name == "" || p.Doc == "" || len(p.Params) == 0 {
+			t.Errorf("process entry incomplete: %+v", p)
+		}
+		seen[p.Name] = true
+	}
+	for _, want := range []string{"cobra", "walt", "sis", "push", "push-pull", "simple-walk"} {
+		if !seen[want] {
+			t.Errorf("discovery missing process %q (have %v)", want, seen)
+		}
+	}
+}
+
+// TestProcessJobOverHTTP drives a generic process job end to end: the
+// submission path every newly registered process gets for free.
+func TestProcessJobOverHTTP(t *testing.T) {
+	ts, _ := newTestServer(t, engine.Options{Workers: 1})
+	var env jobEnvelope
+	body := `{"kind":"process","spec":{"process":"push","graph":"cycle:16","trials":3,"seed":2}}`
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs", body, &env); code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	final := pollUntilDone(t, ts, env.Job.ID)
+	if final.State != engine.Done {
+		t.Fatalf("state = %s (%s), want done", final.State, final.Error)
+	}
+	var res resultEnvelope
+	doJSON(t, "GET", ts.URL+"/v1/jobs/"+env.Job.ID+"/result", "", &res)
+	if len(res.Result.Values) != 3 || res.Result.Meta["process"] != "push" {
+		t.Errorf("process result = %+v", res.Result)
+	}
+	if res.Result.Summary["messages_mean"] <= 0 {
+		t.Errorf("summary = %v, want messages_mean > 0", res.Result.Summary)
+	}
+
+	// A schema violation surfaces as a bad_request envelope.
+	var errBody errorEnvelope
+	bad := `{"kind":"process","spec":{"process":"push","graph":"cycle:16","trials":3,"seed":2,"params":{"k":2}}}`
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs", bad, &errBody); code != http.StatusBadRequest {
+		t.Fatalf("bad param submit status = %d, want 400", code)
+	}
+	if errBody.Error.Code != "bad_request" || !strings.Contains(errBody.Error.Message, "unknown parameter") {
+		t.Errorf("bad param envelope = %+v", errBody.Error)
+	}
+}
+
+func TestListJobsStatusFilter(t *testing.T) {
+	ts, eng := newTestServer(t, engine.Options{Workers: 1})
+
+	release := make(chan struct{})
+	blocked, err := eng.Submit(&blockSpec{Name: "parked", release: release}, 10)
+	if err != nil {
+		t.Fatalf("park worker: %v", err)
+	}
+	done := submitCoverTime(t, ts, 31)
+	close(release)
+	pollUntilDone(t, ts, done.ID)
+	pollUntilDone(t, ts, blocked.ID())
+
+	var doneList struct {
+		Jobs []engine.Status `json:"jobs"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs?status=done", "", &doneList); code != http.StatusOK {
+		t.Fatalf("filtered list status = %d, want 200", code)
+	}
+	for _, j := range doneList.Jobs {
+		if j.State != engine.Done {
+			t.Errorf("status=done listing contains %s job %s", j.State, j.ID)
+		}
+	}
+	if len(doneList.Jobs) != 2 {
+		t.Errorf("status=done listed %d jobs, want 2", len(doneList.Jobs))
+	}
+
+	var errBody errorEnvelope
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs?status=bogus", "", &errBody); code != http.StatusBadRequest {
+		t.Errorf("bogus filter status = %d, want 400", code)
+	}
+	if errBody.Error.Code != "bad_request" || errBody.Error.Detail == "" {
+		t.Errorf("bogus filter envelope = %+v, want bad_request with detail", errBody.Error)
 	}
 }
 

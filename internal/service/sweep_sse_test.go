@@ -112,7 +112,7 @@ func TestEventsStreamOnFinishedJobEmitsTerminalAndCloses(t *testing.T) {
 
 func TestEventsUnknownJob404s(t *testing.T) {
 	ts, _ := newTestServer(t, engine.Options{Workers: 1})
-	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/j424242/events", "", &map[string]string{}); code != http.StatusNotFound {
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/j424242/events", "", &errorEnvelope{}); code != http.StatusNotFound {
 		t.Errorf("events status = %d, want 404", code)
 	}
 }
@@ -271,7 +271,7 @@ func TestSweepBadRequests(t *testing.T) {
 		{"unknown field", `{"spec":{"child":"covertime","family":"cycle","sizes":[8],"k":2,"trials":1,"bogus":1}}`},
 	}
 	for _, c := range cases {
-		var errBody map[string]string
+		var errBody errorEnvelope
 		if code := doJSON(t, "POST", ts.URL+"/v1/sweeps", c.body, &errBody); code != http.StatusBadRequest {
 			t.Errorf("%s: status = %d, want 400", c.name, code)
 		}
@@ -280,10 +280,10 @@ func TestSweepBadRequests(t *testing.T) {
 	// /v1/sweeps/{id} on a non-sweep job is a 404.
 	job := submitCoverTime(t, ts, 1)
 	pollUntilDone(t, ts, job.ID)
-	if code := doJSON(t, "GET", ts.URL+"/v1/sweeps/"+job.ID, "", &map[string]string{}); code != http.StatusNotFound {
+	if code := doJSON(t, "GET", ts.URL+"/v1/sweeps/"+job.ID, "", &errorEnvelope{}); code != http.StatusNotFound {
 		t.Errorf("sweep view of point job = %d, want 404", code)
 	}
-	if code := doJSON(t, "GET", ts.URL+"/v1/sweeps/j424242", "", &map[string]string{}); code != http.StatusNotFound {
+	if code := doJSON(t, "GET", ts.URL+"/v1/sweeps/j424242", "", &errorEnvelope{}); code != http.StatusNotFound {
 		t.Errorf("unknown sweep = %d, want 404", code)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -39,6 +40,24 @@ type record struct {
 
 const recordVersion = 1
 
+// Limits is the store's garbage-collection policy. The zero value
+// disables eviction entirely.
+type Limits struct {
+	// MaxBytes caps the total on-disk record bytes; when exceeded, GC
+	// evicts oldest-first until the store fits. Zero disables the cap.
+	MaxBytes int64
+	// MaxAge bounds record age; GC evicts records saved longer ago.
+	// Zero disables age eviction.
+	MaxAge time.Duration
+}
+
+// entry is the in-memory accounting for one record: what GC needs to
+// pick eviction victims without re-reading disk.
+type entry struct {
+	size    int64
+	savedAt time.Time
+}
+
 // Store is a content-addressed record store rooted at one directory.
 // All methods are safe for concurrent use, including by multiple Store
 // instances sharing a directory (writes are atomic renames).
@@ -46,7 +65,9 @@ type Store struct {
 	root string
 
 	mu      sync.Mutex
-	keys    map[string]struct{}
+	keys    map[string]entry
+	limits  Limits
+	evicted int64
 	skipped int
 }
 
@@ -55,7 +76,7 @@ type Store struct {
 // record files are skipped — and counted in Skipped — never fatal.
 // Stale temp files from crashed writers are removed.
 func Open(dir string) (*Store, error) {
-	s := &Store{root: dir, keys: make(map[string]struct{})}
+	s := &Store{root: dir, keys: make(map[string]entry)}
 	for _, sub := range []string{s.resultsDir(), s.tmpDir()} {
 		if err := os.MkdirAll(sub, 0o755); err != nil {
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)
@@ -88,11 +109,12 @@ func Open(dir string) (*Store, error) {
 				s.skipped++
 				continue
 			}
-			if _, err := s.load(key); err != nil {
+			_, meta, err := s.load(key)
+			if err != nil {
 				s.skipped++
 				continue
 			}
-			s.keys[key] = struct{}{}
+			s.keys[key] = meta
 		}
 	}
 	return s, nil
@@ -119,26 +141,27 @@ func keyFromFilename(name string) (string, bool) {
 	return key, true
 }
 
-// load reads and validates one record from disk.
-func (s *Store) load(key string) ([]byte, error) {
+// load reads and validates one record from disk, returning the payload
+// and the record's accounting metadata (on-disk size, save time).
+func (s *Store) load(key string) ([]byte, entry, error) {
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
-		return nil, err
+		return nil, entry{}, err
 	}
 	var rec record
 	if err := json.Unmarshal(data, &rec); err != nil {
-		return nil, fmt.Errorf("store: record %s: %w", key, err)
+		return nil, entry{}, fmt.Errorf("store: record %s: %w", key, err)
 	}
 	if rec.Version != recordVersion {
-		return nil, fmt.Errorf("store: record %s: unknown version %d", key, rec.Version)
+		return nil, entry{}, fmt.Errorf("store: record %s: unknown version %d", key, rec.Version)
 	}
 	if rec.Key != key {
-		return nil, fmt.Errorf("store: record %s: embedded key %s mismatch", key, rec.Key)
+		return nil, entry{}, fmt.Errorf("store: record %s: embedded key %s mismatch", key, rec.Key)
 	}
 	if sum := payloadSum(rec.Payload); sum != rec.SHA256 {
-		return nil, fmt.Errorf("store: record %s: payload checksum mismatch", key)
+		return nil, entry{}, fmt.Errorf("store: record %s: payload checksum mismatch", key)
 	}
-	return rec.Payload, nil
+	return rec.Payload, entry{size: int64(len(data)), savedAt: rec.SavedAt}, nil
 }
 
 func payloadSum(payload []byte) string {
@@ -154,7 +177,7 @@ func (s *Store) Get(key string) (payload []byte, ok bool, err error) {
 	if len(key) < 3 {
 		return nil, false, nil
 	}
-	payload, lerr := s.load(key)
+	payload, meta, lerr := s.load(key)
 	if lerr != nil {
 		if os.IsNotExist(lerr) {
 			return nil, false, nil
@@ -166,7 +189,7 @@ func (s *Store) Get(key string) (payload []byte, ok bool, err error) {
 		return nil, false, nil
 	}
 	s.mu.Lock()
-	s.keys[key] = struct{}{}
+	s.keys[key] = meta
 	s.mu.Unlock()
 	return payload, true, nil
 }
@@ -213,7 +236,7 @@ func (s *Store) Put(key string, payload []byte) error {
 		return fmt.Errorf("store: commit record %s: %w", key, err)
 	}
 	s.mu.Lock()
-	s.keys[key] = struct{}{}
+	s.keys[key] = entry{size: int64(len(data)), savedAt: rec.SavedAt}
 	s.mu.Unlock()
 	return nil
 }
@@ -257,4 +280,109 @@ func (s *Store) Skipped() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.skipped
+}
+
+// TotalBytes returns the total on-disk size of the records known to
+// this store instance.
+func (s *Store) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, e := range s.keys {
+		total += e.size
+	}
+	return total
+}
+
+// Evicted returns the cumulative number of records removed by GC.
+func (s *Store) Evicted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// SetLimits installs the GC policy applied by subsequent GC calls.
+func (s *Store) SetLimits(l Limits) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limits = l
+}
+
+// Limits returns the installed GC policy.
+func (s *Store) Limits() Limits {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.limits
+}
+
+// GC applies the installed Limits as of now: first every record older
+// than MaxAge is evicted, then — if the surviving records still exceed
+// MaxBytes — the oldest survivors are evicted until the store fits.
+// It returns how many records were removed and how many bytes they
+// held.
+//
+// GC never blocks writers: victims are chosen from a snapshot of the
+// accounting map and removed one file at a time through Delete, which
+// takes the store mutex per key. Records are content-addressed and
+// immutable, so the worst race outcome — a concurrent Put re-creating
+// a record GC just chose as a victim — merely deletes a byte-identical
+// record that the next cache miss recomputes; no reader can ever
+// observe a partial or wrong payload.
+func (s *Store) GC(now time.Time) (removed int, freed int64, err error) {
+	s.mu.Lock()
+	limits := s.limits
+	if limits.MaxBytes <= 0 && limits.MaxAge <= 0 {
+		s.mu.Unlock()
+		return 0, 0, nil
+	}
+	type victim struct {
+		key string
+		entry
+	}
+	live := make([]victim, 0, len(s.keys))
+	var victims []victim
+	var liveBytes int64
+	for k, e := range s.keys {
+		if limits.MaxAge > 0 && now.Sub(e.savedAt) > limits.MaxAge {
+			victims = append(victims, victim{k, e})
+			continue
+		}
+		live = append(live, victim{k, e})
+		liveBytes += e.size
+	}
+	if limits.MaxBytes > 0 && liveBytes > limits.MaxBytes {
+		// Oldest first; key as the tie-break keeps eviction deterministic.
+		sort.Slice(live, func(a, b int) bool {
+			if !live[a].savedAt.Equal(live[b].savedAt) {
+				return live[a].savedAt.Before(live[b].savedAt)
+			}
+			return live[a].key < live[b].key
+		})
+		for _, v := range live {
+			if liveBytes <= limits.MaxBytes {
+				break
+			}
+			victims = append(victims, v)
+			liveBytes -= v.size
+		}
+	}
+	s.mu.Unlock()
+
+	var firstErr error
+	for _, v := range victims {
+		if derr := s.Delete(v.key); derr != nil {
+			if firstErr == nil {
+				firstErr = derr
+			}
+			continue
+		}
+		removed++
+		freed += v.size
+	}
+	if removed > 0 {
+		s.mu.Lock()
+		s.evicted += int64(removed)
+		s.mu.Unlock()
+	}
+	return removed, freed, firstErr
 }

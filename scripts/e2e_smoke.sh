@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# End-to-end durability smoke for cobrad: start the daemon with a
-# temporary persistent data dir, submit a 12-point sweep over HTTP,
-# stream SSE progress until the terminal event, then restart the daemon
-# on the same data dir and assert the resubmitted sweep is served from
-# the persistent store (cache hit, identical result, zero trials
-# re-run).
+# End-to-end durability smoke for cobrad, driven through the cobractl
+# client so the typed SDK is exercised against a real daemon: start
+# cobrad with a temporary persistent data dir, discover the process
+# registry, submit a sweep spanning TWO different processes over HTTP,
+# stream SSE progress to completion, then restart the daemon on the
+# same data dir and assert the resubmitted sweep is served from the
+# persistent store (cache hit, identical result, zero trials re-run).
 #
 # Requires: go, curl, jq. Run from the repository root:
 #
@@ -16,8 +17,10 @@ ADDR="127.0.0.1:${PORT}"
 BASE="http://${ADDR}"
 WORK="$(mktemp -d)"
 DATA="${WORK}/data"
-BIN="${WORK}/cobrad"
-SWEEP='{"spec":{"child":"covertime","family":"cycle","sizes":[8,10,12,14,16,18],"ks":[1,2],"trials":3,"seed":99}}'
+COBRAD="${WORK}/cobrad"
+COBRACTL="${WORK}/cobractl"
+SWEEP_ARGS=(sweep -child process -processes cobra,push -family cycle
+            -sizes 8,10,12 -trials 3 -seed 99 -param k=2 -json)
 
 COBRAD_PID=""
 cleanup() {
@@ -29,8 +32,12 @@ trap cleanup EXIT
 
 fail() { echo "e2e: FAIL: $*" >&2; exit 1; }
 
+ctl() { "${COBRACTL}" -server "${BASE}" "$@"; }
+
 start_daemon() {
-  "${BIN}" -addr "${ADDR}" -data-dir "${DATA}" -job-ttl 10m >"${WORK}/cobrad.$1.log" 2>&1 &
+  "${COBRAD}" -addr "${ADDR}" -data-dir "${DATA}" -job-ttl 10m \
+    -store-max-bytes 104857600 -store-max-age 24h -store-gc-interval 5s \
+    >"${WORK}/cobrad.$1.log" 2>&1 &
   COBRAD_PID=$!
   for _ in $(seq 1 100); do
     if curl -sf "${BASE}/healthz" >/dev/null 2>&1; then return 0; fi
@@ -49,32 +56,44 @@ stop_daemon() {
   fail "daemon did not shut down"
 }
 
-echo "e2e: building cobrad"
-go build -o "${BIN}" ./cmd/cobrad
+echo "e2e: building cobrad and cobractl"
+go build -o "${COBRAD}" ./cmd/cobrad
+go build -o "${COBRACTL}" ./cmd/cobractl
 
 echo "e2e: first daemon run (data dir ${DATA})"
 start_daemon first
 
-SUBMIT="$(curl -sf "${BASE}/v1/sweeps" -d "${SWEEP}")"
+echo "e2e: discovering the process registry through cobractl"
+PROCS="$(ctl processes -json | jq '.processes | length')"
+[ "${PROCS}" -ge 8 ] || fail "GET /v1/processes lists ${PROCS} processes, want >= 8"
+ctl processes -json | jq -e '.processes[] | select(.name=="cobra") | .params | length > 0' >/dev/null \
+  || fail "cobra process missing a parameter schema"
+echo "e2e: ${PROCS} processes registered"
+
+echo "e2e: submitting a two-process sweep (cobra + push) through cobractl"
+SUBMIT="$(ctl "${SWEEP_ARGS[@]}")"
 JOB_ID="$(jq -r '.sweep.id' <<<"${SUBMIT}")"
-[ "${JOB_ID}" != "null" ] || fail "sweep submission rejected: ${SUBMIT}"
+[ "${JOB_ID}" != "null" ] && [ -n "${JOB_ID}" ] || fail "sweep submission rejected: ${SUBMIT}"
 echo "e2e: sweep ${JOB_ID} submitted"
 
-echo "e2e: streaming SSE until terminal"
-EVENTS="${WORK}/events.log"
-# The stream ends on its own after the terminal status event.
-curl -sN --max-time 120 "${BASE}/v1/jobs/${JOB_ID}/events" >"${EVENTS}" || true
-STATUS_EVENTS="$(grep -c '^event: status' "${EVENTS}")" || fail "no SSE status events received"
-FINAL_STATE="$(grep '^data: ' "${EVENTS}" | tail -1 | sed 's/^data: //' | jq -r '.state')"
-[ "${FINAL_STATE}" = "done" ] || fail "final streamed state = ${FINAL_STATE} (events: $(cat "${EVENTS}"))"
-echo "e2e: observed ${STATUS_EVENTS} SSE status events, final state done"
+echo "e2e: watching SSE through cobractl until terminal"
+ctl watch "${JOB_ID}" 2>"${WORK}/watch.log" || { cat "${WORK}/watch.log" >&2; fail "watch did not end in done"; }
+grep -q "state=done" "${WORK}/watch.log" || fail "watch log missing terminal state: $(cat "${WORK}/watch.log")"
 
 CHILDREN="$(curl -sf "${BASE}/v1/sweeps/${JOB_ID}" | jq '.children | length')"
-[ "${CHILDREN}" -eq 12 ] || fail "fan-out view has ${CHILDREN} children, want 12"
+[ "${CHILDREN}" -eq 6 ] || fail "fan-out view has ${CHILDREN} children, want 6 (2 processes x 3 sizes)"
 
-curl -sf "${BASE}/v1/jobs/${JOB_ID}/result" | jq -S '.result' >"${WORK}/result.first.json"
+ctl result "${JOB_ID}" -json | jq -S '.result' >"${WORK}/result.first.json"
 POINTS="$(jq '.points | length' "${WORK}/result.first.json")"
-[ "${POINTS}" -eq 12 ] || fail "result has ${POINTS} points, want 12"
+[ "${POINTS}" -eq 6 ] || fail "result has ${POINTS} points, want 6"
+DISTINCT_PROCS="$(jq '[.points[].process] | unique | length' "${WORK}/result.first.json")"
+[ "${DISTINCT_PROCS}" -eq 2 ] || fail "result spans ${DISTINCT_PROCS} processes, want 2"
+
+echo "e2e: job listing is deterministic and filterable"
+DONE_JOBS="$(ctl ps -status done -json | jq '.jobs | length')"
+[ "${DONE_JOBS}" -ge 7 ] || fail "ps -status done lists ${DONE_JOBS} jobs, want >= 7 (sweep + children)"
+ctl ps -status done -json | jq -e '[.jobs[].id] as $a | ($a | sort | reverse) == $a' >/dev/null \
+  || fail "ps listing is not sorted most-recent-first"
 
 COMPLETED_FIRST="$(curl -sf "${BASE}/metrics" | awk '/^cobrad_jobs_completed_total/ {print $2}')"
 echo "e2e: first run completed ${COMPLETED_FIRST} jobs (parent + children)"
@@ -83,18 +102,18 @@ echo "e2e: restarting daemon on the same data dir"
 stop_daemon
 start_daemon second
 
-RESUBMIT="$(curl -sf "${BASE}/v1/sweeps" -d "${SWEEP}")"
+RESUBMIT="$(ctl "${SWEEP_ARGS[@]}")"
 JOB2_ID="$(jq -r '.sweep.id' <<<"${RESUBMIT}")"
 CACHE_HIT="$(jq -r '.sweep.cache_hit' <<<"${RESUBMIT}")"
 STATE2="$(jq -r '.sweep.state' <<<"${RESUBMIT}")"
 [ "${CACHE_HIT}" = "true" ] || fail "restarted daemon did not serve sweep from store: ${RESUBMIT}"
 [ "${STATE2}" = "done" ] || fail "restarted sweep state = ${STATE2}, want immediate done"
 
-# The SSE stream of an already-terminal job emits the final status and closes.
-curl -sN --max-time 30 "${BASE}/v1/jobs/${JOB2_ID}/events" >"${WORK}/events2.log" || true
-grep -q '"cache_hit":true' "${WORK}/events2.log" || fail "post-restart SSE missing cached terminal status"
+# Watching an already-terminal job emits the cached terminal status and ends.
+ctl watch "${JOB2_ID}" 2>"${WORK}/watch2.log" || fail "post-restart watch failed: $(cat "${WORK}/watch2.log")"
+grep -q "state=done" "${WORK}/watch2.log" || fail "post-restart watch missing cached terminal status"
 
-curl -sf "${BASE}/v1/jobs/${JOB2_ID}/result" | jq -S '.result' >"${WORK}/result.second.json"
+ctl result "${JOB2_ID}" -json | jq -S '.result' >"${WORK}/result.second.json"
 cmp -s "${WORK}/result.first.json" "${WORK}/result.second.json" \
   || fail "result changed across restart: $(diff "${WORK}/result.first.json" "${WORK}/result.second.json" | head)"
 
@@ -104,7 +123,7 @@ METRICS="$(curl -sf "${BASE}/metrics")"
 COMPLETED_SECOND="$(awk '/^cobrad_jobs_completed_total/ {print $2}' <<<"${METRICS}")"
 STORE_ENTRIES="$(awk '/^cobrad_store_entries/ {print $2}' <<<"${METRICS}")"
 [ "${COMPLETED_SECOND}" -eq 1 ] || fail "restarted daemon completed ${COMPLETED_SECOND} jobs, want 1 (cached parent only)"
-[ "${STORE_ENTRIES}" -ge 13 ] || fail "store has ${STORE_ENTRIES} records, want >= 13 (12 points + sweep)"
+[ "${STORE_ENTRIES}" -ge 7 ] || fail "store has ${STORE_ENTRIES} records, want >= 7 (6 points + sweep)"
 
 stop_daemon
-echo "e2e: PASS — sweep of ${POINTS} points streamed over SSE, survived restart from ${STORE_ENTRIES} store records, byte-identical result with zero trials re-run"
+echo "e2e: PASS — two-process sweep of ${POINTS} points via cobractl, SSE to completion, survived restart from ${STORE_ENTRIES} store records, byte-identical result with zero trials re-run"
