@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-baseline profile fmt vet cover e2e
+.PHONY: build test race bench bench-smoke bench-baseline profile fmt vet cover e2e docs-check
 
 build:
 	$(GO) build ./...
@@ -46,7 +46,13 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./internal/engine/ ./internal/store/
 	./scripts/coverage_gate.sh coverage.out 80
 
-# End-to-end smoke: real cobrad daemon, sweep over HTTP, SSE stream,
-# restart, result served from the persistent store.
+# End-to-end smoke: two-node cobrad cluster over one data dir, sweep
+# drained through leased claims, runner killed mid-sweep, restart with
+# zero trials re-run.
 e2e:
 	./scripts/e2e_smoke.sh
+
+# Docs lint: API routes, error codes, and registered processes must be
+# documented (docs/API.md, README process table).
+docs-check:
+	./scripts/docs_check.sh

@@ -1,19 +1,3 @@
-// Package client is the typed Go SDK for the cobrad v1 HTTP API: the
-// programmatic face of the simulation service, used by cmd/cobractl and
-// by cmd/covertime / cmd/experiments when pointed at a remote daemon
-// with -server.
-//
-// Every call takes a context and returns typed values (engine.Status,
-// engine.Output, process.Info) rather than raw JSON; non-2xx responses
-// surface as *client.Error carrying the service's machine-readable
-// error envelope {code, message, detail}. Follow streams a job's SSE
-// status feed; Run is the submit → follow → result convenience loop.
-//
-//	c, _ := client.New("http://127.0.0.1:8080")
-//	out, _, err := c.Run(ctx, "process", engine.ProcessSpec{
-//	    Process: "cobra", Graph: "grid:2,33", Trials: 20, Seed: 1,
-//	    Params: process.Params{"k": 2.0},
-//	}, nil)
 package client
 
 import (
@@ -27,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/process"
 )
@@ -162,6 +147,30 @@ func (c *Client) Processes(ctx context.Context) ([]process.Info, error) {
 		return nil, err
 	}
 	return out.Processes, nil
+}
+
+// NodesView is the GET /v1/nodes discovery document: whether the
+// daemon is clustered, its own identity and role, and the registered
+// members with heartbeat-derived liveness.
+type NodesView struct {
+	// Cluster reports whether the daemon is a cluster member at all.
+	Cluster bool `json:"cluster"`
+	// Node is the serving daemon's own node ID (clustered daemons only).
+	Node string `json:"node,omitempty"`
+	// Role is the serving daemon's cluster role.
+	Role cluster.Role `json:"role,omitempty"`
+	// Nodes lists every registered member, sorted by ID.
+	Nodes []cluster.NodeInfo `json:"nodes"`
+}
+
+// Nodes returns the daemon's cluster membership view. A single-node
+// daemon answers with Cluster=false and an empty list.
+func (c *Client) Nodes(ctx context.Context) (NodesView, error) {
+	var out NodesView
+	if err := c.do(ctx, http.MethodGet, "/v1/nodes", nil, &out); err != nil {
+		return NodesView{}, err
+	}
+	return out, nil
 }
 
 // Submit submits one job of the given kind ("process", "covertime",

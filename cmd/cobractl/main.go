@@ -9,6 +9,7 @@
 // Commands:
 //
 //	processes            list registered processes with parameter schemas
+//	nodes                list cluster members and their liveness
 //	submit               submit one job and (optionally) watch it to completion
 //	sweep                submit a server-side sweep across processes × families × ks × sizes
 //	watch <job-id>       stream a job's live status (SSE) until terminal
@@ -84,6 +85,8 @@ func main() {
 	switch cmd {
 	case "processes":
 		err = cmdProcesses(ctx, server, rest)
+	case "nodes":
+		err = cmdNodes(ctx, server, rest)
 	case "submit":
 		err = cmdSubmit(ctx, server, rest)
 	case "sweep":
@@ -116,6 +119,7 @@ usage: cobractl [-server URL] <command> [flags] [args]
 
 commands:
   processes            list registered processes with parameter schemas
+  nodes                list cluster members (ID, role, liveness)
   submit               submit one job (-process/-graph/-param, or -kind/-spec)
   sweep                submit a sweep (-processes/-family/-sizes/-ks, or -spec)
   watch <job-id>       stream live status until the job is terminal
@@ -225,6 +229,39 @@ func cmdProcesses(ctx context.Context, server string, args []string) error {
 			fmt.Printf("    -param %-16s %-28s %s\n", ps.Name, "("+strings.Join(attrs, ", ")+")", ps.Doc)
 		}
 		fmt.Println()
+	}
+	return nil
+}
+
+func cmdNodes(ctx context.Context, server string, args []string) error {
+	fs, srv, asJSON := newFlagSet("nodes", server)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := dial(*srv)
+	if err != nil {
+		return err
+	}
+	view, err := c.Nodes(ctx)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return printJSON(view)
+	}
+	if !view.Cluster {
+		fmt.Println("not clustered (single-node daemon)")
+		return nil
+	}
+	fmt.Printf("this node: %s (%s)\n", view.Node, view.Role)
+	fmt.Printf("%-24s %-12s %-22s %-6s %s\n", "ID", "ROLE", "ADDR", "ALIVE", "LAST SEEN")
+	for _, n := range view.Nodes {
+		addr := n.Addr
+		if addr == "" {
+			addr = "-"
+		}
+		fmt.Printf("%-24s %-12s %-22s %-6v %s\n",
+			n.ID, n.Role, addr, n.Alive, n.LastSeen.Format(time.RFC3339))
 	}
 	return nil
 }
@@ -431,14 +468,18 @@ func cmdPS(ctx context.Context, server string, args []string) error {
 	if *asJSON {
 		return printJSON(map[string]any{"jobs": jobs})
 	}
-	fmt.Printf("%-9s %-10s %-9s %-10s %-6s %s\n", "ID", "KIND", "STATE", "PROGRESS", "CACHED", "SUBMITTED")
+	fmt.Printf("%-9s %-10s %-9s %-10s %-6s %-16s %s\n", "ID", "KIND", "STATE", "PROGRESS", "CACHED", "NODE", "SUBMITTED")
 	for _, j := range jobs {
 		progress := "-"
 		if j.Total > 0 {
 			progress = fmt.Sprintf("%d/%d", j.Done, j.Total)
 		}
-		fmt.Printf("%-9s %-10s %-9s %-10s %-6v %s\n",
-			j.ID, j.Kind, j.State, progress, j.CacheHit, j.SubmittedAt.Format(time.RFC3339))
+		node := j.Node
+		if node == "" {
+			node = "-"
+		}
+		fmt.Printf("%-9s %-10s %-9s %-10s %-6v %-16s %s\n",
+			j.ID, j.Kind, j.State, progress, j.CacheHit, node, j.SubmittedAt.Format(time.RFC3339))
 	}
 	return nil
 }

@@ -28,6 +28,19 @@
 // expired records first, then the oldest records until the size cap is
 // met, so a long-running daemon's disk footprint stays bounded.
 //
+// Several cobrad instances sharing one -data-dir form a cluster. Start
+// each with -cluster (coordinator, runner, or peer) and they drain a
+// common workload through leased claims on the shared store: a sweep
+// submitted to any node is announced to the cluster, runner/peer nodes
+// adopt it, and every point is computed exactly once cluster-wide —
+// whoever claims a point's lease runs it, everyone else adopts the
+// stored result. A killed node's leases expire after -lease-ttl and
+// survivors re-run only the points it never stored.
+//
+//	cobrad -addr :8080 -data-dir /shared/cobrad -cluster coordinator -node-id a &
+//	cobrad -addr :8081 -data-dir /shared/cobrad -cluster runner      -node-id b &
+//	curl -s localhost:8080/v1/nodes
+//
 // cobrad shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, lets in-flight HTTP requests finish, then drains the job
 // queue up to -drain before cancelling whatever is left.
@@ -46,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -63,8 +77,14 @@ func main() {
 		storeMaxBytes = flag.Int64("store-max-bytes", 0, "persistent store size cap in bytes; oldest records evicted beyond it (0 disables)")
 		storeMaxAge   = flag.Duration("store-max-age", 0, "persistent store record retention; older records evicted (0 disables)")
 		storeGCEvery  = flag.Duration("store-gc-interval", time.Minute, "how often the store GC sweep runs")
+		clusterMode   = flag.String("cluster", "off", "cluster role: off|coordinator|runner|peer (requires -data-dir)")
+		nodeID        = flag.String("node-id", "", "cluster node identity (default <hostname>-<pid>)")
+		leaseTTL      = flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "point lease TTL; a dead node's work is reclaimed after this long")
 	)
 	flag.Parse()
+	if *clusterMode != "off" && *dataDir == "" {
+		fatal(errors.New("cobrad: -cluster requires -data-dir (the shared directory is the cluster)"))
+	}
 
 	opts := engine.Options{
 		Workers:    *workers,
@@ -74,6 +94,7 @@ func main() {
 	}
 	gcStop := make(chan struct{})
 	var gcDone chan struct{}
+	var cl *cluster.Cluster
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir)
 		if err != nil {
@@ -89,11 +110,64 @@ func main() {
 			gcDone = make(chan struct{})
 			go storeGCLoop(st, *storeGCEvery, gcStop, gcDone)
 		}
+		if *clusterMode != "off" {
+			cl, err = cluster.Join(st, cluster.Config{
+				NodeID:   *nodeID,
+				Role:     cluster.Role(*clusterMode),
+				Addr:     *addr,
+				LeaseTTL: *leaseTTL,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			opts.Cluster = cl
+			opts.NodeID = cl.NodeID()
+			log.Printf("cobrad: joined cluster at %s as %s (%s, lease-ttl %v)",
+				*dataDir, cl.NodeID(), cl.Role(), cl.LeaseTTL())
+		}
 	}
 	eng := engine.New(opts)
+
+	var svcOpts []service.Option
+	if cl != nil {
+		svcOpts = append(svcOpts, service.WithCluster(cl))
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: service.New(eng).Handler(),
+		Handler: service.New(eng, svcOpts...).Handler(),
+	}
+
+	// Runner and peer nodes adopt sweeps announced by the rest of the
+	// cluster into their own engine, so a sweep submitted anywhere
+	// drains everywhere.
+	adoptStop := make(chan struct{})
+	var adoptDone chan struct{}
+	if cl != nil && cl.Role().Adopts() {
+		adoptDone = make(chan struct{})
+		go func() {
+			defer close(adoptDone)
+			cl.Adopt(adoptStop, func(ann cluster.Announcement) error {
+				if eng.HasLiveFingerprint(ann.Fingerprint) {
+					return nil // already running here (submitted directly)
+				}
+				spec, err := engine.DecodeSpec(ann.Kind, ann.Spec)
+				if err != nil {
+					log.Printf("cobrad: ignoring undecodable announcement %.12s from %s: %v",
+						ann.Fingerprint, ann.Origin, err)
+					return nil
+				}
+				if _, err := eng.Submit(spec, ann.Priority); err != nil {
+					if errors.Is(err, engine.ErrQueueFull) {
+						return err // backpressure: retried next scan
+					}
+					log.Printf("cobrad: cannot adopt sweep %.12s from %s: %v",
+						ann.Fingerprint, ann.Origin, err)
+					return nil
+				}
+				log.Printf("cobrad: adopted sweep %.12s from node %s", ann.Fingerprint, ann.Origin)
+				return nil
+			})
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -117,12 +191,21 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("cobrad: http shutdown: %v", err)
 	}
+	// Stop adopting before draining, so the engine is not handed new
+	// sweeps while it shuts down.
+	close(adoptStop)
+	if adoptDone != nil {
+		<-adoptDone
+	}
 	if err := eng.Shutdown(shutdownCtx); err != nil {
 		log.Printf("cobrad: engine shutdown: %v", err)
 	}
 	close(gcStop)
 	if gcDone != nil {
 		<-gcDone
+	}
+	if cl != nil {
+		cl.Leave()
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)

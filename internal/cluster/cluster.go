@@ -1,0 +1,479 @@
+// Package cluster turns a set of cobrad instances sharing one data
+// directory into a work-sharing cluster. It layers three small
+// coordination primitives over the persistent store's filesystem
+// machinery:
+//
+//   - a node registry: every member heartbeats a node record, so peers
+//     (and GET /v1/nodes) can see who is in the cluster and who has
+//     gone silent;
+//   - sweep announcements: a sweep submitted to any node is published
+//     under its fingerprint, and runner/peer nodes adopt it into their
+//     own engines, so one sweep drains across every machine;
+//   - a compute journal: each point a node actually computes (as
+//     opposed to adopting from the store) leaves one journal record —
+//     the cluster-wide exactly-once accounting that tests and the e2e
+//     smoke assert on.
+//
+// Mutual exclusion over individual points comes from the store's lease
+// subsystem (store.AcquireLease and friends), which this package wraps
+// with the node's identity and TTL. Leases are advisory: results are
+// content-addressed and deterministic, so any protocol race degrades
+// to duplicate work, never to a wrong record. A node that dies holding
+// leases simply stops renewing them; survivors reclaim the expired
+// leases and re-run only the points the dead node never stored.
+//
+// On-disk layout, beside the store's results/ tree:
+//
+//	<data-dir>/leases/<key>.json              advisory point leases (store-owned)
+//	<data-dir>/cluster/nodes/<id>.json        heartbeated node records
+//	<data-dir>/cluster/sweeps/<fp>.json       sweep announcements
+//	<data-dir>/cluster/journal/<fp>-<node>-<seq>.json  compute journal
+//	<data-dir>/cluster/tmp/                   staging for atomic writes
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Role is a node's cluster role.
+type Role string
+
+// Cluster roles. A coordinator announces the sweeps it receives and
+// computes under leases but does not adopt foreign announcements; a
+// runner additionally adopts announced sweeps into its own engine; a
+// peer is shorthand for a node that does both (every node announces,
+// runners and peers adopt).
+const (
+	RoleCoordinator Role = "coordinator"
+	RoleRunner      Role = "runner"
+	RolePeer        Role = "peer"
+)
+
+// Valid reports whether r names a known role.
+func (r Role) Valid() bool {
+	return r == RoleCoordinator || r == RoleRunner || r == RolePeer
+}
+
+// Adopts reports whether nodes with this role adopt foreign sweep
+// announcements.
+func (r Role) Adopts() bool { return r == RoleRunner || r == RolePeer }
+
+// Default intervals. LeaseTTL trades reclaim latency against tolerance
+// for stalls: a dead node's points become reclaimable one TTL after
+// its last heartbeat.
+const (
+	DefaultLeaseTTL = 15 * time.Second
+)
+
+// Config configures a cluster member. Zero fields select defaults.
+type Config struct {
+	// NodeID identifies this node in leases, the registry, and the
+	// journal; defaults to "<hostname>-<pid>".
+	NodeID string
+	// Role selects the node's behavior; defaults to RolePeer.
+	Role Role
+	// Addr is the node's advertised API address, informational only.
+	Addr string
+	// LeaseTTL is how long a point lease lives between heartbeat
+	// renewals; defaults to DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Heartbeat is the renewal cadence for held leases and the node
+	// record; defaults to LeaseTTL/3.
+	Heartbeat time.Duration
+	// Poll is the cadence at which waiting workers re-check foreign
+	// leases and the adoption loop re-scans announcements; defaults to
+	// LeaseTTL/10, clamped to [50ms, 1s].
+	Poll time.Duration
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.NodeID == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "node"
+		}
+		c.NodeID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if c.Role == "" {
+		c.Role = RolePeer
+	}
+	if !c.Role.Valid() {
+		return c, fmt.Errorf("cluster: unknown role %q (valid: coordinator, runner, peer)", c.Role)
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = DefaultLeaseTTL
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = c.LeaseTTL / 3
+	}
+	if c.Poll <= 0 {
+		c.Poll = c.LeaseTTL / 10
+		if c.Poll < 50*time.Millisecond {
+			c.Poll = 50 * time.Millisecond
+		}
+		if c.Poll > time.Second {
+			c.Poll = time.Second
+		}
+	}
+	return c, nil
+}
+
+// Cluster is one node's membership in the shared-directory cluster.
+// All methods are safe for concurrent use.
+type Cluster struct {
+	st  *store.Store
+	cfg Config
+
+	started time.Time
+	seq     atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Join registers this process as a member of the cluster rooted at the
+// store's directory: it creates the coordination directories, writes
+// the node record, and starts the heartbeat loop. Call Leave on
+// shutdown.
+func Join(st *store.Store, cfg Config) (*Cluster, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		st:      st,
+		cfg:     cfg,
+		started: time.Now().UTC(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, dir := range []string{c.nodesDir(), c.sweepsDir(), c.journalDir(), c.tmpDir()} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cluster: join %s: %w", st.Dir(), err)
+		}
+	}
+	if err := c.writeNodeRecord(); err != nil {
+		return nil, err
+	}
+	go c.heartbeatLoop()
+	return c, nil
+}
+
+// Leave stops the heartbeat loop and removes this node's record from
+// the registry. Held point leases are left to expire; a graceful
+// shutdown releases them through the engine before calling Leave.
+func (c *Cluster) Leave() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+	_ = os.Remove(c.nodePath(c.cfg.NodeID))
+}
+
+// NodeID returns this node's identity.
+func (c *Cluster) NodeID() string { return c.cfg.NodeID }
+
+// Role returns this node's role.
+func (c *Cluster) Role() Role { return c.cfg.Role }
+
+// LeaseTTL returns the configured lease TTL.
+func (c *Cluster) LeaseTTL() time.Duration { return c.cfg.LeaseTTL }
+
+// Heartbeat returns the lease/registry renewal cadence.
+func (c *Cluster) Heartbeat() time.Duration { return c.cfg.Heartbeat }
+
+// Poll returns the wait/adoption polling cadence.
+func (c *Cluster) Poll() time.Duration { return c.cfg.Poll }
+
+func (c *Cluster) clusterDir() string { return filepath.Join(c.st.Dir(), "cluster") }
+func (c *Cluster) nodesDir() string   { return filepath.Join(c.clusterDir(), "nodes") }
+func (c *Cluster) sweepsDir() string  { return filepath.Join(c.clusterDir(), "sweeps") }
+func (c *Cluster) journalDir() string { return filepath.Join(c.clusterDir(), "journal") }
+func (c *Cluster) tmpDir() string     { return filepath.Join(c.clusterDir(), "tmp") }
+
+// Claim attempts to take this node's lease on key (a point
+// fingerprint). It reports whether the claim succeeded and, when it
+// did not, the lease currently in the way.
+func (c *Cluster) Claim(key string) (bool, store.Lease, error) {
+	lease, ok, err := c.st.AcquireLease(key, c.cfg.NodeID, c.cfg.LeaseTTL)
+	return ok, lease, err
+}
+
+// Renew extends this node's lease on key; it returns
+// store.ErrLeaseLost when the lease has lapsed or been reclaimed.
+func (c *Cluster) Renew(key string) error {
+	_, err := c.st.RenewLease(key, c.cfg.NodeID, c.cfg.LeaseTTL)
+	return err
+}
+
+// Release drops this node's lease on key, if still held.
+func (c *Cluster) Release(key string) {
+	_ = c.st.ReleaseLease(key, c.cfg.NodeID)
+}
+
+// NodeInfo is the registry view of one cluster member.
+type NodeInfo struct {
+	ID        string    `json:"id"`
+	Role      Role      `json:"role"`
+	Addr      string    `json:"addr,omitempty"`
+	StartedAt time.Time `json:"started_at"`
+	LastSeen  time.Time `json:"last_seen"`
+	// Heartbeat is the record owner's renewal cadence, so observers
+	// with different TTLs judge liveness against the right clock.
+	Heartbeat time.Duration `json:"heartbeat,omitempty"`
+	// Alive reports whether the node's last heartbeat is recent (three
+	// of its own heartbeat intervals); a killed node goes stale, it
+	// never un-registers.
+	Alive bool `json:"alive"`
+}
+
+// Nodes returns every registered node, sorted by ID, with liveness
+// judged against three of the node's own heartbeat intervals (falling
+// back to this member's interval for records that predate the field).
+func (c *Cluster) Nodes() ([]NodeInfo, error) {
+	files, err := os.ReadDir(c.nodesDir())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: scan nodes: %w", err)
+	}
+	now := time.Now().UTC()
+	nodes := make([]NodeInfo, 0, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(c.nodesDir(), f.Name()))
+		if err != nil {
+			continue
+		}
+		var n NodeInfo
+		if err := json.Unmarshal(data, &n); err != nil || n.ID == "" {
+			continue
+		}
+		interval := n.Heartbeat
+		if interval <= 0 {
+			interval = c.cfg.Heartbeat
+		}
+		n.Alive = now.Sub(n.LastSeen) < 3*interval
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(a, b int) bool { return nodes[a].ID < nodes[b].ID })
+	return nodes, nil
+}
+
+func (c *Cluster) nodePath(id string) string {
+	return filepath.Join(c.nodesDir(), sanitize(id)+".json")
+}
+
+func (c *Cluster) writeNodeRecord() error {
+	n := NodeInfo{
+		ID:        c.cfg.NodeID,
+		Role:      c.cfg.Role,
+		Addr:      c.cfg.Addr,
+		StartedAt: c.started,
+		LastSeen:  time.Now().UTC(),
+		Heartbeat: c.cfg.Heartbeat,
+	}
+	return c.writeDoc(c.nodePath(c.cfg.NodeID), n)
+}
+
+func (c *Cluster) heartbeatLoop() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			_ = c.writeNodeRecord()
+		}
+	}
+}
+
+// Announcement is one sweep published to the cluster's shared queue.
+type Announcement struct {
+	// Fingerprint is the sweep spec's content address — also the
+	// announcement's identity, so re-announcing is idempotent.
+	Fingerprint string `json:"fingerprint"`
+	// Origin is the node that received the submission.
+	Origin string `json:"origin"`
+	// Kind is the engine job kind, always "sweep" today.
+	Kind string `json:"kind"`
+	// Priority is the submission priority, propagated to adopters.
+	Priority int `json:"priority"`
+	// Spec is the raw sweep spec JSON, decodable with
+	// engine.DecodeSpec(Kind, Spec).
+	Spec json.RawMessage `json:"spec"`
+	// AnnouncedAt is when the origin published the sweep.
+	AnnouncedAt time.Time `json:"announced_at"`
+}
+
+func (c *Cluster) announcementPath(fp string) string {
+	return filepath.Join(c.sweepsDir(), sanitize(fp)+".json")
+}
+
+// AnnounceSweep publishes a sweep to the shared queue, create-if-absent:
+// announcing a fingerprint that is already announced (by any node) is a
+// no-op, so adoption cannot loop.
+func (c *Cluster) AnnounceSweep(fp, kind string, spec json.RawMessage, priority int) error {
+	a := Announcement{
+		Fingerprint: fp,
+		Origin:      c.cfg.NodeID,
+		Kind:        kind,
+		Priority:    priority,
+		Spec:        spec,
+		AnnouncedAt: time.Now().UTC(),
+	}
+	return c.createDoc(c.announcementPath(fp), a)
+}
+
+// CompleteSweep retires a sweep's announcement once its result is in
+// the store (or the sweep is otherwise terminal at its origin).
+// Idempotent; any node may call it.
+func (c *Cluster) CompleteSweep(fp string) {
+	_ = os.Remove(c.announcementPath(fp))
+}
+
+// Announcements returns the currently published sweeps, oldest first.
+func (c *Cluster) Announcements() ([]Announcement, error) {
+	files, err := os.ReadDir(c.sweepsDir())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: scan announcements: %w", err)
+	}
+	anns := make([]Announcement, 0, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(c.sweepsDir(), f.Name()))
+		if err != nil {
+			continue
+		}
+		var a Announcement
+		if err := json.Unmarshal(data, &a); err != nil || a.Fingerprint == "" {
+			continue
+		}
+		anns = append(anns, a)
+	}
+	sort.Slice(anns, func(a, b int) bool {
+		if !anns[a].AnnouncedAt.Equal(anns[b].AnnouncedAt) {
+			return anns[a].AnnouncedAt.Before(anns[b].AnnouncedAt)
+		}
+		return anns[a].Fingerprint < anns[b].Fingerprint
+	})
+	return anns, nil
+}
+
+// JournalEntry records one point actually computed (not adopted) by a
+// node: the cluster's exactly-once ledger. Each key should appear at
+// most once across the whole cluster; a second entry for the same key
+// is the signature of duplicated work.
+type JournalEntry struct {
+	Key         string    `json:"key"`
+	Node        string    `json:"node"`
+	CompletedAt time.Time `json:"completed_at"`
+}
+
+// RecordComputed journals that this node computed key. Best-effort:
+// journal writes never fail the computation they describe.
+func (c *Cluster) RecordComputed(key string) {
+	e := JournalEntry{Key: key, Node: c.cfg.NodeID, CompletedAt: time.Now().UTC()}
+	name := fmt.Sprintf("%s-%s-%d.json", sanitize(key), sanitize(c.cfg.NodeID), c.seq.Add(1))
+	_ = c.writeDoc(filepath.Join(c.journalDir(), name), e)
+}
+
+// Journal returns every compute record, ordered by completion time.
+func (c *Cluster) Journal() ([]JournalEntry, error) {
+	files, err := os.ReadDir(c.journalDir())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: scan journal: %w", err)
+	}
+	entries := make([]JournalEntry, 0, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(c.journalDir(), f.Name()))
+		if err != nil {
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(data, &e); err != nil || e.Key == "" {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if !entries[a].CompletedAt.Equal(entries[b].CompletedAt) {
+			return entries[a].CompletedAt.Before(entries[b].CompletedAt)
+		}
+		return entries[a].Key < entries[b].Key
+	})
+	return entries, nil
+}
+
+// writeDoc atomically writes v as JSON to path (temp + rename).
+func (c *Cluster) writeDoc(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal %s: %w", filepath.Base(path), err)
+	}
+	tmp, err := os.CreateTemp(c.tmpDir(), "doc-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cluster: stage %s: %w", filepath.Base(path), err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("cluster: write %s: %w", filepath.Base(path), err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("cluster: close %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("cluster: commit %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// createDoc atomically writes v as JSON to path if and only if path
+// does not exist yet (temp + link); an existing doc is left untouched.
+func (c *Cluster) createDoc(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal %s: %w", filepath.Base(path), err)
+	}
+	tmp, err := os.CreateTemp(c.tmpDir(), "doc-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cluster: stage %s: %w", filepath.Base(path), err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cluster: write %s: %w", filepath.Base(path), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cluster: close %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Link(tmpName, path); err != nil && !os.IsExist(err) {
+		return fmt.Errorf("cluster: publish %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// sanitize maps an identifier onto the filename-safe alphabet.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+const fpA = "aaaa000000000000000000000000000000000000000000000000000000000000"
+const fpB = "bbbb000000000000000000000000000000000000000000000000000000000000"
+
+func join(t *testing.T, st *store.Store, id string, role Role) *Cluster {
+	t.Helper()
+	c, err := Join(st, Config{
+		NodeID:    id,
+		Role:      role,
+		LeaseTTL:  500 * time.Millisecond,
+		Heartbeat: 50 * time.Millisecond,
+		Poll:      20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("join %s: %v", id, err)
+	}
+	t.Cleanup(c.Leave)
+	return c
+}
+
+func sharedStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	return st
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	cfg, err := Config{}.withDefaults()
+	if err != nil {
+		t.Fatalf("defaults: %v", err)
+	}
+	if cfg.NodeID == "" || cfg.Role != RolePeer || cfg.LeaseTTL != DefaultLeaseTTL {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.Heartbeat != cfg.LeaseTTL/3 {
+		t.Fatalf("heartbeat default = %v, want TTL/3", cfg.Heartbeat)
+	}
+	if cfg.Poll < 50*time.Millisecond || cfg.Poll > time.Second {
+		t.Fatalf("poll default %v outside clamp", cfg.Poll)
+	}
+	if _, err := (Config{Role: "boss"}).withDefaults(); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+	if !RoleRunner.Adopts() || !RolePeer.Adopts() || RoleCoordinator.Adopts() {
+		t.Fatal("role adoption matrix wrong")
+	}
+}
+
+func TestNodeRegistryAndLiveness(t *testing.T) {
+	st := sharedStore(t)
+	a := join(t, st, "node-a", RoleCoordinator)
+	b := join(t, st, "node-b", RoleRunner)
+
+	nodes, err := a.Nodes()
+	if err != nil {
+		t.Fatalf("nodes: %v", err)
+	}
+	if len(nodes) != 2 || nodes[0].ID != "node-a" || nodes[1].ID != "node-b" {
+		t.Fatalf("nodes = %+v, want sorted [node-a node-b]", nodes)
+	}
+	for _, n := range nodes {
+		if !n.Alive {
+			t.Fatalf("node %s not alive right after join", n.ID)
+		}
+	}
+	if nodes[0].Role != RoleCoordinator || nodes[1].Role != RoleRunner {
+		t.Fatalf("roles = %s/%s", nodes[0].Role, nodes[1].Role)
+	}
+
+	// A node that leaves disappears; a node that merely stops
+	// heartbeating (killed) goes stale instead.
+	b.Leave()
+	nodes, _ = a.Nodes()
+	if len(nodes) != 1 || nodes[0].ID != "node-a" {
+		t.Fatalf("after leave, nodes = %+v", nodes)
+	}
+}
+
+func TestStaleNodeGoesNotAlive(t *testing.T) {
+	st := sharedStore(t)
+	a := join(t, st, "node-a", RolePeer)
+	// Simulate a killed peer: its record exists but is never renewed.
+	dead := NodeInfo{ID: "node-dead", Role: RolePeer,
+		StartedAt: time.Now().UTC().Add(-time.Hour),
+		LastSeen:  time.Now().UTC().Add(-time.Hour)}
+	if err := a.writeDoc(a.nodePath(dead.ID), dead); err != nil {
+		t.Fatalf("plant dead node: %v", err)
+	}
+	nodes, _ := a.Nodes()
+	byID := map[string]NodeInfo{}
+	for _, n := range nodes {
+		byID[n.ID] = n
+	}
+	if !byID["node-a"].Alive {
+		t.Fatal("live node reported dead")
+	}
+	if byID["node-dead"].Alive {
+		t.Fatal("stale node reported alive")
+	}
+}
+
+func TestHeartbeatAdvancesLastSeen(t *testing.T) {
+	st := sharedStore(t)
+	a := join(t, st, "node-a", RolePeer)
+	first, _ := a.Nodes()
+	time.Sleep(120 * time.Millisecond) // > 2 heartbeats
+	second, _ := a.Nodes()
+	if !second[0].LastSeen.After(first[0].LastSeen) {
+		t.Fatalf("heartbeat did not advance last_seen: %v -> %v",
+			first[0].LastSeen, second[0].LastSeen)
+	}
+}
+
+func TestAnnounceIsIdempotentAndCompletable(t *testing.T) {
+	st := sharedStore(t)
+	a := join(t, st, "node-a", RolePeer)
+	b := join(t, st, "node-b", RolePeer)
+
+	spec := json.RawMessage(`{"child":"process","process":"cobra"}`)
+	if err := a.AnnounceSweep(fpA, "sweep", spec, 3); err != nil {
+		t.Fatalf("announce: %v", err)
+	}
+	// Re-announcing — from any node — must not clobber the original.
+	if err := b.AnnounceSweep(fpA, "sweep", json.RawMessage(`{}`), 9); err != nil {
+		t.Fatalf("re-announce: %v", err)
+	}
+	anns, err := b.Announcements()
+	if err != nil {
+		t.Fatalf("announcements: %v", err)
+	}
+	if len(anns) != 1 {
+		t.Fatalf("got %d announcements, want 1", len(anns))
+	}
+	got := anns[0]
+	if got.Fingerprint != fpA || got.Origin != "node-a" || got.Priority != 3 || got.Kind != "sweep" {
+		t.Fatalf("announcement = %+v", got)
+	}
+	if string(got.Spec) != string(spec) {
+		t.Fatalf("spec = %s", got.Spec)
+	}
+
+	b.CompleteSweep(fpA)
+	b.CompleteSweep(fpA) // idempotent
+	if anns, _ = a.Announcements(); len(anns) != 0 {
+		t.Fatalf("announcements after complete = %+v", anns)
+	}
+}
+
+func TestJournalRecordsExactlyWhatWasComputed(t *testing.T) {
+	st := sharedStore(t)
+	a := join(t, st, "node-a", RolePeer)
+	b := join(t, st, "node-b", RolePeer)
+
+	a.RecordComputed(fpA)
+	b.RecordComputed(fpB)
+	entries, err := a.Journal()
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("journal has %d entries, want 2", len(entries))
+	}
+	byKey := map[string]string{}
+	for _, e := range entries {
+		byKey[e.Key] = e.Node
+	}
+	if byKey[fpA] != "node-a" || byKey[fpB] != "node-b" {
+		t.Fatalf("journal = %+v", entries)
+	}
+
+	// Duplicate computation is visible, not hidden: a second record for
+	// the same key shows up as a second entry.
+	b.RecordComputed(fpA)
+	if entries, _ = a.Journal(); len(entries) != 3 {
+		t.Fatalf("journal after duplicate = %d entries, want 3", len(entries))
+	}
+}
+
+func TestLeaseWrappersBindNodeIdentity(t *testing.T) {
+	st := sharedStore(t)
+	a := join(t, st, "node-a", RolePeer)
+	b := join(t, st, "node-b", RolePeer)
+
+	ok, _, err := a.Claim(fpA)
+	if err != nil || !ok {
+		t.Fatalf("claim = %v, %v", ok, err)
+	}
+	ok, blocking, err := b.Claim(fpA)
+	if err != nil || ok {
+		t.Fatalf("contended claim = %v, %v", ok, err)
+	}
+	if blocking.Holder != "node-a" {
+		t.Fatalf("blocking holder = %q", blocking.Holder)
+	}
+	if err := a.Renew(fpA); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	if err := b.Renew(fpA); !errors.Is(err, store.ErrLeaseLost) {
+		t.Fatalf("foreign renew = %v, want ErrLeaseLost", err)
+	}
+	a.Release(fpA)
+	if ok, _, _ = b.Claim(fpA); !ok {
+		t.Fatal("claim after release failed")
+	}
+}
+
+func TestAdoptSubmitsForeignSweepsExactlyOnce(t *testing.T) {
+	st := sharedStore(t)
+	origin := join(t, st, "origin", RolePeer)
+	runner := join(t, st, "runner", RoleRunner)
+
+	if err := origin.AnnounceSweep(fpA, "sweep", json.RawMessage(`{"a":1}`), 0); err != nil {
+		t.Fatalf("announce: %v", err)
+	}
+	// An announcement by the runner itself must not be self-adopted.
+	if err := runner.AnnounceSweep(fpB, "sweep", json.RawMessage(`{"b":2}`), 0); err != nil {
+		t.Fatalf("announce own: %v", err)
+	}
+
+	var (
+		mu        sync.Mutex
+		submitted []string
+		fullOnce  = true
+	)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		runner.Adopt(stop, func(a Announcement) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if fullOnce {
+				// First offer bounces (queue full): the loop must retry.
+				fullOnce = false
+				return errors.New("queue full")
+			}
+			submitted = append(submitted, a.Fingerprint)
+			return nil
+		})
+	}()
+
+	deadline := time.After(3 * time.Second)
+	for {
+		mu.Lock()
+		n := len(submitted)
+		mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("adoption never submitted the foreign sweep")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	// Give the loop a few more scans: no re-submission, no self-adoption.
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(submitted) != 1 || submitted[0] != fpA {
+		t.Fatalf("submitted = %v, want exactly [%s]", submitted, fpA)
+	}
+}
+
+func TestAdoptRetiresFinishedSweeps(t *testing.T) {
+	st := sharedStore(t)
+	origin := join(t, st, "origin", RolePeer)
+	runner := join(t, st, "runner", RoleRunner)
+
+	if err := origin.AnnounceSweep(fpA, "sweep", json.RawMessage(`{}`), 0); err != nil {
+		t.Fatalf("announce: %v", err)
+	}
+	// The sweep's aggregate is already stored: adopting it would waste
+	// a whole fan-out.
+	if err := st.Put(fpA, []byte(`{"points":[]}`)); err != nil {
+		t.Fatalf("store put: %v", err)
+	}
+
+	seen := make(map[string]bool)
+	runner.adoptOnce(seen, func(a Announcement) error {
+		t.Fatalf("finished sweep %s was offered for adoption", a.Fingerprint)
+		return nil
+	})
+	if anns, _ := origin.Announcements(); len(anns) != 0 {
+		t.Fatalf("finished announcement not retired: %+v", anns)
+	}
+}
+
+func TestAdoptReadoptsAfterRetirementAndReannounce(t *testing.T) {
+	st := sharedStore(t)
+	origin := join(t, st, "origin", RolePeer)
+	runner := join(t, st, "runner", RoleRunner)
+
+	seen := make(map[string]bool)
+	submitted := 0
+	submit := func(Announcement) error { submitted++; return nil }
+
+	if err := origin.AnnounceSweep(fpA, "sweep", json.RawMessage(`{}`), 0); err != nil {
+		t.Fatalf("announce: %v", err)
+	}
+	runner.adoptOnce(seen, submit)
+	runner.adoptOnce(seen, submit)
+	if submitted != 1 {
+		t.Fatalf("first announcement submitted %d times, want 1", submitted)
+	}
+
+	// The sweep completes and is retired; much later (say after store
+	// GC evicted its records) the origin re-announces the same
+	// fingerprint. The runner must adopt it again, not remember it
+	// forever.
+	origin.CompleteSweep(fpA)
+	runner.adoptOnce(seen, submit) // prunes the retired fingerprint
+	if err := origin.AnnounceSweep(fpA, "sweep", json.RawMessage(`{}`), 0); err != nil {
+		t.Fatalf("re-announce: %v", err)
+	}
+	runner.adoptOnce(seen, submit)
+	if submitted != 2 {
+		t.Fatalf("re-announced sweep submitted %d times total, want 2", submitted)
+	}
+}
+
+// TestNodesLivenessUsesOwnersHeartbeat pins the mixed-TTL case: a
+// node heartbeating slowly must be judged by its own cadence, not the
+// observer's faster one.
+func TestNodesLivenessUsesOwnersHeartbeat(t *testing.T) {
+	st := sharedStore(t)
+	a := join(t, st, "node-a", RolePeer) // observer heartbeat: 50ms
+	slow := NodeInfo{ID: "node-slow", Role: RolePeer,
+		StartedAt: time.Now().UTC().Add(-time.Hour),
+		LastSeen:  time.Now().UTC().Add(-10 * time.Second),
+		Heartbeat: time.Minute}
+	if err := a.writeDoc(a.nodePath(slow.ID), slow); err != nil {
+		t.Fatalf("plant slow node: %v", err)
+	}
+	nodes, err := a.Nodes()
+	if err != nil {
+		t.Fatalf("nodes: %v", err)
+	}
+	for _, n := range nodes {
+		if n.ID == "node-slow" && !n.Alive {
+			t.Fatalf("slow-heartbeat node judged dead by a fast observer: %+v", n)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("host-1.local_9/..x"); got != "host-1.local_9_..x" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

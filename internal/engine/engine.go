@@ -1,13 +1,3 @@
-// Package engine is the asynchronous simulation job engine: a bounded
-// worker pool fed by a priority FIFO queue, with per-job cancellation,
-// progress reporting, and a content-addressed result cache.
-//
-// The engine is the single execution core shared by the batch CLIs
-// (cmd/covertime, cmd/experiments) and the cobrad HTTP daemon
-// (cmd/cobrad via internal/service). Jobs are described by Spec values;
-// because every Spec is deterministic given its fields (graph spec, seed,
-// trial count), identical submissions are served from the cache without
-// re-running the Monte Carlo workload.
 package engine
 
 import (
@@ -21,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/store"
 )
 
@@ -76,6 +67,16 @@ type Options struct {
 	// their results remain reachable by resubmitting the same spec
 	// (cache or Store).
 	JobTTL time.Duration
+	// NodeID, when set, stamps every job status with the identity of
+	// the node that tracks it (the "node" field of the v1 Status).
+	NodeID string
+	// Cluster, when non-nil, makes job execution lease-aware: workers
+	// arbitrate each point through the shared store (adopt a stored
+	// result, else claim the point's lease, else wait for the holder),
+	// so a fingerprint is computed once across every engine sharing the
+	// directory; sweeps are announced to the cluster so runner/peer
+	// nodes help drain them. Requires Store.
+	Cluster *cluster.Cluster
 }
 
 func (o Options) withDefaults() Options {
@@ -105,6 +106,17 @@ type Metrics struct {
 	StoreErrors int64 `json:"store_errors"`
 	Rejected    int64 `json:"rejected"`
 	Evicted     int64 `json:"evicted"`
+	// Computed counts jobs whose Spec.Run actually executed here, as
+	// opposed to being served from the cache, the store, or a cluster
+	// peer. Across a cluster, the Computed totals should sum to the
+	// number of distinct points — the exactly-once accounting.
+	Computed int64 `json:"computed"`
+	// Adopted counts results taken from the shared store after another
+	// cluster node computed them.
+	Adopted int64 `json:"adopted"`
+	// LeaseWaits counts jobs that had to wait on a foreign lease at
+	// least once before resolving.
+	LeaseWaits int64 `json:"lease_waits"`
 
 	Queued       int `json:"queued"`
 	Running      int `json:"running"`
@@ -137,6 +149,7 @@ type Engine struct {
 
 	submitted, completed, failed, canceled, cacheHits, rejected atomic.Int64
 	storeHits, storeErrors, evicted                             atomic.Int64
+	computed, adopted, leaseWaits                               atomic.Int64
 }
 
 // New creates an engine and starts its worker pool and, when a job TTL
@@ -371,6 +384,7 @@ func (e *Engine) newJobLocked(spec Spec, priority int, fp string) *Job {
 		spec:        spec,
 		priority:    priority,
 		fingerprint: fp,
+		node:        e.opts.NodeID,
 		state:       Queued,
 		submitted:   time.Now(),
 		ctx:         ctx,
@@ -495,6 +509,9 @@ func (e *Engine) Metrics() Metrics {
 		StoreErrors:  e.storeErrors.Load(),
 		Rejected:     e.rejected.Load(),
 		Evicted:      e.evicted.Load(),
+		Computed:     e.computed.Load(),
+		Adopted:      e.adopted.Load(),
+		LeaseWaits:   e.leaseWaits.Load(),
 		Queued:       queued,
 		Running:      running,
 		Workers:      e.opts.Workers,
@@ -551,7 +568,11 @@ func (e *Engine) runJob(j *Job) {
 	j.notifyLocked()
 	j.mu.Unlock()
 
-	out, err := j.spec.Run(j.ctx, j.reportProgress)
+	out, err := e.execute(j)
+	if errors.Is(err, errRequeue) {
+		e.requeue(j)
+		return
+	}
 	if err == nil && j.ctx.Err() != nil {
 		err = j.ctx.Err()
 	}
@@ -582,6 +603,7 @@ func (e *Engine) finishJob(j *Job, out *Output, err error) {
 		j.err = err
 	}
 	state := j.state
+	prePersisted := j.prePersisted
 	j.notifyLocked()
 	j.mu.Unlock()
 
@@ -596,7 +618,12 @@ func (e *Engine) finishJob(j *Job, out *Output, err error) {
 		e.mu.Lock()
 		e.cache.put(j.fingerprint, out)
 		e.mu.Unlock()
-		e.persist(j.fingerprint, out)
+		// A clustered execution persisted before releasing its lease
+		// (see computeHolding); writing the identical record twice is
+		// harmless but pointless.
+		if !prePersisted {
+			e.persist(j.fingerprint, out)
+		}
 	case Canceled:
 		e.canceled.Add(1)
 	case Failed:
@@ -622,12 +649,18 @@ type Job struct {
 	// heapIndex is maintained by jobHeap and guarded by the engine mutex.
 	heapIndex int
 
+	// node is the engine's node identity, fixed at submission.
+	node string
+
 	mu                          sync.Mutex
 	state                       State
 	progressDone, progressTotal int
 	output                      *Output
 	err                         error
 	cacheHit                    bool
+	prePersisted                bool
+	leaseWaited                 bool
+	resumed                     int
 	submitted, started          time.Time
 	finished                    time.Time
 	parent                      *Job
@@ -747,6 +780,13 @@ type Status struct {
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitzero"`
 	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	// Node identifies the cluster node tracking this job; empty on a
+	// single-node daemon.
+	Node string `json:"node,omitempty"`
+	// Resumed counts the sweep points served from the cache or the
+	// persistent store at submission time — the points a resumed sweep
+	// did not have to schedule. Zero for point jobs.
+	Resumed int `json:"resumed,omitempty"`
 	// Parent is the sweep job this point job belongs to, if any.
 	Parent string `json:"parent,omitempty"`
 	// Children are the point-job IDs of a sweep job, in point order.
@@ -774,6 +814,8 @@ func (j *Job) snapshotLocked() Status {
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
+		Node:        j.node,
+		Resumed:     j.resumed,
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()

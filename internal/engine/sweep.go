@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
@@ -380,6 +381,11 @@ func (e *Engine) submitSweep(spec *SweepSpec, priority int) (*Job, error) {
 		e.cacheHits.Add(1)
 		e.completed.Add(1)
 		e.mu.Unlock()
+		if c := e.opts.Cluster; c != nil {
+			// The aggregate is already stored; retire any announcement a
+			// crashed origin left behind so runners stop adopting it.
+			c.CompleteSweep(fp)
+		}
 		return j, nil
 	}
 	parent := e.newJobLocked(spec, priority, fp)
@@ -393,6 +399,16 @@ func (e *Engine) submitSweep(spec *SweepSpec, priority int) (*Job, error) {
 	parent.mu.Unlock()
 	e.submitted.Add(1)
 	e.mu.Unlock()
+
+	if c := e.opts.Cluster; c != nil {
+		// Publish the sweep so runner/peer nodes adopt it and help
+		// drain the grid. Announcing is create-if-absent keyed by the
+		// sweep fingerprint, so an adopted copy re-announcing — or a
+		// resubmission racing a runner — is a no-op.
+		if data, err := json.Marshal(spec); err == nil {
+			_ = c.AnnounceSweep(fp, spec.Kind(), data, priority)
+		}
+	}
 
 	e.sweepWG.Add(1)
 	go func() {
@@ -471,6 +487,14 @@ submitLoop:
 			if err == nil {
 				parent.mu.Lock()
 				parent.children = append(parent.children, child)
+				if child.cacheHit {
+					// The point was already in the cache or the store —
+					// a resumed sweep schedules only what is missing,
+					// and the count makes the resume visible to
+					// watchers ("resumed" in the parent status).
+					parent.resumed++
+				}
+				parent.notifyLocked()
 				parent.mu.Unlock()
 				children = append(children, child)
 				watch(i, child)
@@ -517,6 +541,12 @@ submitLoop:
 	default:
 		out, err := aggregateSweep(spec, pts, children)
 		e.finishJob(parent, out, err)
+	}
+	if c := e.opts.Cluster; c != nil {
+		// Terminal either way: retire the announcement so runners stop
+		// adopting it. Peers already mid-drain finish their copies (and
+		// the store keeps every point they complete).
+		c.CompleteSweep(parent.fingerprint)
 	}
 }
 

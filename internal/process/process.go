@@ -1,28 +1,3 @@
-// Package process defines the uniform contract for "a process you can
-// run, sweep, and cache": every stochastic process in this repository —
-// the k-cobra walk, its generalized-branching variants, the Walt
-// coalescing process of Section 4, the SIS epidemic idealization, the
-// push/pull gossip baselines, and the plain random-walk baselines — is
-// registered here as a named Process with a typed parameter schema and
-// one deterministic entry point.
-//
-// The contract is deliberately narrow so the engine, the HTTP service,
-// and the client SDK can treat every process identically:
-//
-//   - a Process has a unique Name and a self-describing parameter
-//     schema ([]ParamSpec), served verbatim by GET /v1/processes;
-//   - Validate rejects malformed Params before work is scheduled;
-//   - Run(ctx, Run) executes Trials independent trials on one graph,
-//     trial i consuming exactly random stream i of the root seed, so a
-//     Result is a pure function of (process, params, graph, trials,
-//     seed) — which is what makes content-addressed caching sound;
-//   - Fingerprint(name, params) is the canonical content address of a
-//     parameterization, stable across param map ordering and process
-//     restarts.
-//
-// The open universe of the paper's related work — killed branching
-// random walks, minima of BRWs, and whatever comes next — slots in by
-// calling Register from an init function, with no engine changes.
 package process
 
 import (

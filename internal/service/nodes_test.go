@@ -1,0 +1,127 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+func TestNodesWithoutCluster(t *testing.T) {
+	ts, _ := newTestServer(t, engine.Options{Workers: 1})
+	var out struct {
+		Cluster bool               `json:"cluster"`
+		Nodes   []cluster.NodeInfo `json:"nodes"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/nodes", "", &out); code != http.StatusOK {
+		t.Fatalf("GET /v1/nodes = %d", code)
+	}
+	if out.Cluster || len(out.Nodes) != 0 {
+		t.Fatalf("single-node daemon reported %+v", out)
+	}
+}
+
+func TestNodesWithCluster(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	cl, err := cluster.Join(st, cluster.Config{
+		NodeID: "svc-node", Role: cluster.RoleCoordinator,
+		LeaseTTL: time.Second, Heartbeat: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	t.Cleanup(cl.Leave)
+
+	eng := engine.New(engine.Options{Workers: 1, Store: st, Cluster: cl, NodeID: "svc-node"})
+	ts := httptest.NewServer(New(eng, WithCluster(cl)).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = eng.Shutdown(ctx)
+	})
+
+	var out struct {
+		Cluster bool               `json:"cluster"`
+		Node    string             `json:"node"`
+		Role    cluster.Role       `json:"role"`
+		Nodes   []cluster.NodeInfo `json:"nodes"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/nodes", "", &out); code != http.StatusOK {
+		t.Fatalf("GET /v1/nodes = %d", code)
+	}
+	if !out.Cluster || out.Node != "svc-node" || out.Role != cluster.RoleCoordinator {
+		t.Fatalf("nodes view = %+v", out)
+	}
+	if len(out.Nodes) != 1 || out.Nodes[0].ID != "svc-node" || !out.Nodes[0].Alive {
+		t.Fatalf("members = %+v", out.Nodes)
+	}
+
+	// The clustered daemon also exposes the liveness gauge.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "cobrad_cluster_nodes_alive 1") {
+		t.Fatalf("metrics missing cluster gauge:\n%s", body)
+	}
+}
+
+func TestMetricsExposeClusterCounters(t *testing.T) {
+	ts, _ := newTestServer(t, engine.Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, name := range []string{
+		"cobrad_points_computed_total",
+		"cobrad_points_adopted_total",
+		"cobrad_lease_waits_total",
+	} {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("metrics missing %s", name)
+		}
+	}
+}
+
+// TestRoutesInventory pins the machine-readable route listing the docs
+// linter relies on: every pattern serves, and the must-have routes are
+// present.
+func TestRoutesInventory(t *testing.T) {
+	routes := Routes()
+	want := []string{
+		"GET /v1/processes", "GET /v1/nodes", "POST /v1/jobs", "GET /v1/jobs",
+		"GET /v1/jobs/{id}", "GET /v1/jobs/{id}/result", "GET /v1/jobs/{id}/events",
+		"DELETE /v1/jobs/{id}", "POST /v1/sweeps", "GET /v1/sweeps/{id}",
+		"GET /healthz", "GET /metrics",
+	}
+	have := map[string]bool{}
+	for _, r := range routes {
+		have[r] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("Routes() missing %q", w)
+		}
+	}
+	if len(routes) != len(want) {
+		t.Errorf("Routes() has %d patterns, want %d: %v", len(routes), len(want), routes)
+	}
+	if codes := ErrorCodes(); len(codes) != 6 {
+		t.Errorf("ErrorCodes() = %v, want 6 codes", codes)
+	}
+}

@@ -1,41 +1,3 @@
-// Package service exposes the simulation engine over an HTTP/JSON API:
-// the interface cobrad serves.
-//
-// Endpoints:
-//
-//	GET    /v1/processes        registered processes with parameter schemas
-//	POST   /v1/jobs             submit a job: {"kind": ..., "priority": ..., "spec": {...}}
-//	GET    /v1/jobs             list jobs (most recent first; ?status= filters)
-//	GET    /v1/jobs/{id}        job status and progress
-//	GET    /v1/jobs/{id}/result output of a finished job
-//	GET    /v1/jobs/{id}/events live status stream (Server-Sent Events)
-//	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	POST   /v1/sweeps           submit a sweep: {"priority": ..., "spec": {<SweepSpec>}}
-//	GET    /v1/sweeps/{id}      sweep status with per-child statuses
-//	GET    /healthz             liveness probe
-//	GET    /metrics             engine counters in Prometheus text format
-//
-// A sweep is also a job: /v1/jobs/{id}, /result, /events, and DELETE
-// all work on a sweep ID, and POST /v1/jobs accepts {"kind": "sweep"}.
-// The /v1/sweeps routes add the fan-out view (child statuses) and a
-// sweep-typed submission path.
-//
-// The events stream emits "status" events whose data is the job Status
-// JSON, coalesced to the latest state, and ends after the terminal
-// status; comment keep-alives are sent while a job is idle in queue.
-//
-// All responses are JSON except /metrics and /events. Every error, on
-// every handler, uses the uniform envelope
-//
-//	{"error": {"code": "...", "message": "...", "detail": "..."}}
-//
-// with a matching status code: 400 bad_request for malformed
-// submissions, 404 not_found for unknown jobs, 409 not_finished for
-// results requested before completion, 422 job_failed for results of
-// failed or canceled jobs, and 503 unavailable when the queue is full
-// or the engine is shutting down. The machine-readable code is what the
-// client SDK switches on; message is human text; detail, when present,
-// is an actionable hint.
 package service
 
 import (
@@ -46,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/process"
 )
@@ -54,29 +17,74 @@ import (
 // an http.Server.
 type Server struct {
 	eng     *engine.Engine
+	cl      *cluster.Cluster
 	started time.Time
 }
 
+// Option configures a Server.
+type Option func(*Server)
+
+// WithCluster exposes a cluster membership on GET /v1/nodes. Without
+// it the endpoint reports a single-node daemon.
+func WithCluster(cl *cluster.Cluster) Option {
+	return func(s *Server) { s.cl = cl }
+}
+
 // New wraps an engine in an API server.
-func New(eng *engine.Engine) *Server {
-	return &Server{eng: eng, started: time.Now()}
+func New(eng *engine.Engine, opts ...Option) *Server {
+	s := &Server{eng: eng, started: time.Now()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// routes is the single source of truth for the v1 surface: Handler
+// mounts exactly these patterns and Routes reports them, which is what
+// scripts/docs_check.sh lints docs/API.md against.
+func (s *Server) routes() []struct {
+	pattern string
+	h       http.HandlerFunc
+} {
+	return []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"GET /v1/processes", s.processes},
+		{"GET /v1/nodes", s.nodes},
+		{"POST /v1/jobs", s.submit},
+		{"GET /v1/jobs", s.list},
+		{"GET /v1/jobs/{id}", s.status},
+		{"GET /v1/jobs/{id}/result", s.result},
+		{"GET /v1/jobs/{id}/events", s.events},
+		{"DELETE /v1/jobs/{id}", s.cancel},
+		{"POST /v1/sweeps", s.submitSweep},
+		{"GET /v1/sweeps/{id}", s.sweepStatus},
+		{"GET /healthz", s.healthz},
+		{"GET /metrics", s.metrics},
+	}
 }
 
 // Handler returns the route mux for the API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/processes", s.processes)
-	mux.HandleFunc("POST /v1/jobs", s.submit)
-	mux.HandleFunc("GET /v1/jobs", s.list)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
-	mux.HandleFunc("POST /v1/sweeps", s.submitSweep)
-	mux.HandleFunc("GET /v1/sweeps/{id}", s.sweepStatus)
-	mux.HandleFunc("GET /healthz", s.healthz)
-	mux.HandleFunc("GET /metrics", s.metrics)
+	for _, r := range s.routes() {
+		mux.HandleFunc(r.pattern, r.h)
+	}
 	return mux
+}
+
+// Routes returns every registered route pattern ("METHOD /path"), the
+// machine-readable route inventory the docs linter checks docs/API.md
+// against.
+func Routes() []string {
+	var s Server
+	rs := s.routes()
+	patterns := make([]string, len(rs))
+	for i, r := range rs {
+		patterns[i] = r.pattern
+	}
+	return patterns
 }
 
 // submitRequest is the POST /v1/jobs body.
@@ -90,6 +98,30 @@ type submitRequest struct {
 // its parameter schema, the machine-readable half of the v1 contract.
 func (s *Server) processes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{"processes": process.Catalog()})
+}
+
+// nodes serves cluster discovery: the registered members of the shared
+// data directory with liveness judged from their heartbeats. On a
+// single-node daemon it reports {"cluster": false} and an empty list.
+func (s *Server) nodes(w http.ResponseWriter, r *http.Request) {
+	if s.cl == nil {
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"cluster": false,
+			"nodes":   []cluster.NodeInfo{},
+		})
+		return
+	}
+	nodes, err := s.cl.Nodes()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, err, "")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"cluster": true,
+		"node":    s.cl.NodeID(),
+		"role":    s.cl.Role(),
+		"nodes":   nodes,
+	})
 }
 
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
@@ -334,6 +366,9 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		{"cobrad_store_errors_total", "Persistent store read/write failures.", m.StoreErrors},
 		{"cobrad_jobs_rejected_total", "Submissions rejected (queue full or shutdown).", m.Rejected},
 		{"cobrad_jobs_evicted_total", "Terminal jobs evicted from the job table by TTL.", m.Evicted},
+		{"cobrad_points_computed_total", "Jobs whose spec actually ran on this node (not cache/store/peer-served).", m.Computed},
+		{"cobrad_points_adopted_total", "Results adopted from the shared store after a cluster peer computed them.", m.Adopted},
+		{"cobrad_lease_waits_total", "Jobs that waited on a foreign point lease at least once.", m.LeaseWaits},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.val)
@@ -351,6 +386,21 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		{"cobrad_cache_capacity", "Result cache entry capacity.", m.CacheCap},
 		{"cobrad_jobs_tracked", "Jobs resident in the job table.", m.Jobs},
 		{"cobrad_store_entries", "Records resident in the persistent store.", m.StoreEntries},
+	}
+	if s.cl != nil {
+		alive := 0
+		if nodes, err := s.cl.Nodes(); err == nil {
+			for _, n := range nodes {
+				if n.Alive {
+					alive++
+				}
+			}
+		}
+		gauges = append(gauges, struct {
+			name string
+			help string
+			val  int
+		}{"cobrad_cluster_nodes_alive", "Cluster members with a recent heartbeat.", alive})
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.val)
@@ -375,6 +425,16 @@ const (
 	codeUnavailable = "unavailable"
 	codeInternal    = "internal"
 )
+
+// ErrorCodes returns every machine-readable code the error envelope
+// can carry — like Routes, an inventory the docs linter checks
+// docs/API.md against.
+func ErrorCodes() []string {
+	return []string{
+		codeBadRequest, codeNotFound, codeNotFinished,
+		codeJobFailed, codeUnavailable, codeInternal,
+	}
+}
 
 // APIError is the uniform error envelope carried under the "error" key
 // of every non-2xx JSON response.

@@ -1,0 +1,242 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+)
+
+// ErrLeaseLost is returned by RenewLease when the caller no longer
+// holds the lease: it expired, or another holder reclaimed it.
+var ErrLeaseLost = errors.New("store: lease lost")
+
+// Lease is one advisory claim over a key, shared by every process
+// using the same store directory. A lease is held by exactly one
+// holder until it expires or is released; an expired lease may be
+// reclaimed by any other holder through a compare-and-swap steal.
+//
+// Leases are a work-saving mechanism, not a correctness mechanism: the
+// records they guard are content-addressed and deterministic, so the
+// worst outcome of a lease protocol race (a holder stalled past its
+// TTL while a peer reclaims) is duplicate computation of an identical
+// record — never a wrong or partial result.
+type Lease struct {
+	// Key is the leased key, usually a spec fingerprint.
+	Key string `json:"key"`
+	// Holder identifies the owning node.
+	Holder string `json:"holder"`
+	// AcquiredAt is when the current holder first took the lease.
+	AcquiredAt time.Time `json:"acquired_at"`
+	// ExpiresAt is the deadline after which the lease may be reclaimed.
+	ExpiresAt time.Time `json:"expires_at"`
+}
+
+// Expired reports whether the lease's TTL has elapsed as of now.
+func (l Lease) Expired(now time.Time) bool { return now.After(l.ExpiresAt) }
+
+func (s *Store) leasesDir() string { return filepath.Join(s.root, "leases") }
+
+func (s *Store) leasePath(key string) string {
+	return filepath.Join(s.leasesDir(), key+".json")
+}
+
+// stealSeq disambiguates concurrent steal tombstones within a process.
+var stealSeq atomic.Int64
+
+// AcquireLease attempts to claim key for holder with the given TTL.
+// On success it returns the new lease and acquired=true. If an
+// unexpired lease exists — held by anyone, including this holder — it
+// returns that lease and acquired=false: the lease is a mutex, not a
+// counter, so a second acquire by the same node (two workers racing on
+// one fingerprint) is refused rather than granted, and the loser waits
+// for the stored result like any other contender. An expired (or
+// unreadable) lease is reclaimed with a rename-based compare-and-swap:
+// exactly one contender steals it, and losers observe acquired=false.
+// Holders extend a live lease with RenewLease, never by re-acquiring.
+//
+// The create itself is atomic across processes: the lease record is
+// staged in the tmp area and published with link(2), which fails if
+// the lease file already exists, so two nodes racing on a free key
+// cannot both win.
+func (s *Store) AcquireLease(key, holder string, ttl time.Duration) (Lease, bool, error) {
+	if len(key) < 3 {
+		return Lease{}, false, fmt.Errorf("store: lease key %q too short", key)
+	}
+	if holder == "" {
+		return Lease{}, false, fmt.Errorf("store: lease holder required")
+	}
+	if ttl <= 0 {
+		return Lease{}, false, fmt.Errorf("store: lease ttl must be positive")
+	}
+	// Two attempts: a fresh claim, and — when the first finds an
+	// expired lease and wins the steal race — the claim of the freed
+	// key. A second failure means another contender won; report theirs.
+	for attempt := 0; attempt < 2; attempt++ {
+		now := time.Now().UTC()
+		lease := Lease{Key: key, Holder: holder, AcquiredAt: now, ExpiresAt: now.Add(ttl)}
+		created, err := s.createLease(lease)
+		if err != nil {
+			return Lease{}, false, err
+		}
+		if created {
+			return lease, true, nil
+		}
+		cur, ok := s.readLease(key)
+		if !ok {
+			// The lease vanished between the failed create and the
+			// read (released or stolen-and-reclaimed); retry.
+			continue
+		}
+		if !cur.Expired(now) {
+			return cur, false, nil
+		}
+		if !s.stealLease(key) {
+			// Another contender renamed the expired lease away first
+			// (or the holder released it); report not-acquired and let
+			// the caller retry on its own schedule.
+			return cur, false, nil
+		}
+	}
+	cur, _ := s.readLease(key)
+	return cur, false, nil
+}
+
+// RenewLease extends the expiry of a lease the caller currently holds.
+// It returns ErrLeaseLost when the lease is gone, held by someone
+// else, or already expired — a holder that let its lease lapse must
+// not resurrect it from under a reclaimer.
+func (s *Store) RenewLease(key, holder string, ttl time.Duration) (Lease, error) {
+	cur, ok := s.readLease(key)
+	if !ok || cur.Holder != holder {
+		return Lease{}, ErrLeaseLost
+	}
+	now := time.Now().UTC()
+	if cur.Expired(now) {
+		return Lease{}, ErrLeaseLost
+	}
+	lease := Lease{Key: key, Holder: holder, AcquiredAt: cur.AcquiredAt, ExpiresAt: now.Add(ttl)}
+	if err := s.writeLease(lease); err != nil {
+		return Lease{}, err
+	}
+	return lease, nil
+}
+
+// ReleaseLease drops the caller's lease on key. Releasing a lease the
+// caller does not hold is a no-op, so a holder that lost its lease to
+// a reclaimer cannot delete the reclaimer's claim.
+func (s *Store) ReleaseLease(key, holder string) error {
+	cur, ok := s.readLease(key)
+	if !ok || cur.Holder != holder {
+		return nil
+	}
+	err := os.Remove(s.leasePath(key))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: release lease %s: %w", key, err)
+	}
+	return nil
+}
+
+// Lease returns the current lease on key, if any. Unreadable lease
+// files report as absent; they are reclaimable by AcquireLease.
+func (s *Store) Lease(key string) (Lease, bool) {
+	return s.readLease(key)
+}
+
+// readLease loads one lease record. A corrupt or truncated file (a
+// crashed writer, a torn read) decodes to a zero lease whose ExpiresAt
+// is the zero time — i.e. long expired — so corruption degrades to a
+// reclaimable lease, mirroring how corrupt result records degrade to
+// cache misses.
+func (s *Store) readLease(key string) (Lease, bool) {
+	data, err := os.ReadFile(s.leasePath(key))
+	if err != nil {
+		return Lease{}, false
+	}
+	var l Lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		return Lease{Key: key}, true // expired-at-zero: reclaimable
+	}
+	return l, true
+}
+
+// createLease publishes a lease record if and only if no lease file
+// exists: write the full record to the staging area, then link(2) it
+// to the final path. Link fails with EEXIST when a lease is already
+// present, making create-if-absent atomic across processes — and the
+// published file is always complete, since it was fully written before
+// it became visible.
+func (s *Store) createLease(l Lease) (bool, error) {
+	data, err := json.Marshal(l)
+	if err != nil {
+		return false, fmt.Errorf("store: marshal lease %s: %w", l.Key, err)
+	}
+	tmp, err := os.CreateTemp(s.tmpDir(), "lease-*.tmp")
+	if err != nil {
+		return false, fmt.Errorf("store: stage lease %s: %w", l.Key, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return false, fmt.Errorf("store: write lease %s: %w", l.Key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return false, fmt.Errorf("store: close lease %s: %w", l.Key, err)
+	}
+	err = os.Link(tmpName, s.leasePath(l.Key))
+	if err == nil {
+		return true, nil
+	}
+	if os.IsExist(err) {
+		return false, nil
+	}
+	return false, fmt.Errorf("store: publish lease %s: %w", l.Key, err)
+}
+
+// writeLease overwrites a lease record atomically (temp + rename).
+// Only the current holder calls this, so the overwrite never races a
+// concurrent writer of a live lease.
+func (s *Store) writeLease(l Lease) error {
+	data, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("store: marshal lease %s: %w", l.Key, err)
+	}
+	tmp, err := os.CreateTemp(s.tmpDir(), "lease-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: stage lease %s: %w", l.Key, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: write lease %s: %w", l.Key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: close lease %s: %w", l.Key, err)
+	}
+	if err := os.Rename(tmpName, s.leasePath(l.Key)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: commit lease %s: %w", l.Key, err)
+	}
+	return nil
+}
+
+// stealLease removes an expired lease with compare-and-swap semantics:
+// rename the lease file to a process-unique tombstone. rename(2) is
+// atomic, so of any number of concurrent stealers exactly one
+// succeeds; the rest observe ENOENT and report failure. The winner
+// then competes for the freed key through the normal create path.
+func (s *Store) stealLease(key string) bool {
+	tomb := filepath.Join(s.tmpDir(),
+		fmt.Sprintf("lease-steal-%d-%d.tomb", os.Getpid(), stealSeq.Add(1)))
+	if err := os.Rename(s.leasePath(key), tomb); err != nil {
+		return false
+	}
+	os.Remove(tomb)
+	return true
+}

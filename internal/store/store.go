@@ -1,19 +1,3 @@
-// Package store is a disk-backed, content-addressed record store: the
-// persistence layer under the engine's result cache. Records are JSON
-// payloads keyed by the engine's SHA-256 spec fingerprint, written with
-// an atomic temp-file + rename protocol so readers and concurrent
-// writers never observe a partial record, and validated by an embedded
-// payload checksum so a corrupt or truncated file degrades to a cache
-// miss instead of an error.
-//
-// On-disk layout under the store root:
-//
-//	<root>/results/<key[:2]>/<key>.json   one record per key, sharded
-//	<root>/tmp/                           staging area for atomic writes
-//
-// Records are immutable once written: a key is a content address, so a
-// second Put of the same key may safely overwrite (the payload is
-// byte-identical by construction) and last-rename-wins is harmless.
 package store
 
 import (
@@ -77,7 +61,7 @@ type Store struct {
 // Stale temp files from crashed writers are removed.
 func Open(dir string) (*Store, error) {
 	s := &Store{root: dir, keys: make(map[string]entry)}
-	for _, sub := range []string{s.resultsDir(), s.tmpDir()} {
+	for _, sub := range []string{s.resultsDir(), s.tmpDir(), s.leasesDir()} {
 		if err := os.MkdirAll(sub, 0o755); err != nil {
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)
 		}

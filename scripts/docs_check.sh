@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Docs lint: fail if the operator docs have drifted from the code.
+# Checks (see scripts/docscheck for the implementation):
+#   - every route registered in internal/service appears in docs/API.md
+#   - every error-envelope code appears in docs/API.md
+#   - every registered process has a row in the README process table
+#
+# Run from the repository root:
+#
+#   ./scripts/docs_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec go run ./scripts/docscheck .

@@ -1,0 +1,75 @@
+// Command docscheck lints the operator docs against the code, so the
+// documentation cannot silently rot:
+//
+//   - every route registered in internal/service (service.Routes) must
+//     appear verbatim in docs/API.md;
+//   - every error-envelope code (service.ErrorCodes) must appear in
+//     docs/API.md;
+//   - every registered process (process.Names) must have a row in the
+//     README's process table ("| `name` |").
+//
+// Usage (from the repository root, as scripts/docs_check.sh does):
+//
+//	go run ./scripts/docscheck [repo-root]
+//
+// Exit status 0 when the docs are in sync, 1 with one line per missing
+// item otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/process"
+	"repro/internal/service"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	api := mustRead(filepath.Join(root, "docs", "API.md"))
+	readme := mustRead(filepath.Join(root, "README.md"))
+
+	var failures []string
+	for _, route := range service.Routes() {
+		if !strings.Contains(api, route) {
+			failures = append(failures,
+				fmt.Sprintf("docs/API.md: missing registered route %q", route))
+		}
+	}
+	for _, code := range service.ErrorCodes() {
+		if !strings.Contains(api, "`"+code+"`") {
+			failures = append(failures,
+				fmt.Sprintf("docs/API.md: missing error code `%s`", code))
+		}
+	}
+	for _, name := range process.Names() {
+		if !strings.Contains(readme, "| `"+name+"`") {
+			failures = append(failures,
+				fmt.Sprintf("README.md: process table missing a row for `%s`", name))
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "docscheck: "+f)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: FAIL (%d problems)\n", len(failures))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: OK — %d routes, %d error codes, %d processes documented\n",
+		len(service.Routes()), len(service.ErrorCodes()), len(process.Names()))
+}
+
+func mustRead(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(1)
+	}
+	return string(data)
+}

@@ -1,30 +1,46 @@
 #!/usr/bin/env bash
-# End-to-end durability smoke for cobrad, driven through the cobractl
-# client so the typed SDK is exercised against a real daemon: start
-# cobrad with a temporary persistent data dir, discover the process
-# registry, submit a sweep spanning TWO different processes over HTTP,
-# stream SSE progress to completion, then restart the daemon on the
-# same data dir and assert the resubmitted sweep is served from the
-# persistent store (cache hit, identical result, zero trials re-run).
+# End-to-end cluster + durability smoke for cobrad, driven through the
+# cobractl client so the typed SDK is exercised against real daemons:
 #
-# Requires: go, curl, jq. Run from the repository root:
+#   1. start a two-node cluster (coordinator + runner) sharing one
+#      persistent data dir, and check /v1/nodes discovery;
+#   2. submit one 12-point sweep to the coordinator and let both nodes
+#      drain it through leased claims;
+#   3. SIGKILL the runner mid-sweep: the coordinator reclaims its
+#      expired leases and the sweep still completes, with the compute
+#      journal showing every stored point computed exactly once,
+#      spread across both nodes, with zero duplicates;
+#   4. restart from scratch on the same data dir and resubmit the
+#      sweep: served from the store as a cache hit, byte-identical
+#      result, zero trials re-run.
+#
+# Requires: go, curl, jq, timeout. Run from the repository root:
 #
 #   ./scripts/e2e_smoke.sh
 set -euo pipefail
 
-PORT="${COBRAD_PORT:-18080}"
-ADDR="127.0.0.1:${PORT}"
-BASE="http://${ADDR}"
+PORT_A="${COBRAD_PORT:-18080}"
+PORT_B=$((PORT_A + 1))
+PORT_C=$((PORT_A + 2))
+BASE_A="http://127.0.0.1:${PORT_A}"
+BASE_B="http://127.0.0.1:${PORT_B}"
+BASE_C="http://127.0.0.1:${PORT_C}"
 WORK="$(mktemp -d)"
 DATA="${WORK}/data"
+JOURNAL="${DATA}/cluster/journal"
 COBRAD="${WORK}/cobrad"
 COBRACTL="${WORK}/cobractl"
-SWEEP_ARGS=(sweep -child process -processes cobra,push -family cycle
-            -sizes 8,10,12 -trials 3 -seed 99 -param k=2 -json)
+LEASE_TTL=3s
 
-COBRAD_PID=""
+# 12 points: one process x 12 sizes, each point heavy enough (~0.2-1s)
+# that killing the runner lands mid-sweep.
+SWEEP_ARGS=(sweep -child process -processes cobra -family cycle
+            -sizes 2048,2304,2560,2816,3072,3328,3584,3840,4096,4352,4608,4864
+            -trials 20 -seed 99 -param k=2 -json)
+
+PIDS=()
 cleanup() {
-  [ -n "${COBRAD_PID}" ] && kill "${COBRAD_PID}" 2>/dev/null || true
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
   wait 2>/dev/null || true
   rm -rf "${WORK}"
 }
@@ -32,98 +48,151 @@ trap cleanup EXIT
 
 fail() { echo "e2e: FAIL: $*" >&2; exit 1; }
 
-ctl() { "${COBRACTL}" -server "${BASE}" "$@"; }
-
+# start_daemon <name> <port> <role> -> sets DAEMON_PID (no command
+# substitution: the background pid must land in this shell's PIDS so
+# the exit trap can reap it).
 start_daemon() {
-  "${COBRAD}" -addr "${ADDR}" -data-dir "${DATA}" -job-ttl 10m \
-    -store-max-bytes 104857600 -store-max-age 24h -store-gc-interval 5s \
-    >"${WORK}/cobrad.$1.log" 2>&1 &
-  COBRAD_PID=$!
+  local name=$1 port=$2 role=$3
+  "${COBRAD}" -addr "127.0.0.1:${port}" -data-dir "${DATA}" -workers 2 \
+    -cluster "${role}" -node-id "${name}" -lease-ttl "${LEASE_TTL}" \
+    -job-ttl 10m >"${WORK}/cobrad.${name}.log" 2>&1 &
+  DAEMON_PID=$!
+  PIDS+=("${DAEMON_PID}")
   for _ in $(seq 1 100); do
-    if curl -sf "${BASE}/healthz" >/dev/null 2>&1; then return 0; fi
-    kill -0 "${COBRAD_PID}" 2>/dev/null || { cat "${WORK}/cobrad.$1.log" >&2; fail "daemon died on startup"; }
+    if curl -sf "http://127.0.0.1:${port}/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    kill -0 "${DAEMON_PID}" 2>/dev/null || { cat "${WORK}/cobrad.${name}.log" >&2; fail "daemon ${name} died on startup"; }
     sleep 0.1
   done
-  fail "daemon did not become healthy"
+  fail "daemon ${name} did not become healthy"
 }
 
-stop_daemon() {
-  kill -TERM "${COBRAD_PID}"
+stop_daemon() { # graceful
+  local pid=$1
+  kill -TERM "$pid" 2>/dev/null || true
   for _ in $(seq 1 100); do
-    kill -0 "${COBRAD_PID}" 2>/dev/null || { COBRAD_PID=""; return 0; }
+    kill -0 "$pid" 2>/dev/null || return 0
     sleep 0.1
   done
-  fail "daemon did not shut down"
+  fail "daemon $pid did not shut down"
+}
+
+ctl_a() { "${COBRACTL}" -server "${BASE_A}" "$@"; }
+ctl_c() { "${COBRACTL}" -server "${BASE_C}" "$@"; }
+
+journal_total() { find "${JOURNAL}" -name '*.json' 2>/dev/null | wc -l; }
+journal_cat() { find "${JOURNAL}" -name '*.json' -exec cat {} + 2>/dev/null; }
+journal_nodes() { # distinct computing nodes so far
+  journal_cat | jq -rs '[.[].node] | unique | length'
 }
 
 echo "e2e: building cobrad and cobractl"
 go build -o "${COBRAD}" ./cmd/cobrad
 go build -o "${COBRACTL}" ./cmd/cobractl
 
-echo "e2e: first daemon run (data dir ${DATA})"
-start_daemon first
+echo "e2e: starting two-node cluster on ${DATA} (coordinator a, runner b)"
+start_daemon a "${PORT_A}" coordinator; PID_A="${DAEMON_PID}"
+start_daemon b "${PORT_B}" runner; PID_B="${DAEMON_PID}"
 
-echo "e2e: discovering the process registry through cobractl"
-PROCS="$(ctl processes -json | jq '.processes | length')"
+echo "e2e: discovery — processes and nodes"
+PROCS="$(ctl_a processes -json | jq '.processes | length')"
 [ "${PROCS}" -ge 8 ] || fail "GET /v1/processes lists ${PROCS} processes, want >= 8"
-ctl processes -json | jq -e '.processes[] | select(.name=="cobra") | .params | length > 0' >/dev/null \
-  || fail "cobra process missing a parameter schema"
-echo "e2e: ${PROCS} processes registered"
+NODES="$(ctl_a nodes -json | jq '[.nodes[] | select(.alive)] | length')"
+[ "${NODES}" -eq 2 ] || fail "/v1/nodes sees ${NODES} alive members, want 2 (a + b)"
+ctl_a nodes -json | jq -e '.cluster and .node == "a" and .role == "coordinator"' >/dev/null \
+  || fail "coordinator self-view wrong: $(ctl_a nodes -json)"
 
-echo "e2e: submitting a two-process sweep (cobra + push) through cobractl"
-SUBMIT="$(ctl "${SWEEP_ARGS[@]}")"
+echo "e2e: submitting a 12-point sweep to the coordinator"
+SUBMIT="$(ctl_a "${SWEEP_ARGS[@]}")"
 JOB_ID="$(jq -r '.sweep.id' <<<"${SUBMIT}")"
 [ "${JOB_ID}" != "null" ] && [ -n "${JOB_ID}" ] || fail "sweep submission rejected: ${SUBMIT}"
 echo "e2e: sweep ${JOB_ID} submitted"
 
-echo "e2e: watching SSE through cobractl until terminal"
-ctl watch "${JOB_ID}" 2>"${WORK}/watch.log" || { cat "${WORK}/watch.log" >&2; fail "watch did not end in done"; }
-grep -q "state=done" "${WORK}/watch.log" || fail "watch log missing terminal state: $(cat "${WORK}/watch.log")"
+echo "e2e: waiting until both nodes have computed points, then killing the runner"
+for i in $(seq 1 300); do
+  TOTAL="$(journal_total)"
+  DISTINCT="$(journal_nodes)"
+  if [ "${TOTAL}" -ge 2 ] && [ "${DISTINCT:-0}" -ge 2 ] && [ "${TOTAL}" -lt 12 ]; then
+    break
+  fi
+  if [ "${TOTAL}" -ge 12 ]; then
+    fail "sweep drained before the runner could be killed mid-flight (journal=${TOTAL}, nodes=${DISTINCT:-0}) — slow the points down"
+  fi
+  if [ "$i" -eq 300 ]; then
+    fail "cluster never spread work across both nodes (journal=${TOTAL}, nodes=${DISTINCT:-0}); see ${WORK}/cobrad.b.log"
+  fi
+  sleep 0.1
+done
+kill -9 "${PID_B}"
+echo "e2e: runner b SIGKILLed with the sweep $(journal_total)/12 computed"
 
-CHILDREN="$(curl -sf "${BASE}/v1/sweeps/${JOB_ID}" | jq '.children | length')"
-[ "${CHILDREN}" -eq 6 ] || fail "fan-out view has ${CHILDREN} children, want 6 (2 processes x 3 sizes)"
+echo "e2e: watching the sweep to completion on the survivor (SSE)"
+timeout 180 "${COBRACTL}" -server "${BASE_A}" watch "${JOB_ID}" 2>"${WORK}/watch.log" \
+  || { cat "${WORK}/watch.log" >&2; fail "watch did not end in done after the kill"; }
+grep -q "state=done" "${WORK}/watch.log" || fail "watch log missing terminal state"
 
-ctl result "${JOB_ID}" -json | jq -S '.result' >"${WORK}/result.first.json"
+echo "e2e: exactly-once accounting across the kill"
+TOTAL="$(journal_total)"
+UNIQUE="$(journal_cat | jq -rs '[.[].key] | unique | length')"
+DISTINCT="$(journal_nodes)"
+[ "${TOTAL}" -eq 12 ] || fail "journal has ${TOTAL} compute records, want exactly 12 (duplicate or lost work)"
+[ "${UNIQUE}" -eq 12 ] || fail "journal spans ${UNIQUE} distinct points, want 12 — some point was computed twice"
+[ "${DISTINCT}" -eq 2 ] || fail "journal credits ${DISTINCT} nodes, want both a and b"
+B_POINTS="$(journal_cat | jq -rs '[.[] | select(.node=="b")] | length')"
+echo "e2e: 12 points computed exactly once (runner b contributed ${B_POINTS} before dying)"
+
+ctl_a result "${JOB_ID}" -json | jq -S '.result' >"${WORK}/result.first.json"
 POINTS="$(jq '.points | length' "${WORK}/result.first.json")"
-[ "${POINTS}" -eq 6 ] || fail "result has ${POINTS} points, want 6"
-DISTINCT_PROCS="$(jq '[.points[].process] | unique | length' "${WORK}/result.first.json")"
-[ "${DISTINCT_PROCS}" -eq 2 ] || fail "result spans ${DISTINCT_PROCS} processes, want 2"
+[ "${POINTS}" -eq 12 ] || fail "result has ${POINTS} points, want 12"
 
-echo "e2e: job listing is deterministic and filterable"
-DONE_JOBS="$(ctl ps -status done -json | jq '.jobs | length')"
-[ "${DONE_JOBS}" -ge 7 ] || fail "ps -status done lists ${DONE_JOBS} jobs, want >= 7 (sweep + children)"
-ctl ps -status done -json | jq -e '[.jobs[].id] as $a | ($a | sort | reverse) == $a' >/dev/null \
-  || fail "ps listing is not sorted most-recent-first"
+echo "e2e: dead runner visible in discovery"
+sleep 3  # past the 3x-heartbeat liveness window
+ctl_a nodes -json | jq -e '.nodes[] | select(.id=="b") | .alive == false' >/dev/null \
+  || fail "killed runner still reported alive: $(ctl_a nodes -json)"
 
-COMPLETED_FIRST="$(curl -sf "${BASE}/metrics" | awk '/^cobrad_jobs_completed_total/ {print $2}')"
-echo "e2e: first run completed ${COMPLETED_FIRST} jobs (parent + children)"
+echo "e2e: full restart — fresh peer on the same data dir"
+stop_daemon "${PID_A}"
+start_daemon c "${PORT_C}" peer; PID_C="${DAEMON_PID}"
 
-echo "e2e: restarting daemon on the same data dir"
-stop_daemon
-start_daemon second
-
-RESUBMIT="$(ctl "${SWEEP_ARGS[@]}")"
-JOB2_ID="$(jq -r '.sweep.id' <<<"${RESUBMIT}")"
+RESUBMIT="$(ctl_c "${SWEEP_ARGS[@]}")"
 CACHE_HIT="$(jq -r '.sweep.cache_hit' <<<"${RESUBMIT}")"
 STATE2="$(jq -r '.sweep.state' <<<"${RESUBMIT}")"
-[ "${CACHE_HIT}" = "true" ] || fail "restarted daemon did not serve sweep from store: ${RESUBMIT}"
-[ "${STATE2}" = "done" ] || fail "restarted sweep state = ${STATE2}, want immediate done"
+JOB2_ID="$(jq -r '.sweep.id' <<<"${RESUBMIT}")"
+[ "${CACHE_HIT}" = "true" ] || fail "restarted cluster did not serve the sweep from the store: ${RESUBMIT}"
+[ "${STATE2}" = "done" ] || fail "resubmitted sweep state = ${STATE2}, want immediate done"
 
-# Watching an already-terminal job emits the cached terminal status and ends.
-ctl watch "${JOB2_ID}" 2>"${WORK}/watch2.log" || fail "post-restart watch failed: $(cat "${WORK}/watch2.log")"
-grep -q "state=done" "${WORK}/watch2.log" || fail "post-restart watch missing cached terminal status"
-
-ctl result "${JOB2_ID}" -json | jq -S '.result' >"${WORK}/result.second.json"
+ctl_c result "${JOB2_ID}" -json | jq -S '.result' >"${WORK}/result.second.json"
 cmp -s "${WORK}/result.first.json" "${WORK}/result.second.json" \
   || fail "result changed across restart: $(diff "${WORK}/result.first.json" "${WORK}/result.second.json" | head)"
 
-# Zero trials re-run: the only completed job in the fresh process is the
-# cache-served parent itself.
-METRICS="$(curl -sf "${BASE}/metrics")"
-COMPLETED_SECOND="$(awk '/^cobrad_jobs_completed_total/ {print $2}' <<<"${METRICS}")"
-STORE_ENTRIES="$(awk '/^cobrad_store_entries/ {print $2}' <<<"${METRICS}")"
-[ "${COMPLETED_SECOND}" -eq 1 ] || fail "restarted daemon completed ${COMPLETED_SECOND} jobs, want 1 (cached parent only)"
-[ "${STORE_ENTRIES}" -ge 7 ] || fail "store has ${STORE_ENTRIES} records, want >= 7 (6 points + sweep)"
+# Zero trials re-run: nothing was computed after the restart and the
+# journal did not grow.
+METRICS="$(curl -sf "${BASE_C}/metrics")"
+COMPUTED_AFTER="$(awk '/^cobrad_points_computed_total/ {print $2}' <<<"${METRICS}")"
+COMPLETED_AFTER="$(awk '/^cobrad_jobs_completed_total/ {print $2}' <<<"${METRICS}")"
+[ "${COMPUTED_AFTER}" -eq 0 ] || fail "restarted node computed ${COMPUTED_AFTER} points, want 0"
+[ "${COMPLETED_AFTER}" -eq 1 ] || fail "restarted node completed ${COMPLETED_AFTER} jobs, want 1 (the cache-served parent)"
+[ "$(journal_total)" -eq 12 ] || fail "journal grew to $(journal_total) records after the resubmit, want still 12"
 
-stop_daemon
-echo "e2e: PASS — two-process sweep of ${POINTS} points via cobractl, SSE to completion, survived restart from ${STORE_ENTRIES} store records, byte-identical result with zero trials re-run"
+echo "e2e: service regressions — schema discovery, two-process sweep, listing determinism"
+ctl_c processes -json | jq -e '.processes[] | select(.name=="cobra") | .params | length > 0' >/dev/null \
+  || fail "cobra process missing a parameter schema"
+SMALL_ARGS=(sweep -child process -processes cobra,push -family cycle
+            -sizes 8,10,12 -trials 3 -seed 7 -param k=2 -json)
+SUB3="$(ctl_c "${SMALL_ARGS[@]}")"
+JOB3="$(jq -r '.sweep.id' <<<"${SUB3}")"
+[ "${JOB3}" != "null" ] && [ -n "${JOB3}" ] || fail "two-process sweep rejected: ${SUB3}"
+timeout 120 "${COBRACTL}" -server "${BASE_C}" watch "${JOB3}" 2>/dev/null \
+  || fail "two-process sweep did not complete"
+DISTINCT_PROCS="$(ctl_c result "${JOB3}" -json | jq '[.result.points[].process] | unique | length')"
+[ "${DISTINCT_PROCS}" -eq 2 ] || fail "two-process sweep spans ${DISTINCT_PROCS} processes, want 2 (cobra + push)"
+DONE_JOBS="$(ctl_c ps -status done -json | jq '.jobs | length')"
+[ "${DONE_JOBS}" -ge 8 ] || fail "ps -status done lists ${DONE_JOBS} jobs, want >= 8 (both sweeps + children)"
+ctl_c ps -status done -json | jq -e '[.jobs[].id] as $a | ($a | sort | reverse) == $a' >/dev/null \
+  || fail "ps listing is not sorted most-recent-first"
+ctl_c ps -json | jq -e '[.jobs[].node] | unique == ["c"]' >/dev/null \
+  || fail "job listing missing node identity"
+
+stop_daemon "${PID_C}"
+echo "e2e: PASS — two-node cluster drained a 12-point sweep through leased claims, survived a SIGKILL mid-sweep with every point computed exactly once (b contributed ${B_POINTS}), and a full restart served the identical sweep with zero trials re-run"
