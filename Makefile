@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-baseline profile fmt vet cover e2e docs-check
+.PHONY: build test race bench bench-smoke bench-baseline bench-gate profile profile-server fmt vet cover e2e docs-check
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,12 @@ bench-smoke:
 bench-baseline:
 	$(GO) run ./cmd/benchjson
 
+# Regression gate: hold the gated hot path (CobraStepExpander) to
+# within 15% of the newest committed BENCH_<date>.json. CI runs this;
+# BENCHTIME=2s tightens the measurement locally.
+bench-gate:
+	./scripts/bench_gate.sh
+
 # Profile the engine microbenchmarks: cpu.pprof + mem.pprof for
 # `go tool pprof`, keeping the remaining per-round kernel cost
 # attributable.
@@ -34,6 +40,11 @@ profile:
 	$(GO) run ./cmd/benchjson -benchtime 500ms -out /dev/null \
 		-cpuprofile cpu.pprof -memprofile mem.pprof
 	@echo "wrote cpu.pprof and mem.pprof — inspect with: go tool pprof cpu.pprof"
+
+# Profile a live daemon: cobrad with the pprof side listener up, ready
+# for `go tool pprof http://127.0.0.1:6060/debug/pprof/profile`.
+profile-server:
+	$(GO) run ./cmd/cobrad -pprof
 
 fmt:
 	gofmt -l .

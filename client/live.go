@@ -1,0 +1,182 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// SeriesView is the GET /v1/jobs/{id}/series document: the retained
+// per-round observable frames of a job's traced trial.
+type SeriesView struct {
+	// Job is the job ID the series belongs to.
+	Job string `json:"job"`
+	// Frames are the retained frames in sequence order.
+	Frames []obs.Frame `json:"frames"`
+	// Next is the cursor to pass as since to read only newer frames.
+	Next uint64 `json:"next"`
+	// Capacity is the server-side ring capacity; older frames are gone.
+	Capacity int `json:"capacity"`
+}
+
+// Series fetches the job's observable series. since resumes from a
+// cursor returned in a previous view's Next (0 reads everything
+// retained).
+func (c *Client) Series(ctx context.Context, id string, since uint64) (SeriesView, error) {
+	path := "/v1/jobs/" + url.PathEscape(id) + "/series"
+	if since > 0 {
+		path += "?since=" + strconv.FormatUint(since, 10)
+	}
+	var out SeriesView
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return SeriesView{}, err
+	}
+	return out, nil
+}
+
+// followLiveReconnects bounds how many times FollowLive reopens a
+// dropped stream before giving up.
+const followLiveReconnects = 5
+
+// FollowLive streams the job's multiplexed SSE feed — status updates
+// plus per-round observable frame batches — until the job is terminal
+// or ctx is done. Unlike Follow, a dropped stream is reopened (up to a
+// bounded number of attempts) with the Last-Event-ID cursor of the
+// last frames event seen, so a reconnect resumes the frame sequence
+// without replaying delivered frames. onStatus and onFrames may each
+// be nil. The terminal status is returned.
+func (c *Client) FollowLive(ctx context.Context, id string, onStatus func(engine.Status), onFrames func([]obs.Frame)) (engine.Status, error) {
+	var cursor string
+	var lastErr error
+	for attempt := 0; attempt <= followLiveReconnects; attempt++ {
+		if attempt > 0 {
+			backoff := time.Duration(100<<(attempt-1)) * time.Millisecond
+			if backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return engine.Status{}, ctx.Err()
+			}
+		}
+		st, terminal, err := c.followLiveOnce(ctx, id, &cursor, onStatus, onFrames)
+		if terminal {
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return engine.Status{}, ctx.Err()
+		}
+		if err == nil {
+			err = fmt.Errorf("client: events stream %s ended before a terminal status", id)
+		}
+		// A typed API error (404, 400, ...) will not heal on retry.
+		if apiErr, ok := err.(*Error); ok && !apiErr.IsRetryable() {
+			return engine.Status{}, apiErr
+		}
+		lastErr = err
+	}
+	return engine.Status{}, fmt.Errorf("client: follow %s: gave up after %d reconnects: %w", id, followLiveReconnects, lastErr)
+}
+
+// followLiveOnce holds one SSE connection open, dispatching events and
+// advancing *cursor as frames arrive. It reports the last status seen
+// and whether it was terminal.
+func (c *Client) followLiveOnce(ctx context.Context, id string, cursor *string, onStatus func(engine.Status), onFrames func([]obs.Frame)) (engine.Status, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return engine.Status{}, false, fmt.Errorf("client: build events request: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *cursor != "" {
+		req.Header.Set("Last-Event-ID", *cursor)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return engine.Status{}, false, fmt.Errorf("client: events %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data := make([]byte, 4096)
+		n, _ := resp.Body.Read(data)
+		return engine.Status{}, false, decodeError(resp.StatusCode, data[:n])
+	}
+
+	var (
+		last    engine.Status
+		eventID string
+		event   string
+		dataBuf strings.Builder
+	)
+	dispatch := func() (terminal bool, err error) {
+		defer func() { eventID, event = "", ""; dataBuf.Reset() }()
+		if dataBuf.Len() == 0 {
+			return false, nil
+		}
+		switch event {
+		case "status":
+			var st engine.Status
+			if err := json.Unmarshal([]byte(dataBuf.String()), &st); err != nil {
+				return false, fmt.Errorf("client: decode status event: %w", err)
+			}
+			last = st
+			if onStatus != nil {
+				onStatus(st)
+			}
+			return st.State.Terminal(), nil
+		case "frames":
+			var frames []obs.Frame
+			if err := json.Unmarshal([]byte(dataBuf.String()), &frames); err != nil {
+				return false, fmt.Errorf("client: decode frames event: %w", err)
+			}
+			if eventID != "" {
+				*cursor = eventID
+			}
+			if onFrames != nil && len(frames) > 0 {
+				onFrames(frames)
+			}
+		}
+		return false, nil
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			terminal, err := dispatch()
+			if err != nil {
+				return engine.Status{}, false, err
+			}
+			if terminal {
+				return last, true, nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// Comment keep-alive.
+		case strings.HasPrefix(line, "id:"):
+			eventID = strings.TrimSpace(strings.TrimPrefix(line, "id:"))
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			dataBuf.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return engine.Status{}, false, fmt.Errorf("client: events stream %s: %w", id, err)
+	}
+	terminal, err := dispatch()
+	if err != nil {
+		return engine.Status{}, false, err
+	}
+	return last, terminal, nil
+}

@@ -1,0 +1,211 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/process"
+)
+
+func TestSeriesRoundTrip(t *testing.T) {
+	c, _ := newTestClient(t, engine.Options{Workers: 1})
+	ctx := context.Background()
+
+	_, final, err := c.Run(ctx, "process", engine.ProcessSpec{
+		Process: "cobra", Graph: "regular:128,4", Trials: 4, Seed: 9,
+		Params: process.Params{"k": 2.0},
+	}, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	view, err := c.Series(ctx, final.ID, 0)
+	if err != nil {
+		t.Fatalf("series: %v", err)
+	}
+	if view.Job != final.ID || len(view.Frames) == 0 || view.Capacity <= 0 {
+		t.Fatalf("series view = %+v, want frames for %s", view, final.ID)
+	}
+	// The cursor contract: reading from Next returns nothing new.
+	tail, err := c.Series(ctx, final.ID, view.Next)
+	if err != nil {
+		t.Fatalf("incremental series: %v", err)
+	}
+	if len(tail.Frames) != 0 || tail.Next != view.Next {
+		t.Errorf("since=Next returned %d frames, next %d", len(tail.Frames), tail.Next)
+	}
+}
+
+func TestFollowLiveStreamsFrames(t *testing.T) {
+	c, _ := newTestClient(t, engine.Options{Workers: 1})
+	ctx := context.Background()
+
+	st, err := c.SubmitProcess(ctx, engine.ProcessSpec{
+		Process: "cobra", Graph: "regular:256,4", Trials: 32, Seed: 4,
+		Params: process.Params{"k": 2.0},
+	}, 0)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var frames int
+	var statuses int
+	final, err := c.FollowLive(ctx, st.ID,
+		func(engine.Status) { statuses++ },
+		func(fs []obs.Frame) { frames += len(fs) })
+	if err != nil {
+		t.Fatalf("follow live: %v", err)
+	}
+	if final.State != engine.Done {
+		t.Fatalf("final state = %s (%s)", final.State, final.Error)
+	}
+	if statuses == 0 || frames == 0 {
+		t.Errorf("saw %d statuses and %d frames, want both > 0", statuses, frames)
+	}
+}
+
+func TestFollowLiveUnknownJobDoesNotRetry(t *testing.T) {
+	c, _ := newTestClient(t, engine.Options{Workers: 1})
+	start := time.Now()
+	_, err := c.FollowLive(context.Background(), "j424242", nil, nil)
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != "not_found" {
+		t.Fatalf("err = %v, want not_found", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Errorf("a 404 burned %v in retries", time.Since(start))
+	}
+}
+
+// scriptedSSE serves hand-written SSE payloads per connection so parser
+// edge cases (split data lines, comments, mid-stream drops) are exact.
+type scriptedSSE struct {
+	payloads []string
+	conns    atomic.Int64
+	lastID   atomic.Value // string: Last-Event-ID of the latest connection
+}
+
+func (s *scriptedSSE) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := int(s.conns.Add(1)) - 1
+	s.lastID.Store(r.Header.Get("Last-Event-ID"))
+	if n >= len(s.payloads) {
+		http.Error(w, "no more scripted connections", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	fmt.Fprint(w, s.payloads[n])
+}
+
+func scriptedClient(t *testing.T, h http.Handler) *Client {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatalf("new client: %v", err)
+	}
+	return c
+}
+
+const terminalStatus = `{"id":"j1","kind":"process","state":"done","priority":0,"cache_hit":false,"fingerprint":"f","progress_done":1,"progress_total":1,"submitted_at":"2026-08-08T00:00:00Z"}`
+
+// TestFollowLiveParserEdgeCases drives the SSE parser over one scripted
+// stream mixing comment keep-alives, an id'd frames event whose data is
+// split across two data: lines, an unknown event type, and the terminal
+// status.
+func TestFollowLiveParserEdgeCases(t *testing.T) {
+	payload := ": keepalive\n\n" +
+		"id: 3\nevent: frames\n" +
+		`data: [{"trial":0,"round":1,"covered":1,"coverage":0.5,` + "\n" +
+		`data: "frontier":1,"min_pos":0,"max_pos":0}]` + "\n\n" +
+		"event: mystery\ndata: {}\n\n" +
+		": another comment\n\n" +
+		"event: status\ndata: " + terminalStatus + "\n\n"
+	srv := &scriptedSSE{payloads: []string{payload}}
+	c := scriptedClient(t, srv)
+
+	var got []obs.Frame
+	final, err := c.FollowLive(context.Background(), "j1", nil,
+		func(fs []obs.Frame) { got = append(got, fs...) })
+	if err != nil {
+		t.Fatalf("follow live: %v", err)
+	}
+	if final.State != engine.Done || final.ID != "j1" {
+		t.Fatalf("final = %+v", final)
+	}
+	if len(got) != 1 || got[0].Covered != 1 || got[0].Frontier != 1 || got[0].Coverage != 0.5 {
+		t.Fatalf("frames = %+v, want the one split-line frame", got)
+	}
+	if srv.conns.Load() != 1 {
+		t.Errorf("scripted stream reconnected %d times", srv.conns.Load()-1)
+	}
+}
+
+// TestFollowLiveReconnectsWithLastEventID pins reconnect semantics: a
+// stream that dies after delivering frames is reopened with the frames
+// cursor as Last-Event-ID, and the second connection finishes the job.
+func TestFollowLiveReconnectsWithLastEventID(t *testing.T) {
+	first := "id: 7\nevent: frames\n" +
+		`data: [{"trial":0,"round":1,"covered":2,"coverage":1,"frontier":1,"min_pos":0,"max_pos":0}]` + "\n\n"
+	// Connection ends without a terminal status -> client reconnects.
+	second := "event: status\ndata: " + terminalStatus + "\n\n"
+	srv := &scriptedSSE{payloads: []string{first, second}}
+	c := scriptedClient(t, srv)
+
+	final, err := c.FollowLive(context.Background(), "j1", nil, nil)
+	if err != nil {
+		t.Fatalf("follow live: %v", err)
+	}
+	if final.State != engine.Done {
+		t.Fatalf("final = %+v", final)
+	}
+	if srv.conns.Load() != 2 {
+		t.Fatalf("connections = %d, want 2", srv.conns.Load())
+	}
+	if lei, _ := srv.lastID.Load().(string); lei != "7" {
+		t.Errorf("reconnect Last-Event-ID = %q, want 7", lei)
+	}
+}
+
+// TestFollowLiveGivesUpAfterBoundedRetries checks the retry bound: a
+// server that always drops before the terminal status exhausts the
+// reconnect budget instead of looping forever.
+func TestFollowLiveGivesUpAfterBoundedRetries(t *testing.T) {
+	var conns atomic.Int64
+	c := scriptedClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "event: status\ndata: {\"id\":\"j1\",\"state\":\"running\"}\n\n")
+	}))
+	_, err := c.FollowLive(context.Background(), "j1", nil, nil)
+	if err == nil {
+		t.Fatal("endless non-terminal stream did not error")
+	}
+	if got := conns.Load(); got != followLiveReconnects+1 {
+		t.Errorf("connections = %d, want %d", got, followLiveReconnects+1)
+	}
+}
+
+// TestFollowIgnoresNewEventTypes pins backward compatibility of the
+// plain Follow parser: id: lines and frames events from the upgraded
+// daemon are ignored, status semantics unchanged.
+func TestFollowIgnoresNewEventTypes(t *testing.T) {
+	payload := "id: 12\nevent: frames\n" +
+		`data: [{"trial":0,"round":1,"covered":1,"coverage":1,"frontier":1,"min_pos":0,"max_pos":0}]` + "\n\n" +
+		"event: status\ndata: " + terminalStatus + "\n\n"
+	srv := &scriptedSSE{payloads: []string{payload}}
+	c := scriptedClient(t, srv)
+	final, err := c.Follow(context.Background(), "j1", nil)
+	if err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	if final.State != engine.Done {
+		t.Fatalf("final = %+v", final)
+	}
+}

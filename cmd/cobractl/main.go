@@ -12,7 +12,8 @@
 //	nodes                list cluster members and their liveness
 //	submit               submit one job and (optionally) watch it to completion
 //	sweep                submit a server-side sweep across processes × families × ks × sizes
-//	watch <job-id>       stream a job's live status (SSE) until terminal
+//	watch <job-id>       stream a job's live status (SSE) until terminal;
+//	                     -live adds per-round coverage/frontier sparklines
 //	result <job-id>      fetch and render the result of a finished job
 //	ps                   list jobs, most recent first
 //	cancel <job-id>      cancel a queued or running job
@@ -46,7 +47,9 @@ import (
 
 	"repro/client"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/process"
+	"repro/internal/sim"
 )
 
 const defaultServer = "http://127.0.0.1:8080"
@@ -122,7 +125,7 @@ commands:
   nodes                list cluster members (ID, role, liveness)
   submit               submit one job (-process/-graph/-param, or -kind/-spec)
   sweep                submit a sweep (-processes/-family/-sizes/-ks, or -spec)
-  watch <job-id>       stream live status until the job is terminal
+  watch <job-id>       stream live status until terminal (-live adds observable sparklines)
   result <job-id>      fetch and render the result of a finished job
   ps                   list jobs (-status filters)
   cancel <job-id>      cancel a queued or running job
@@ -402,12 +405,13 @@ func cmdSweep(ctx context.Context, server string, args []string) error {
 
 func cmdWatch(ctx context.Context, server string, args []string) error {
 	fs, srv, asJSON := newFlagSet("watch", server)
+	live := fs.Bool("live", false, "render live per-round observables (coverage/frontier sparklines) alongside status")
 	pos, err := parseFlexible(fs, args)
 	if err != nil {
 		return err
 	}
 	if len(pos) != 1 {
-		return fmt.Errorf("usage: cobractl watch <job-id>")
+		return fmt.Errorf("usage: cobractl watch [-live] <job-id>")
 	}
 	c, err := dial(*srv)
 	if err != nil {
@@ -417,7 +421,12 @@ func cmdWatch(ctx context.Context, server string, args []string) error {
 	if err != nil {
 		return err
 	}
-	final, err := followPrinting(ctx, c, st, *asJSON)
+	var final engine.Status
+	if *live {
+		final, err = followLivePrinting(ctx, c, st, *asJSON)
+	} else {
+		final, err = followPrinting(ctx, c, st, *asJSON)
+	}
 	if err != nil {
 		return err
 	}
@@ -425,6 +434,66 @@ func cmdWatch(ctx context.Context, server string, args []string) error {
 		return fmt.Errorf("job %s %s: %s", final.ID, final.State, final.Error)
 	}
 	return nil
+}
+
+// followLivePrinting streams the multiplexed events feed, rendering
+// per-round observables as they arrive: each status line carries
+// coverage and frontier sparklines of the traced trial so far. With
+// asJSON every event (status and frames alike) prints as one raw JSON
+// line.
+func followLivePrinting(ctx context.Context, c *client.Client, st engine.Status, asJSON bool) (engine.Status, error) {
+	const sparkWidth = 40
+	var coverage, frontier []float64
+	trial := -1
+	lastLine := ""
+	render := func(s engine.Status) {
+		if asJSON {
+			data, _ := json.Marshal(map[string]any{"status": s})
+			fmt.Println(string(data))
+			return
+		}
+		line := fmt.Sprintf("%s  state=%s", s.ID, s.State)
+		if s.Total > 0 {
+			line += fmt.Sprintf(" progress=%d/%d", s.Done, s.Total)
+		}
+		if len(coverage) > 0 {
+			line += fmt.Sprintf("\n  trial %-4d coverage %s %.0f%%", trial,
+				sim.Sparkline(sim.Downsample(coverage, sparkWidth)), 100*coverage[len(coverage)-1])
+			line += fmt.Sprintf("\n  %11s frontier %s %d", "",
+				sim.Sparkline(sim.Downsample(frontier, sparkWidth)), int(frontier[len(frontier)-1]))
+		}
+		if line != lastLine {
+			fmt.Fprintln(os.Stderr, line)
+			lastLine = line
+		}
+	}
+	onFrames := func(frames []obs.Frame) {
+		if asJSON {
+			data, _ := json.Marshal(map[string]any{"frames": frames})
+			fmt.Println(string(data))
+			return
+		}
+		for _, f := range frames {
+			if f.Trial != trial {
+				// A new traced trial starts a fresh trajectory.
+				trial = f.Trial
+				coverage = coverage[:0]
+				frontier = frontier[:0]
+			}
+			coverage = append(coverage, f.Coverage)
+			frontier = append(frontier, float64(f.Frontier))
+		}
+	}
+	if st.State.Terminal() {
+		// Finished job: render the retained series once with the
+		// terminal status.
+		if view, err := c.Series(ctx, st.ID, 0); err == nil {
+			onFrames(view.Frames)
+		}
+		render(st)
+		return st, nil
+	}
+	return c.FollowLive(ctx, st.ID, render, onFrames)
 }
 
 func cmdResult(ctx context.Context, server string, args []string) error {

@@ -19,6 +19,16 @@
 //	curl -s localhost:8080/v1/sweeps -d '{"spec":{"child":"covertime","family":"grid:2","sizes":[8,16,32],"k":2,"trials":20,"seed":1}}'
 //	curl -sN localhost:8080/v1/jobs/j000001/events
 //
+// Observability: every observable job records a per-round series
+// (coverage, frontier size, extremal frontier positions) streamed as
+// "frames" events on /v1/jobs/{id}/events and queryable at
+// /v1/jobs/{id}/series; GET /metrics serves the Prometheus text
+// exposition; -log-level controls structured request and job logging;
+// -pprof serves net/http/pprof on a loopback side listener:
+//
+//	cobrad -pprof &
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//
 // With -data-dir set, results persist across restarts in a
 // content-addressed store: resubmitting a finished spec after a restart
 // is served from disk without re-running a single trial. -job-ttl
@@ -52,7 +62,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -61,6 +73,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/obs/metrics"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -80,17 +93,28 @@ func main() {
 		clusterMode   = flag.String("cluster", "off", "cluster role: off|coordinator|runner|peer (requires -data-dir)")
 		nodeID        = flag.String("node-id", "", "cluster node identity (default <hostname>-<pid>)")
 		leaseTTL      = flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "point lease TTL; a dead node's work is reclaimed after this long")
+		logLevel      = flag.String("log-level", "info", "structured log level: debug|info|warn|error")
+		pprofOn       = flag.Bool("pprof", false, "serve net/http/pprof on a side listener (-pprof-addr)")
+		pprofAddr     = flag.String("pprof-addr", "127.0.0.1:6060", "pprof listen address (with -pprof)")
 	)
 	flag.Parse()
 	if *clusterMode != "off" && *dataDir == "" {
 		fatal(errors.New("cobrad: -cluster requires -data-dir (the shared directory is the cluster)"))
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("cobrad: bad -log-level %q: %w", *logLevel, err))
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	reg := metrics.NewRegistry()
 
 	opts := engine.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheSize:  *cache,
 		JobTTL:     *jobTTL,
+		Logger:     logger,
+		Registry:   reg,
 	}
 	gcStop := make(chan struct{})
 	var gcDone chan struct{}
@@ -128,13 +152,26 @@ func main() {
 	}
 	eng := engine.New(opts)
 
-	var svcOpts []service.Option
+	svcOpts := []service.Option{service.WithRegistry(reg), service.WithLogger(logger)}
 	if cl != nil {
 		svcOpts = append(svcOpts, service.WithCluster(cl))
 	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: service.New(eng, svcOpts...).Handler(),
+	}
+
+	// The pprof listener is a separate, default-off server bound to
+	// loopback: net/http/pprof registers on http.DefaultServeMux, which
+	// the API server deliberately does not use, so profiling never leaks
+	// onto the public address.
+	if *pprofOn {
+		go func() {
+			log.Printf("cobrad: pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("cobrad: pprof server: %v", err)
+			}
+		}()
 	}
 
 	// Runner and peer nodes adopt sweeps announced by the rest of the

@@ -136,6 +136,15 @@ func (w *GeneralWalk) CoveredCount() int { return w.nCovered }
 // ActiveCount returns the current active-set size.
 func (w *GeneralWalk) ActiveCount() int { return len(w.active) }
 
+// AppendActive appends the current active vertices to dst and returns
+// the extended slice.
+func (w *GeneralWalk) AppendActive(dst []int32) []int32 {
+	return append(dst, w.active...)
+}
+
+// MaxSteps returns the effective per-run round cap.
+func (w *GeneralWalk) MaxSteps() int { return w.maxSteps }
+
 // Step executes one round with per-vertex branching factors. Like
 // Walk.Step it switches to the dense word-parallel kernel when the
 // frontier exceeds N/DefaultDenseTheta.

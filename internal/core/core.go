@@ -168,6 +168,10 @@ func (w *Walk) Covered(v int32) bool { return w.covered.Contains(int(v)) }
 // ActiveCount returns the current number of active vertices.
 func (w *Walk) ActiveCount() int { return len(w.active) }
 
+// MaxSteps returns the effective per-run round cap (the configured value,
+// or DefaultMaxSteps when the config left it zero).
+func (w *Walk) MaxSteps() int { return w.cfg.MaxSteps }
+
 // AppendActive appends the current active vertices to dst and returns the
 // extended slice.
 func (w *Walk) AppendActive(dst []int32) []int32 {

@@ -35,7 +35,7 @@ var errRequeue = errors.New("engine: requeue behind foreign lease")
 func (e *Engine) execute(j *Job) (*Output, error) {
 	c := e.opts.Cluster
 	if c == nil || e.opts.Store == nil {
-		out, err := j.spec.Run(j.ctx, j.reportProgress)
+		out, err := e.runSpec(j)
 		if err == nil {
 			e.computed.Add(1)
 		}
@@ -146,7 +146,7 @@ func (e *Engine) computeHolding(j *Job, held bool) (*Output, error) {
 			c.Release(j.fingerprint)
 		}()
 	}
-	out, err := j.spec.Run(j.ctx, j.reportProgress)
+	out, err := e.runSpec(j)
 	if err != nil || j.ctx.Err() != nil {
 		return out, err
 	}

@@ -6,12 +6,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/store"
 )
 
@@ -77,6 +80,14 @@ type Options struct {
 	// directory; sweeps are announced to the cluster so runner/peer
 	// nodes help drain them. Requires Store.
 	Cluster *cluster.Cluster
+	// Logger, when non-nil, receives structured job-lifecycle records
+	// (start, finish, state, duration) with the job's trace identifier
+	// attached. Nil discards them.
+	Logger *slog.Logger
+	// Registry, when non-nil, receives the engine's latency
+	// instrumentation: a job-duration histogram, a per-round duration
+	// histogram fed by observable frames, and a per-process run counter.
+	Registry *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -150,6 +161,11 @@ type Engine struct {
 	submitted, completed, failed, canceled, cacheHits, rejected atomic.Int64
 	storeHits, storeErrors, evicted                             atomic.Int64
 	computed, adopted, leaseWaits                               atomic.Int64
+
+	log        *slog.Logger
+	jobLatency *metrics.Histogram  // seconds per completed job
+	roundDur   *metrics.Histogram  // seconds per observed simulation round
+	procRuns   *metrics.CounterVec // executions by process name / job kind
 }
 
 // New creates an engine and starts its worker pool and, when a job TTL
@@ -162,6 +178,18 @@ func New(opts Options) *Engine {
 		jobs:   make(map[string]*Job),
 		gcStop: make(chan struct{}),
 		gcDone: make(chan struct{}),
+		log:    opts.Logger,
+	}
+	if e.log == nil {
+		e.log = slog.New(slog.DiscardHandler)
+	}
+	if r := opts.Registry; r != nil {
+		e.jobLatency = r.NewHistogram("cobrad_job_duration_seconds",
+			"Wall-clock duration of completed jobs.", metrics.DurationBuckets)
+		e.roundDur = r.NewHistogram("cobrad_round_duration_seconds",
+			"Wall-clock duration of observed simulation rounds.", metrics.DurationBuckets)
+		e.procRuns = r.NewCounterVec("cobrad_process_runs_total",
+			"Spec executions by process name (or job kind).", "process")
 	}
 	e.cond = sync.NewCond(&e.mu)
 	for w := 0; w < opts.Workers; w++ {
@@ -313,18 +341,29 @@ func (e *Engine) persist(fp string, out *Output) {
 // *SweepSpec fans out server-side into child point jobs (see sweep.go).
 // Submit never blocks on job execution.
 func (e *Engine) Submit(spec Spec, priority int) (*Job, error) {
+	return e.SubmitTraced(spec, priority, "")
+}
+
+// SubmitTraced is Submit with a caller-supplied trace identifier — the
+// request/job correlation token that rides the job's context into the
+// spec run, appears in the job status, and tags every log record. Empty
+// trace means untraced (identical to Submit).
+func (e *Engine) SubmitTraced(spec Spec, priority int, trace string) (*Job, error) {
 	if spec == nil {
 		return nil, fmt.Errorf("engine: nil spec")
 	}
 	if sw, ok := spec.(*SweepSpec); ok {
-		return e.submitSweep(sw, priority)
+		return e.submitSweep(sw, priority, trace)
 	}
-	return e.submit(spec, priority, nil)
+	return e.submit(spec, priority, nil, trace)
 }
 
 // submit is the point-job submission path; parent links a sweep child to
-// its coordinating sweep job.
-func (e *Engine) submit(spec Spec, priority int, parent *Job) (*Job, error) {
+// its coordinating sweep job (children inherit the parent's trace).
+func (e *Engine) submit(spec Spec, priority int, parent *Job, trace string) (*Job, error) {
+	if trace == "" && parent != nil {
+		trace = parent.trace
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -342,7 +381,7 @@ func (e *Engine) submit(spec Spec, priority int, parent *Job) (*Job, error) {
 		return nil, ErrShutdown
 	}
 	if hit {
-		j := e.newJobLocked(spec, priority, fp)
+		j := e.newJobLocked(spec, priority, fp, trace)
 		j.parent = parent
 		j.cacheHit = true
 		j.state = Done
@@ -366,7 +405,7 @@ func (e *Engine) submit(spec Spec, priority int, parent *Job) (*Job, error) {
 		}
 		return nil, ErrQueueFull
 	}
-	j := e.newJobLocked(spec, priority, fp)
+	j := e.newJobLocked(spec, priority, fp, trace)
 	j.parent = parent
 	heap.Push(&e.pending, j)
 	e.submitted.Add(1)
@@ -374,10 +413,21 @@ func (e *Engine) submit(spec Spec, priority int, parent *Job) (*Job, error) {
 	return j, nil
 }
 
-// newJobLocked allocates and registers a job; e.mu must be held.
-func (e *Engine) newJobLocked(spec Spec, priority int, fp string) *Job {
+// newJobLocked allocates and registers a job; e.mu must be held. The
+// trace identifier rides the job context (obs.TraceID recovers it
+// inside Spec.Run) and the job gets its own observable frame series,
+// wired into the engine's round-duration histogram when metrics are on.
+func (e *Engine) newJobLocked(spec Spec, priority int, fp, trace string) *Job {
 	e.seq++
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(obs.WithTrace(context.Background(), trace))
+	series := obs.NewSeries(0)
+	if rd := e.roundDur; rd != nil {
+		series.SetSink(func(f obs.Frame) {
+			if f.DurNanos > 0 {
+				rd.Observe(float64(f.DurNanos) / 1e9)
+			}
+		})
+	}
 	j := &Job{
 		id:          fmt.Sprintf("j%06d", e.seq),
 		seq:         e.seq,
@@ -385,6 +435,8 @@ func (e *Engine) newJobLocked(spec Spec, priority int, fp string) *Job {
 		priority:    priority,
 		fingerprint: fp,
 		node:        e.opts.NodeID,
+		trace:       trace,
+		series:      series,
 		state:       Queued,
 		submitted:   time.Now(),
 		ctx:         ctx,
@@ -567,6 +619,7 @@ func (e *Engine) runJob(j *Job) {
 	j.started = time.Now()
 	j.notifyLocked()
 	j.mu.Unlock()
+	e.log.Debug("job running", "job", j.id, "kind", j.spec.Kind(), "trace", j.trace)
 
 	out, err := e.execute(j)
 	if errors.Is(err, errRequeue) {
@@ -604,8 +657,20 @@ func (e *Engine) finishJob(j *Job, out *Output, err error) {
 	}
 	state := j.state
 	prePersisted := j.prePersisted
+	latency := j.finished.Sub(j.started)
 	j.notifyLocked()
 	j.mu.Unlock()
+
+	if state == Done && e.jobLatency != nil {
+		e.jobLatency.Observe(latency.Seconds())
+	}
+	if state == Failed {
+		e.log.Warn("job failed", "job", j.id, "kind", j.spec.Kind(), "trace", j.trace,
+			"duration", latency, "error", err)
+	} else {
+		e.log.Info("job finished", "job", j.id, "kind", j.spec.Kind(), "trace", j.trace,
+			"state", string(state), "duration", latency)
+	}
 
 	// Publish the result to the cache, the persistent store, and the
 	// counters before closing done: a waiter that resubmits the
@@ -651,6 +716,11 @@ type Job struct {
 
 	// node is the engine's node identity, fixed at submission.
 	node string
+	// trace is the request correlation identifier, fixed at submission.
+	trace string
+	// series records the job's observable frames (one per simulation
+	// round of the traced trial); always non-nil.
+	series *obs.Series
 
 	mu                          sync.Mutex
 	state                       State
@@ -676,6 +746,10 @@ func (j *Job) Fingerprint() string { return j.fingerprint }
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Series returns the job's observable frame stream. It is always
+// non-nil; jobs whose spec is not observable simply never append to it.
+func (j *Job) Series() *obs.Series { return j.series }
 
 // Children returns the child point jobs of a sweep job, in point order;
 // nil for point jobs.
@@ -783,6 +857,9 @@ type Status struct {
 	// Node identifies the cluster node tracking this job; empty on a
 	// single-node daemon.
 	Node string `json:"node,omitempty"`
+	// Trace is the request correlation identifier the job was submitted
+	// with, if any.
+	Trace string `json:"trace,omitempty"`
 	// Resumed counts the sweep points served from the cache or the
 	// persistent store at submission time — the points a resumed sweep
 	// did not have to schedule. Zero for point jobs.
@@ -815,6 +892,7 @@ func (j *Job) snapshotLocked() Status {
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
 		Node:        j.node,
+		Trace:       j.trace,
 		Resumed:     j.resumed,
 	}
 	if j.err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/process"
 	"repro/internal/sim"
 )
@@ -139,11 +140,18 @@ func (s *CoverTimeSpec) Validate() error {
 // summary keys, so covertime results stay byte-identical through the
 // ProcessSpec path.
 func (s *CoverTimeSpec) Run(ctx context.Context, progress func(done, total int)) (*Output, error) {
+	return s.RunObserved(ctx, progress, nil)
+}
+
+// RunObserved implements ObservableSpec (observation is
+// draw-sequence-neutral, so the historical byte-identity holds with a
+// tracer attached).
+func (s *CoverTimeSpec) RunObserved(ctx context.Context, progress func(done, total int), observer obs.Observer) (*Output, error) {
 	res, err := runCobraProcess(ctx, s.Graph, s.GraphSeed, process.Params{
 		"k":         float64(s.K),
 		"max_steps": float64(s.MaxSteps),
 		"start":     float64(s.Start),
-	}, s.Trials, s.Seed, progress)
+	}, s.Trials, s.Seed, progress, observer)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +170,7 @@ func (s *CoverTimeSpec) Run(ctx context.Context, progress func(done, total int))
 
 // runCobraProcess is the shared delegation path of the two deprecated
 // cobra-walk adapters.
-func runCobraProcess(ctx context.Context, graphSpec string, graphSeed uint64, params process.Params, trials int, seed uint64, progress func(done, total int)) (*process.Result, error) {
+func runCobraProcess(ctx context.Context, graphSpec string, graphSeed uint64, params process.Params, trials int, seed uint64, progress func(done, total int), observer obs.Observer) (*process.Result, error) {
 	proc, ok := process.Get("cobra")
 	if !ok {
 		return nil, fmt.Errorf("engine: cobra process not registered")
@@ -177,6 +185,7 @@ func runCobraProcess(ctx context.Context, graphSpec string, graphSeed uint64, pa
 		Trials:   trials,
 		Seed:     seed,
 		Progress: progress,
+		Observer: observer,
 	})
 }
 
@@ -232,6 +241,11 @@ func (s *CobraWalkSpec) Validate() error {
 // and renaming the uniform summary keys to the historical broadcast
 // view (steps_mean, steps_ci95, steps_max, messages_mean).
 func (s *CobraWalkSpec) Run(ctx context.Context, progress func(done, total int)) (*Output, error) {
+	return s.RunObserved(ctx, progress, nil)
+}
+
+// RunObserved implements ObservableSpec.
+func (s *CobraWalkSpec) RunObserved(ctx context.Context, progress func(done, total int), observer obs.Observer) (*Output, error) {
 	frac := s.CoverFraction
 	if frac == 0 {
 		frac = 1
@@ -241,7 +255,7 @@ func (s *CobraWalkSpec) Run(ctx context.Context, progress func(done, total int))
 		"cover_fraction": frac,
 		"max_steps":      float64(s.MaxSteps),
 		"start":          float64(s.Start),
-	}, s.Trials, s.Seed, progress)
+	}, s.Trials, s.Seed, progress, observer)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/process"
 )
 
@@ -54,6 +55,13 @@ func (s *ProcessSpec) Validate() error {
 // Run implements Spec: build the graph, resolve the process, run the
 // trial batch.
 func (s *ProcessSpec) Run(ctx context.Context, progress func(done, total int)) (*Output, error) {
+	return s.RunObserved(ctx, progress, nil)
+}
+
+// RunObserved implements ObservableSpec: Run with the per-trial
+// observation hook threaded through to the process. Observation is
+// draw-sequence-neutral, so the output is identical either way.
+func (s *ProcessSpec) RunObserved(ctx context.Context, progress func(done, total int), observer obs.Observer) (*Output, error) {
 	proc, ok := process.Get(s.Process)
 	if !ok {
 		return nil, fmt.Errorf("engine: process: unknown process %q", s.Process)
@@ -68,6 +76,7 @@ func (s *ProcessSpec) Run(ctx context.Context, progress func(done, total int)) (
 		Trials:   s.Trials,
 		Seed:     s.Seed,
 		Progress: progress,
+		Observer: observer,
 	})
 	if err != nil {
 		return nil, err

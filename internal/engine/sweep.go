@@ -342,7 +342,7 @@ const sweepProgressUnit = 1000
 // throttles against the bounded queue: a sweep larger than the free
 // queue depth submits its remaining points as slots free up instead of
 // failing with ErrQueueFull.
-func (e *Engine) submitSweep(spec *SweepSpec, priority int) (*Job, error) {
+func (e *Engine) submitSweep(spec *SweepSpec, priority int, trace string) (*Job, error) {
 	pts, err := spec.points()
 	if err != nil {
 		return nil, err
@@ -367,7 +367,7 @@ func (e *Engine) submitSweep(spec *SweepSpec, priority int) (*Job, error) {
 		return nil, ErrShutdown
 	}
 	if hit {
-		j := e.newJobLocked(spec, priority, fp)
+		j := e.newJobLocked(spec, priority, fp, trace)
 		j.cacheHit = true
 		j.state = Done
 		j.output = out
@@ -388,7 +388,7 @@ func (e *Engine) submitSweep(spec *SweepSpec, priority int) (*Job, error) {
 		}
 		return j, nil
 	}
-	parent := e.newJobLocked(spec, priority, fp)
+	parent := e.newJobLocked(spec, priority, fp, trace)
 	// The parent is never queued: its coordinator starts immediately, so
 	// it is Running from birth. This matters for Cancel, which finishes
 	// Queued jobs directly — a sweep must instead be torn down by its
@@ -483,7 +483,7 @@ submitLoop:
 			if canceled || firstErr != nil {
 				break submitLoop
 			}
-			child, err := e.submit(pt.spec, parent.priority, parent)
+			child, err := e.submit(pt.spec, parent.priority, parent, "")
 			if err == nil {
 				parent.mu.Lock()
 				parent.children = append(parent.children, child)
@@ -553,7 +553,10 @@ submitLoop:
 // aggregateSweepProgress folds the children's progress into the parent:
 // each of the sweep's total points contributes sweepProgressUnit units —
 // prorated by the child's own done/total while running, zero while the
-// point is still waiting to be submitted.
+// point is still waiting to be submitted. Running children with an
+// observable frame stream additionally interpolate the in-flight
+// trial's rounds, so few-trial points advance smoothly instead of in
+// whole-trial jumps.
 func (e *Engine) aggregateSweepProgress(parent *Job, children []*Job, total int) {
 	doneUnits := 0
 	for _, c := range children {
@@ -564,10 +567,36 @@ func (e *Engine) aggregateSweepProgress(parent *Job, children []*Job, total int)
 		case terminal:
 			doneUnits += sweepProgressUnit
 		case tot > 0:
-			doneUnits += sweepProgressUnit * d / tot
+			inFlight, meanRounds := c.series.TrialProgress()
+			doneUnits += interpolateChildUnits(d, tot, inFlight, meanRounds)
 		}
 	}
 	parent.reportProgress(doneUnits, sweepProgressUnit*total)
+}
+
+// interpolateChildUnits converts one running child's progress into
+// parent units: the whole-trial share done/tot, plus a fractional share
+// for the trial in flight, estimated as its observed rounds over the
+// mean rounds of the child's completed traced trials. The in-flight
+// share is capped just below one full trial so interpolation never
+// claims work that has not finished, and the total never exceeds the
+// child's full unit.
+func interpolateChildUnits(done, tot, inFlightRounds int, meanRounds float64) int {
+	if tot <= 0 {
+		return 0
+	}
+	units := sweepProgressUnit * done / tot
+	if inFlightRounds > 0 && meanRounds > 0 && done < tot {
+		frac := float64(inFlightRounds) / meanRounds
+		if frac > 0.95 {
+			frac = 0.95
+		}
+		units += int(float64(sweepProgressUnit) * frac / float64(tot))
+	}
+	if units > sweepProgressUnit {
+		units = sweepProgressUnit
+	}
+	return units
 }
 
 // aggregateSweep assembles the sweep Output from terminal children: the

@@ -119,6 +119,16 @@ func (p *Process) Peak() int { return p.peak }
 // Extinct reports whether the infection has died out.
 func (p *Process) Extinct() bool { return len(p.infected) == 0 }
 
+// MaxRounds returns the effective per-run round cap (the configured
+// value, or the generous default when the config left it zero).
+func (p *Process) MaxRounds() int { return p.cfg.MaxRounds }
+
+// AppendInfected appends the currently infected vertices to dst and
+// returns the extended slice.
+func (p *Process) AppendInfected(dst []int32) []int32 {
+	return append(dst, p.infected...)
+}
+
 // TotalInfections returns the cumulative count of infection events
 // (including reinfection of previously exposed vertices).
 func (p *Process) TotalInfections() int64 { return p.totalInfect }

@@ -107,6 +107,12 @@ func (p *Process) Informed(v int32) bool { return p.stamp[v] != notInformed }
 // Rounds returns the number of rounds executed.
 func (p *Process) Rounds() int { return int(p.rounds) }
 
+// InformedVertices returns the informed vertices in the order they were
+// informed; the slice aliases internal state and must not be modified.
+// Entries past a caller's previous InformedCount are the vertices newly
+// informed since — the protocol's active frontier.
+func (p *Process) InformedVertices() []int32 { return p.list }
+
 // MessagesSent returns the cumulative protocol message count: one per
 // push by an informed vertex and one per pull request by an uninformed
 // vertex.

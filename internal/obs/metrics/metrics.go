@@ -1,0 +1,255 @@
+// Package metrics is a dependency-free metrics registry with
+// Prometheus text exposition (format version 0.0.4). It implements the
+// subset this repository needs — counters, gauges, function-backed
+// collectors, fixed-bucket histograms, and single-label counter
+// vectors — with stable, sorted output and the # HELP / # TYPE
+// preamble promtool expects, so GET /metrics scrapes cleanly without
+// pulling the Prometheus client library into the build.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; n must not be negative (counters are monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram. Observations are
+// lock-free; exposition renders the canonical _bucket/_sum/_count
+// sample set with a trailing +Inf bucket.
+type Histogram struct {
+	bounds  []float64      // upper bounds, ascending, excluding +Inf
+	buckets []atomic.Int64 // one per bound, plus one for +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// CounterVec is a family of counters keyed by one label value.
+type CounterVec struct {
+	label string
+	mu    sync.Mutex
+	kids  map[string]*Counter
+}
+
+// With returns the counter for the given label value, creating it on
+// first use.
+func (cv *CounterVec) With(value string) *Counter {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	c, ok := cv.kids[value]
+	if !ok {
+		c = &Counter{}
+		cv.kids[value] = c
+	}
+	return c
+}
+
+// metric is one registered family.
+type metric struct {
+	name string
+	help string
+	typ  string // "counter" | "gauge" | "histogram"
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64 // function-backed counter or gauge
+	hist    *Histogram
+	vec     *CounterVec
+}
+
+// Registry holds metric families and renders them. The zero value is
+// not usable; create one with NewRegistry. All methods are safe for
+// concurrent use. Registration is idempotent by (name, type): asking
+// for an existing family returns the existing collector, so packages
+// can register lazily without coordinating init order. A name re-used
+// with a different type panics — that is a programming error.
+type Registry struct {
+	mu  sync.Mutex
+	fam map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fam: make(map[string]*metric)}
+}
+
+// register installs m under its name, enforcing type consistency.
+func (r *Registry) register(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.fam[m.name]; ok {
+		if existing.typ != m.typ {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", m.name, m.typ, existing.typ))
+		}
+		return existing
+	}
+	r.fam[m.name] = m
+	return m
+}
+
+// NewCounter registers (or returns) the counter family name.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	m := r.register(&metric{name: name, help: help, typ: "counter", counter: &Counter{}})
+	return m.counter
+}
+
+// NewGauge registers (or returns) the gauge family name.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	m := r.register(&metric{name: name, help: help, typ: "gauge", gauge: &Gauge{}})
+	return m.gauge
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at
+// scrape time — how pre-existing atomic counters are exposed without
+// double accounting.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, typ: "counter", fn: fn})
+}
+
+// NewGaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, typ: "gauge", fn: fn})
+}
+
+// NewHistogram registers (or returns) a histogram with the given
+// ascending upper bounds (+Inf is implicit).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("metrics: %s histogram bounds not ascending", name))
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.buckets = make([]atomic.Int64, len(bounds)+1)
+	m := r.register(&metric{name: name, help: help, typ: "histogram", hist: h})
+	return m.hist
+}
+
+// NewCounterVec registers (or returns) a counter family keyed by one
+// label.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	cv := &CounterVec{label: label, kids: make(map[string]*Counter)}
+	m := r.register(&metric{name: name, help: help, typ: "counter", vec: cv})
+	return m.vec
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// sorted by family name, each preceded by its # HELP and # TYPE lines.
+// Output is deterministic for a fixed set of values, so conformance
+// tests can pin it.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fam))
+	for name := range r.fam {
+		names = append(names, name)
+	}
+	fams := make([]*metric, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fam[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, m := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.typ)
+		switch {
+		case m.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
+		case m.gauge != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.gauge.Value())
+		case m.fn != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.fn()))
+		case m.vec != nil:
+			m.vec.mu.Lock()
+			values := make([]string, 0, len(m.vec.kids))
+			for v := range m.vec.kids {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", m.name, m.vec.label, v, m.vec.kids[v].Value())
+			}
+			m.vec.mu.Unlock()
+		case m.hist != nil:
+			h := m.hist
+			cum := int64(0)
+			for i, bound := range h.bounds {
+				cum += h.buckets[i].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, formatFloat(bound), cum)
+			}
+			cum += h.buckets[len(h.bounds)].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatFloat(h.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest round-trip decimal, integral values without an exponent.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the format spec.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// DurationBuckets are the default latency bounds in seconds, spanning
+// sub-millisecond rounds to multi-minute jobs.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}

@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionConformance pins the exposition grammar the /metrics
+// conformance contract depends on: every family is preceded by # HELP
+// and # TYPE, families are sorted by name, histogram buckets are
+// cumulative and end with +Inf, and repeated renders are stable.
+func TestExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("app_requests_total", "Total requests.")
+	c.Add(3)
+	g := r.NewGauge("app_workers", "Worker pool size.")
+	g.Set(4)
+	r.NewGaugeFunc("app_cache_entries", "Cached outputs.", func() float64 { return 7 })
+	h := r.NewHistogram("app_latency_seconds", "Request latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	cv := r.NewCounterVec("app_runs_total", "Runs by process.", "process")
+	cv.With("cobra").Add(2)
+	cv.With("sis").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	want := `# HELP app_cache_entries Cached outputs.
+# TYPE app_cache_entries gauge
+app_cache_entries 7
+# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="1"} 2
+app_latency_seconds_bucket{le="10"} 3
+app_latency_seconds_bucket{le="+Inf"} 4
+app_latency_seconds_sum 55.55
+app_latency_seconds_count 4
+# HELP app_requests_total Total requests.
+# TYPE app_requests_total counter
+app_requests_total 3
+# HELP app_runs_total Runs by process.
+# TYPE app_runs_total counter
+app_runs_total{process="cobra"} 2
+app_runs_total{process="sis"} 1
+# HELP app_workers Worker pool size.
+# TYPE app_workers gauge
+app_workers 4
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Rendering again yields the identical byte sequence.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != got {
+		t.Fatal("second render differs from first")
+	}
+}
+
+// TestExpositionGrammar walks the output line by line the way a scraper
+// would, checking structural invariants on arbitrary content rather
+// than one pinned transcript.
+func TestExpositionGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("zz_last_total", "Sorted last.").Inc()
+	r.NewGauge("aa_first", "Sorted first.\nWith a newline.").Set(-2)
+	r.NewHistogram("mm_hist_seconds", `Back\slash help.`, DurationBuckets).Observe(0.3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+
+	var families []string
+	seenHelp := map[string]bool{}
+	seenType := map[string]bool{}
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)[0]
+			if seenHelp[name] {
+				t.Fatalf("duplicate HELP for %s", name)
+			}
+			seenHelp[name] = true
+			families = append(families, name)
+			if strings.Contains(line, "\n") {
+				t.Fatalf("unescaped newline in HELP: %q", line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(rest) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			name, typ := rest[0], rest[1]
+			if !seenHelp[name] {
+				t.Fatalf("TYPE before HELP for %s", name)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("unknown type %q", typ)
+			}
+			seenType[name] = true
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("unexpected comment line: %q", line)
+		default:
+			sample := strings.SplitN(line, " ", 2)
+			if len(sample) != 2 {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+			name := sample[0]
+			if i := strings.IndexByte(name, '{'); i >= 0 {
+				name = name[:i]
+			}
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if !seenType[base] && !seenType[name] {
+				t.Fatalf("sample %q before its TYPE line", line)
+			}
+			if _, err := strconv.ParseFloat(sample[1], 64); err != nil {
+				t.Fatalf("non-numeric sample value in %q", line)
+			}
+		}
+	}
+	for i := 1; i < len(families); i++ {
+		if families[i] <= families[i-1] {
+			t.Fatalf("families not sorted: %s after %s", families[i], families[i-1])
+		}
+	}
+}
+
+// TestHistogramCumulative pins cumulative bucket counts over the
+// default duration bounds.
+func TestHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("d_seconds", "d", []float64{1, 2, 3})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 2.5, 3.5} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 11 {
+		t.Fatalf("sum = %v, want 11", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`d_seconds_bucket{le="1"} 2`,
+		`d_seconds_bucket{le="2"} 4`,
+		`d_seconds_bucket{le="3"} 5`,
+		`d_seconds_bucket{le="+Inf"} 6`,
+	} {
+		if !strings.Contains(b.String(), want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestIdempotentRegistration: re-registering a name returns the same
+// collector; re-registering with a different type panics.
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("x_total", "x")
+	b := r.NewCounter("x_total", "x")
+	if a != b {
+		t.Fatal("re-registration returned a distinct counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("aliased counters diverged")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type-conflicting registration did not panic")
+		}
+	}()
+	r.NewGauge("x_total", "x")
+}
+
+// TestConcurrentUse hammers registration, observation, and scraping
+// together; meaningful under -race.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "l", []float64{0.001, 0.01, 0.1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.NewCounter("ops_total", "ops")
+			cv := r.NewCounterVec("runs_total", "runs", "process")
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				cv.With(fmt.Sprintf("p%d", w%3)).Inc()
+				h.Observe(float64(i) / 10000)
+				if i%100 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.NewCounter("ops_total", "ops").Value(); got != 8*500 {
+		t.Fatalf("ops_total = %d, want %d", got, 8*500)
+	}
+	if h.Count() != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), 8*500)
+	}
+}

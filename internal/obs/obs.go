@@ -1,0 +1,249 @@
+// Package obs is the observability core: per-round observable streams
+// recorded while a simulation runs, and the trace identifiers that tie
+// an HTTP request to the engine job it spawned.
+//
+// The paper's objects of study — coverage growth, frontier size, the
+// extremal positions of a branching walk per generation — are
+// trajectories, not scalars. A Series captures one representative
+// trajectory per job as it is computed: the traced trial appends one
+// Frame per round into a fixed-capacity ring, and any number of readers
+// snapshot the ring without locks, coordination, or perturbing the
+// producer (the xirho pattern: the producer publishes through atomics,
+// readers poll). Old frames are overwritten once the ring wraps; a
+// reader that falls behind loses history, never consistency.
+//
+// Concurrency contract: a Series has at most ONE producer at a time —
+// the Tracer's compare-and-swap slot enforces this across parallel
+// trial workers — and any number of concurrent readers.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultCapacity is the ring capacity used when NewSeries is given a
+// non-positive capacity: enough rounds for a coarse-grained view of any
+// experiment in this repository while keeping a per-job series cheap.
+const DefaultCapacity = 512
+
+// Frame is one observed round of one trial: the per-generation
+// observables the paper (and the branching-random-walk literature it
+// cites) studies.
+type Frame struct {
+	// Trial is the trial index the frame belongs to.
+	Trial int `json:"trial"`
+	// Round is the 1-based round number within the trial.
+	Round int `json:"round"`
+	// Covered is the number of distinct vertices covered (infected,
+	// informed) so far.
+	Covered int `json:"covered"`
+	// Coverage is Covered divided by the graph order, in [0, 1].
+	Coverage float64 `json:"coverage"`
+	// Frontier is the active-set size this round: active cobra
+	// vertices, infected vertices, occupied Walt vertices, or newly
+	// informed gossip vertices.
+	Frontier int `json:"frontier"`
+	// MinPos and MaxPos are the extremal positions of the frontier,
+	// measured as BFS depth from the start vertex — the per-generation
+	// minima/maxima of the branching random walk. -1 when unknown.
+	MinPos int `json:"min_pos"`
+	MaxPos int `json:"max_pos"`
+	// DurNanos is the wall-clock duration of the round in nanoseconds
+	// (0 for the first round of a trial). Timing is observational
+	// metadata: it feeds histograms, never results.
+	DurNanos int64 `json:"dur_nanos,omitempty"`
+}
+
+// entry pairs a frame with its absolute sequence index so readers can
+// detect slots overwritten mid-snapshot.
+type entry struct {
+	idx uint64
+	f   Frame
+}
+
+// Series is a single-producer, multi-reader ring of frames. Readers
+// never block the producer: every slot is an atomic pointer, and the
+// head sequence is published after the slot it covers, so a snapshot
+// sees only fully written frames.
+type Series struct {
+	slots []atomic.Pointer[entry]
+	head  atomic.Uint64 // frames ever appended; next frame gets index head
+	// Trial accounting for progress interpolation: frames belonging to
+	// finished traced trials, and the count of finished traced trials.
+	doneFrames atomic.Uint64
+	doneTrials atomic.Uint64
+	// sink, when set (before any producer starts), observes every
+	// appended frame — the engine feeds round-duration histograms here.
+	sink func(Frame)
+}
+
+// NewSeries creates a series with the given ring capacity (DefaultCapacity
+// when capacity is not positive).
+func NewSeries(capacity int) *Series {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Series{slots: make([]atomic.Pointer[entry], capacity)}
+}
+
+// SetSink installs a callback invoked synchronously by the producer for
+// every appended frame. It must be called before the first Append and
+// the callback must be safe for use from the producing goroutine.
+func (s *Series) SetSink(fn func(Frame)) { s.sink = fn }
+
+// Cap returns the ring capacity.
+func (s *Series) Cap() int { return len(s.slots) }
+
+// Frames returns the total number of frames ever appended — the
+// sequence number the next frame will receive.
+func (s *Series) Frames() uint64 { return s.head.Load() }
+
+// Append publishes one frame. Single producer only: the slot is stored
+// before the head advances, so concurrent readers either see the frame
+// complete or not at all.
+func (s *Series) Append(f Frame) {
+	idx := s.head.Load()
+	s.slots[idx%uint64(len(s.slots))].Store(&entry{idx: idx, f: f})
+	s.head.Store(idx + 1)
+	if s.sink != nil {
+		s.sink(f)
+	}
+}
+
+// Since returns the retained frames with sequence index >= since, in
+// index order, along with the next sequence index (pass it back as
+// since to read only newer frames). Frames older than the ring
+// capacity are gone; a reader that falls behind skips them.
+func (s *Series) Since(since uint64) ([]Frame, uint64) {
+	head := s.head.Load()
+	if since >= head {
+		return nil, head
+	}
+	lo := since
+	capacity := uint64(len(s.slots))
+	if head > capacity && lo < head-capacity {
+		lo = head - capacity
+	}
+	out := make([]Frame, 0, head-lo)
+	for i := lo; i < head; i++ {
+		e := s.slots[i%capacity].Load()
+		if e == nil || e.idx != i {
+			// The producer lapped this slot while we were reading:
+			// the frame is lost to this reader, not torn.
+			continue
+		}
+		out = append(out, e.f)
+	}
+	return out, head
+}
+
+// Snapshot returns every retained frame in order plus the next sequence
+// index.
+func (s *Series) Snapshot() ([]Frame, uint64) { return s.Since(0) }
+
+// endTrial records the completion of a traced trial; called by Trace.End.
+func (s *Series) endTrial() {
+	s.doneFrames.Store(s.head.Load())
+	s.doneTrials.Add(1)
+}
+
+// TrialProgress reports the observation-derived progress hints used to
+// interpolate coarse job progress: the number of rounds observed in the
+// currently traced trial (0 when none is in flight) and the mean
+// rounds per completed traced trial (0 until one finishes).
+func (s *Series) TrialProgress() (inFlight int, meanRounds float64) {
+	head := s.head.Load()
+	done := s.doneFrames.Load()
+	trials := s.doneTrials.Load()
+	if head > done {
+		inFlight = int(head - done)
+	}
+	if trials > 0 {
+		meanRounds = float64(done) / float64(trials)
+	}
+	return inFlight, meanRounds
+}
+
+// Trace observes one trial: one Round call per executed round, then
+// End. Implementations must not draw from the trial's random stream.
+type Trace interface {
+	// Round records one executed round: the covered count, the graph
+	// order, the frontier size, and the extremal frontier positions
+	// (BFS depth from the start vertex; -1 when unknown).
+	Round(covered, n, frontier, minPos, maxPos int)
+	// End releases the trace; the trial is complete.
+	End()
+}
+
+// Observer hands out traces: a process offers every trial via Begin,
+// and runs the trial unobserved when Begin returns nil. Observers must
+// be safe for concurrent Begin calls from parallel trial workers.
+type Observer interface {
+	Begin(trial int) Trace
+}
+
+// Tracer is the standard Observer: it traces exactly one trial at a
+// time into a Series, so the series keeps its single-producer contract
+// even when trials run on many workers, and the recorded trajectory is
+// one contiguous representative trial rather than an interleaving.
+type Tracer struct {
+	s    *Series
+	busy atomic.Bool
+}
+
+// NewTracer creates a tracer recording into s.
+func NewTracer(s *Series) *Tracer { return &Tracer{s: s} }
+
+// Begin implements Observer: it claims the tracer for one trial via
+// compare-and-swap, returning nil — run unobserved — when another
+// trial currently holds it. A nil *Tracer always returns nil, so
+// callers can thread an optional observer without nil checks.
+func (t *Tracer) Begin(trial int) Trace {
+	if t == nil || !t.busy.CompareAndSwap(false, true) {
+		return nil
+	}
+	return &trace{t: t, trial: trial}
+}
+
+// trace is one claimed trial observation.
+type trace struct {
+	t     *Tracer
+	trial int
+	round int
+	last  time.Time
+}
+
+// Round implements Trace.
+func (tr *trace) Round(covered, n, frontier, minPos, maxPos int) {
+	tr.round++
+	now := time.Now()
+	var dur int64
+	if !tr.last.IsZero() {
+		dur = now.Sub(tr.last).Nanoseconds()
+	}
+	tr.last = now
+	coverage := 0.0
+	if n > 0 {
+		coverage = float64(covered) / float64(n)
+	}
+	tr.t.s.Append(Frame{
+		Trial:    tr.trial,
+		Round:    tr.round,
+		Covered:  covered,
+		Coverage: coverage,
+		Frontier: frontier,
+		MinPos:   minPos,
+		MaxPos:   maxPos,
+		DurNanos: dur,
+	})
+}
+
+// End implements Trace: it publishes the trial-complete accounting and
+// releases the tracer for the next trial. The release is an atomic
+// store ordered after every Append this trial made, so the next
+// claimant's appends cannot race them.
+func (tr *trace) End() {
+	tr.t.s.endTrial()
+	tr.t.busy.Store(false)
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// traceKey is the context key for the request/job trace identifier.
+type traceKey struct{}
+
+// NewTraceID returns a fresh random 16-hex-character trace identifier.
+// It is an opaque correlation token, not a security credential; on the
+// (never observed) failure of the system randomness source it degrades
+// to a fixed sentinel rather than failing the request.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "trace-rand-err"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTrace returns a context carrying the trace identifier. Empty ids
+// are not stored.
+func WithTrace(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the trace identifier carried by ctx, or "".
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

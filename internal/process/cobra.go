@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -60,17 +61,21 @@ func (c cobraProcess) Run(ctx context.Context, r Run) (*Result, error) {
 	}
 	k := r.Params.Int("k", 1)
 	frac := r.Params.Float("cover_fraction", 1)
+	depths := depthMap(r, start)
 	messages := make([]float64, r.Trials)
 	r.progress()(0, r.Trials)
 	values, err := sim.RunTrialsPooledContext(ctx, r.Trials, r.Seed,
 		func() sim.TrialFunc {
 			w := core.New(r.Graph, core.Config{K: k, MaxSteps: r.Params.Int("max_steps", 0)}, rng.New(0))
+			var frontier []int32 // traced-trial scratch
 			return func(trial int, src *rng.Source) (float64, error) {
 				w.SetRand(src)
 				w.Reset(start)
 				var steps int
 				var ok bool
-				if frac == 1 {
+				if tr := r.observe(trial); tr != nil {
+					steps, ok, frontier = runCobraTraced(w, tr, r.Graph.N(), frac, depths, frontier)
+				} else if frac == 1 {
 					steps, ok = w.RunUntilCovered()
 				} else {
 					steps, ok = w.RunUntilCoveredFraction(frac)
@@ -89,6 +94,31 @@ func (c cobraProcess) Run(ctx context.Context, r Run) (*Result, error) {
 	summary := uniformSummary(values, r.Graph)
 	summary["messages_mean"] = stats.Mean(messages)
 	return &Result{Values: values, Summary: summary}, nil
+}
+
+// runCobraTraced replicates Walk.RunUntilCovered / RunUntilCoveredFraction
+// round for round — identical loop conditions, so identical draw
+// sequence and return values — while reporting one frame per executed
+// round to tr. The scratch slice is returned for reuse across trials.
+func runCobraTraced(w *core.Walk, tr obs.Trace, n int, frac float64, depths, scratch []int32) (int, bool, []int32) {
+	defer tr.End()
+	want := n
+	if frac != 1 {
+		want = int(frac * float64(n))
+		if want < 1 {
+			want = 1
+		}
+	}
+	for w.CoveredCount() < want {
+		if w.Steps() >= w.MaxSteps() {
+			return w.Steps(), false, scratch
+		}
+		w.Step()
+		scratch = w.AppendActive(scratch[:0])
+		minPos, maxPos := frontierSpan(depths, scratch)
+		tr.Round(w.CoveredCount(), n, w.ActiveCount(), minPos, maxPos)
+	}
+	return w.Steps(), true, scratch
 }
 
 // generalProcess runs core.GeneralWalk under one of the branching rules
@@ -119,10 +149,12 @@ func (g generalProcess) Run(ctx context.Context, r Run) (*Result, error) {
 		}
 	}()
 	maxSteps := r.Params.Int("max_steps", 0)
+	depths := depthMap(r, start)
 	r.progress()(0, r.Trials)
 	values, err := sim.RunTrialsPooledContext(ctx, r.Trials, r.Seed,
 		func() sim.TrialFunc {
 			var w *core.GeneralWalk
+			var frontier []int32 // traced-trial scratch
 			return func(trial int, src *rng.Source) (float64, error) {
 				// The worker's Source is reseeded in place per trial, so
 				// one walk bound to it on first use serves every trial.
@@ -130,7 +162,13 @@ func (g generalProcess) Run(ctx context.Context, r Run) (*Result, error) {
 					w = core.NewGeneral(r.Graph, branch, maxSteps, src)
 				}
 				w.Reset(start)
-				steps, ok := w.RunUntilCovered()
+				var steps int
+				var ok bool
+				if tr := r.observe(trial); tr != nil {
+					steps, ok, frontier = runGeneralTraced(w, tr, r.Graph.N(), depths, frontier)
+				} else {
+					steps, ok = w.RunUntilCovered()
+				}
 				if !ok {
 					return 0, fmt.Errorf("general: step cap exceeded on %s", r.Graph)
 				}
@@ -142,4 +180,20 @@ func (g generalProcess) Run(ctx context.Context, r Run) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Values: values, Summary: uniformSummary(values, r.Graph)}, nil
+}
+
+// runGeneralTraced replicates GeneralWalk.RunUntilCovered round for
+// round while reporting one frame per executed round to tr.
+func runGeneralTraced(w *core.GeneralWalk, tr obs.Trace, n int, depths, scratch []int32) (int, bool, []int32) {
+	defer tr.End()
+	for w.CoveredCount() < n {
+		if w.Steps() >= w.MaxSteps() {
+			return w.Steps(), false, scratch
+		}
+		w.Step()
+		scratch = w.AppendActive(scratch[:0])
+		minPos, maxPos := frontierSpan(depths, scratch)
+		tr.Round(w.CoveredCount(), n, w.ActiveCount(), minPos, maxPos)
+	}
+	return w.Steps(), true, scratch
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/epidemic"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -40,12 +41,19 @@ func (s sisProcess) Run(ctx context.Context, r Run) (*Result, error) {
 		Gamma:     r.Params.Float("gamma", 1),
 		MaxRounds: r.Params.Int("max_steps", 0),
 	}
+	depths := depthMap(r, start)
 	outcomes := make([]epidemic.Outcome, r.Trials)
 	r.progress()(0, r.Trials)
 	values, err := sim.RunTrialsContext(ctx, r.Trials, r.Seed,
 		func(trial int, src *rng.Source) (float64, error) {
 			p := epidemic.New(r.Graph, []int32{start}, cfg, src)
-			outcome, rounds := p.Run()
+			var outcome epidemic.Outcome
+			var rounds int
+			if tr := r.observe(trial); tr != nil {
+				outcome, rounds = runSISTraced(p, tr, r.Graph.N(), depths)
+			} else {
+				outcome, rounds = p.Run()
+			}
 			outcomes[trial] = outcome
 			return float64(rounds), nil
 		},
@@ -62,4 +70,28 @@ func (s sisProcess) Run(ctx context.Context, r Run) (*Result, error) {
 	summary := uniformSummary(values, r.Graph)
 	summary["survival_rate"] = float64(survived) / float64(r.Trials)
 	return &Result{Values: values, Summary: summary}, nil
+}
+
+// runSISTraced replicates epidemic.Process.Run round for round —
+// identical termination checks in identical order — while reporting one
+// frame per executed round. Covered is cumulative exposure; the
+// frontier is the currently infected set.
+func runSISTraced(p *epidemic.Process, tr obs.Trace, n int, depths []int32) (epidemic.Outcome, int) {
+	defer tr.End()
+	var frontier []int32
+	for {
+		if p.EverInfectedCount() == n {
+			return epidemic.FullExposure, p.Rounds()
+		}
+		if p.Extinct() {
+			return epidemic.Extinction, p.Rounds()
+		}
+		if p.Rounds() >= p.MaxRounds() {
+			return epidemic.Timeout, p.Rounds()
+		}
+		p.Step()
+		frontier = p.AppendInfected(frontier[:0])
+		minPos, maxPos := frontierSpan(depths, frontier)
+		tr.Round(p.EverInfectedCount(), n, p.InfectedCount(), minPos, maxPos)
+	}
 }

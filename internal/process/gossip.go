@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/gossip"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -53,12 +54,19 @@ func (g gossipProcess) Run(ctx context.Context, r Run) (*Result, error) {
 	}
 	drop := r.Params.Float("drop", 0)
 	maxRounds := walkCap(r)
+	depths := depthMap(r, start)
 	messages := make([]float64, r.Trials)
 	r.progress()(0, r.Trials)
 	values, err := sim.RunTrialsContext(ctx, r.Trials, r.Seed,
 		func(trial int, src *rng.Source) (float64, error) {
 			p := gossip.NewWithDrops(r.Graph, g.mode, start, drop, src)
-			rounds, ok := p.CompletionTime(maxRounds)
+			var rounds int
+			var ok bool
+			if tr := r.observe(trial); tr != nil {
+				rounds, ok = runGossipTraced(p, tr, r.Graph.N(), maxRounds, depths)
+			} else {
+				rounds, ok = p.CompletionTime(maxRounds)
+			}
 			if !ok {
 				return 0, fmt.Errorf("%s: round cap exceeded on %s", g.name, r.Graph)
 			}
@@ -72,4 +80,23 @@ func (g gossipProcess) Run(ctx context.Context, r Run) (*Result, error) {
 	summary := uniformSummary(values, r.Graph)
 	summary["messages_mean"] = stats.Mean(messages)
 	return &Result{Values: values, Summary: summary}, nil
+}
+
+// runGossipTraced replicates gossip.Process.CompletionTime round for
+// round while reporting one frame per executed round. The frontier is
+// the set of vertices newly informed this round (the rumor's advancing
+// boundary).
+func runGossipTraced(p *gossip.Process, tr obs.Trace, n, maxRounds int, depths []int32) (int, bool) {
+	defer tr.End()
+	for p.InformedCount() < n {
+		if p.Rounds() >= maxRounds {
+			return p.Rounds(), false
+		}
+		before := p.InformedCount()
+		p.Step()
+		newly := p.InformedVertices()[before:]
+		minPos, maxPos := frontierSpan(depths, newly)
+		tr.Round(p.InformedCount(), n, len(newly), minPos, maxPos)
+	}
+	return p.Rounds(), true
 }

@@ -1,0 +1,61 @@
+package process
+
+import (
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Observer is the optional per-trial observation hook a Run may carry:
+// processes offer each trial via Begin and, when granted a trace, report
+// one frame per executed round. It is an alias of obs.Observer so the
+// standard obs.Tracer plugs in directly.
+//
+// The contract every wired process upholds: observation is
+// draw-sequence-neutral. A traced trial consumes exactly the random
+// stream of an untraced one — traces only *read* walk state between
+// rounds — so results are byte-identical with and without an observer
+// (pinned by TestObserverDrawNeutral).
+type Observer = obs.Observer
+
+// observe offers trial to the run's observer, returning nil when the
+// run is unobserved or the observer declines (another trial holds it).
+func (r Run) observe(trial int) obs.Trace {
+	if r.Observer == nil {
+		return nil
+	}
+	return r.Observer.Begin(trial)
+}
+
+// depthMap returns BFS depths from the start vertex — the position
+// measure behind a Frame's MinPos/MaxPos, the per-generation extremal
+// statistic of the branching-random-walk literature. It is computed
+// once per run, and only when an observer is attached.
+func depthMap(r Run, start int32) []int32 {
+	if r.Observer == nil {
+		return nil
+	}
+	return graph.BFS(r.Graph, start)
+}
+
+// frontierSpan returns the extremal BFS depths over the frontier
+// vertices, or (-1, -1) when the frontier is empty or depths are
+// unavailable. Unreachable vertices (depth -1) are skipped.
+func frontierSpan(depths []int32, frontier []int32) (minPos, maxPos int) {
+	minPos, maxPos = -1, -1
+	if depths == nil {
+		return minPos, maxPos
+	}
+	for _, v := range frontier {
+		d := int(depths[v])
+		if d < 0 {
+			continue
+		}
+		if minPos == -1 || d < minPos {
+			minPos = d
+		}
+		if d > maxPos {
+			maxPos = d
+		}
+	}
+	return minPos, maxPos
+}

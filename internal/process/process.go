@@ -100,6 +100,10 @@ type Run struct {
 	Seed uint64
 	// Progress, when non-nil, is called as trials complete.
 	Progress func(done, total int)
+	// Observer, when non-nil, is offered every trial for per-round
+	// observation (see observe.go). Observation never perturbs the draw
+	// sequence: results are identical with and without an observer.
+	Observer Observer
 }
 
 // progress returns a never-nil progress callback.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/walt"
@@ -37,11 +38,18 @@ func (w waltProcess) Run(ctx context.Context, r Run) (*Result, error) {
 		MaxSteps: r.Params.Int("max_steps", 0),
 	}
 	pebbles := r.Params.Int("pebbles", 1)
+	depths := depthMap(r, start)
 	r.progress()(0, r.Trials)
 	values, err := sim.RunTrialsContext(ctx, r.Trials, r.Seed,
 		func(trial int, src *rng.Source) (float64, error) {
 			p := walt.NewAtVertex(r.Graph, pebbles, start, cfg, src)
-			steps, ok := p.CoverTime()
+			var steps int
+			var ok bool
+			if tr := r.observe(trial); tr != nil {
+				steps, ok = runWaltTraced(p, tr, r.Graph.N(), depths)
+			} else {
+				steps, ok = p.CoverTime()
+			}
 			if !ok {
 				return 0, fmt.Errorf("walt: step cap exceeded on %s", r.Graph)
 			}
@@ -52,4 +60,30 @@ func (w waltProcess) Run(ctx context.Context, r Run) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Values: values, Summary: uniformSummary(values, r.Graph)}, nil
+}
+
+// runWaltTraced replicates walt.Process.CoverTime round for round while
+// reporting one frame per executed round. The frontier is the set of
+// distinct occupied vertices (the pebble population's footprint).
+func runWaltTraced(p *walt.Process, tr obs.Trace, n int, depths []int32) (int, bool) {
+	defer tr.End()
+	seen := make(map[int32]struct{}, p.Pebbles())
+	var frontier []int32
+	for p.CoveredCount() < n {
+		if p.Steps() >= p.MaxSteps() {
+			return p.Steps(), false
+		}
+		p.Step()
+		clear(seen)
+		frontier = frontier[:0]
+		for _, v := range p.Positions() {
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				frontier = append(frontier, v)
+			}
+		}
+		minPos, maxPos := frontierSpan(depths, frontier)
+		tr.Round(p.CoveredCount(), n, len(frontier), minPos, maxPos)
+	}
+	return p.Steps(), true
 }

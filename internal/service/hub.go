@@ -1,0 +1,212 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// defaultPumpInterval is how often a pump polls its job's series for new
+// frames between status transitions.
+const defaultPumpInterval = 25 * time.Millisecond
+
+// frameChanCap bounds each subscriber's frame queue. A subscriber that
+// cannot drain this many batches is slow: further batches are dropped
+// (and counted) rather than buffered, so one stalled reader cannot grow
+// server memory or stall the pump.
+const frameChanCap = 32
+
+// hub fans live job telemetry out to SSE subscribers. It runs at most
+// one pump per job — a goroutine that watches the job's status
+// transitions and polls its observable series — regardless of how many
+// clients stream the same job, so N subscribers cost one series reader,
+// not N.
+type hub struct {
+	mu       sync.Mutex
+	pumps    map[string]*pump
+	interval time.Duration
+
+	subscribers atomic.Int64 // currently attached subscribers
+	dropped     atomic.Int64 // frame batches dropped to slow subscribers
+}
+
+func newHub() *hub {
+	return &hub{pumps: make(map[string]*pump), interval: defaultPumpInterval}
+}
+
+// frameBatch is one pump delivery: frames with sequence indexes ending
+// at next-1, plus the cursor to resume from.
+type frameBatch struct {
+	next   uint64
+	frames []obs.Frame
+}
+
+// subscriber is one attached SSE stream. The status channel is
+// latest-wins (capacity 1, old value displaced): a slow consumer skips
+// intermediate progress states, never the terminal one. The frames
+// channel is bounded and lossy: batches that do not fit are dropped.
+// closed is closed when the pump exits — the job went terminal and
+// everything the pump will ever send is already in the channels.
+type subscriber struct {
+	status chan engine.Status
+	frames chan frameBatch
+	closed chan struct{}
+}
+
+// subscribe attaches a new subscriber to the job's pump, starting one
+// if the job has no live pump. The returned cancel function detaches
+// the subscriber and stops the pump when it was the last one.
+func (h *hub) subscribe(job *engine.Job) (*subscriber, func()) {
+	sub := &subscriber{
+		status: make(chan engine.Status, 1),
+		frames: make(chan frameBatch, frameChanCap),
+	}
+	h.mu.Lock()
+	p, ok := h.pumps[job.ID()]
+	if !ok {
+		p = &pump{
+			hub:    h,
+			job:    job,
+			subs:   make(map[*subscriber]struct{}),
+			stop:   make(chan struct{}),
+			closed: make(chan struct{}),
+		}
+		h.pumps[job.ID()] = p
+		go p.run()
+	}
+	sub.closed = p.closed
+	p.mu.Lock()
+	p.subs[sub] = struct{}{}
+	p.mu.Unlock()
+	h.mu.Unlock()
+	h.subscribers.Add(1)
+
+	return sub, func() {
+		h.subscribers.Add(-1)
+		h.mu.Lock()
+		p.mu.Lock()
+		delete(p.subs, sub)
+		last := len(p.subs) == 0
+		p.mu.Unlock()
+		if last {
+			p.stopOnce.Do(func() { close(p.stop) })
+			if h.pumps[job.ID()] == p {
+				delete(h.pumps, job.ID())
+			}
+		}
+		h.mu.Unlock()
+	}
+}
+
+// pumpCount reports the number of live pumps (for the gauge).
+func (h *hub) pumpCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.pumps)
+}
+
+// pump is the single broadcaster for one job.
+type pump struct {
+	hub *hub
+	job *engine.Job
+
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+
+	stop     chan struct{} // closed when the last subscriber detaches
+	stopOnce sync.Once
+	closed   chan struct{} // closed when run exits
+}
+
+// run watches the job until it is terminal (or the last subscriber
+// leaves): status transitions broadcast immediately, new series frames
+// on every poll tick, and a final frame flush plus terminal status
+// before exit so no subscriber ends without the terminal state.
+func (p *pump) run() {
+	defer close(p.closed)
+	updates, unsubscribe := p.job.Watch()
+	defer unsubscribe()
+
+	series := p.job.Series()
+	var cursor uint64
+	flush := func() {
+		frames, next := series.Since(cursor)
+		if len(frames) > 0 {
+			p.broadcastFrames(frameBatch{next: next, frames: frames})
+		}
+		cursor = next
+	}
+
+	if p.job.Snapshot().State.Terminal() {
+		// Nothing live to pump: subscribers render the terminal snapshot
+		// and the retained series themselves.
+		return
+	}
+	ticker := time.NewTicker(p.hub.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case st := <-updates:
+			if st.State.Terminal() {
+				flush()
+				p.broadcastStatus(st)
+				return
+			}
+			p.broadcastStatus(st)
+		case <-p.job.Done():
+			// Terminal with no pending update (the final notify was
+			// coalesced away): flush and emit the final snapshot.
+			flush()
+			select {
+			case st := <-updates:
+				p.broadcastStatus(st)
+			default:
+				p.broadcastStatus(p.job.Snapshot())
+			}
+			return
+		case <-ticker.C:
+			flush()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// broadcastStatus delivers st to every subscriber, latest-wins: a full
+// channel has its stale value displaced so the newest status (and in
+// particular the terminal one) is always the value left behind.
+func (p *pump) broadcastStatus(st engine.Status) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for sub := range p.subs {
+		for {
+			select {
+			case sub.status <- st:
+			default:
+				select {
+				case <-sub.status:
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// broadcastFrames delivers the batch to every subscriber that has queue
+// space and counts a drop for every one that does not.
+func (p *pump) broadcastFrames(b frameBatch) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for sub := range p.subs {
+		select {
+		case sub.frames <- b:
+		default:
+			p.hub.dropped.Add(1)
+		}
+	}
+}

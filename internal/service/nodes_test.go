@@ -106,6 +106,7 @@ func TestRoutesInventory(t *testing.T) {
 	want := []string{
 		"GET /v1/processes", "GET /v1/nodes", "POST /v1/jobs", "GET /v1/jobs",
 		"GET /v1/jobs/{id}", "GET /v1/jobs/{id}/result", "GET /v1/jobs/{id}/events",
+		"GET /v1/jobs/{id}/series",
 		"DELETE /v1/jobs/{id}", "POST /v1/sweeps", "GET /v1/sweeps/{id}",
 		"GET /healthz", "GET /metrics",
 	}

@@ -4,12 +4,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/process"
 )
 
@@ -19,6 +23,10 @@ type Server struct {
 	eng     *engine.Engine
 	cl      *cluster.Cluster
 	started time.Time
+	hub     *hub
+	reg     *metrics.Registry
+	log     *slog.Logger
+	httpDur *metrics.Histogram
 }
 
 // Option configures a Server.
@@ -30,12 +38,33 @@ func WithCluster(cl *cluster.Cluster) Option {
 	return func(s *Server) { s.cl = cl }
 }
 
+// WithRegistry serves GET /metrics from reg. Share one registry between
+// the engine (engine.Options.Registry) and the server so job, round,
+// and HTTP metrics land in one exposition. Without it the server uses a
+// private registry holding only its own collectors.
+func WithRegistry(reg *metrics.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithLogger sets the request logger. Without it requests are not
+// logged.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
 // New wraps an engine in an API server.
 func New(eng *engine.Engine, opts ...Option) *Server {
-	s := &Server{eng: eng, started: time.Now()}
+	s := &Server{eng: eng, started: time.Now(), hub: newHub()}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry()
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	s.registerMetrics()
 	return s
 }
 
@@ -57,6 +86,7 @@ func (s *Server) routes() []struct {
 		{"GET /v1/jobs/{id}", s.status},
 		{"GET /v1/jobs/{id}/result", s.result},
 		{"GET /v1/jobs/{id}/events", s.events},
+		{"GET /v1/jobs/{id}/series", s.series},
 		{"DELETE /v1/jobs/{id}", s.cancel},
 		{"POST /v1/sweeps", s.submitSweep},
 		{"GET /v1/sweeps/{id}", s.sweepStatus},
@@ -65,13 +95,32 @@ func (s *Server) routes() []struct {
 	}
 }
 
-// Handler returns the route mux for the API.
+// Handler returns the route mux for the API, wrapped in the trace
+// middleware: every request gets a correlation ID (the client's
+// X-Request-Id, or a fresh one), echoed back in the response, carried
+// on the request context into job submission, and attached to the
+// request log line. The SSE streaming path depends on the raw
+// ResponseWriter, so the middleware deliberately does not wrap w.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, r := range s.routes() {
 		mux.HandleFunc(r.pattern, r.h)
 	}
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := r.Header.Get("X-Request-Id")
+		if trace == "" {
+			trace = obs.NewTraceID()
+		}
+		w.Header().Set("X-Request-Id", trace)
+		start := time.Now()
+		mux.ServeHTTP(w, r.WithContext(obs.WithTrace(r.Context(), trace)))
+		dur := time.Since(start)
+		if s.httpDur != nil {
+			s.httpDur.Observe(dur.Seconds())
+		}
+		s.log.Debug("http request",
+			"method", r.Method, "path", r.URL.Path, "trace", trace, "dur", dur)
+	})
 }
 
 // Routes returns every registered route pattern ("METHOD /path"), the
@@ -137,7 +186,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err, "GET /v1/processes lists the registered processes and their parameter schemas")
 		return
 	}
-	job, err := s.eng.Submit(spec, req.Priority)
+	job, err := s.eng.SubmitTraced(spec, req.Priority, obs.TraceID(r.Context()))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -227,7 +276,7 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err, "")
 		return
 	}
-	job, err := s.eng.Submit(spec, req.Priority)
+	job, err := s.eng.SubmitTraced(spec, req.Priority, obs.TraceID(r.Context()))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -258,14 +307,25 @@ func (s *Server) sweepStatus(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// events streams job status over Server-Sent Events until the job is
-// terminal or the client disconnects. Each event is
+// events streams job telemetry over Server-Sent Events until the job
+// is terminal or the client disconnects. The stream multiplexes two
+// event types:
 //
 //	event: status
 //	data: {Status JSON}
 //
-// with latest-wins coalescing (a slow consumer skips intermediate
-// progress states, never the terminal one).
+//	id: <next frame cursor>
+//	event: frames
+//	data: [Frame JSON, ...]
+//
+// Status events are latest-wins coalesced (a slow consumer skips
+// intermediate progress states, never the terminal one). Frames events
+// carry batches of per-round observable frames from the job's series;
+// the id line is the series cursor after the batch, so a reconnecting
+// client sends it back as Last-Event-ID and resumes without replaying
+// frames it already has. Frame delivery is lossy under backpressure:
+// a subscriber that cannot keep up loses frames (counted by
+// cobrad_hub_frames_dropped_total), never the status sequence.
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.eng.Job(r.PathValue("id"))
 	if !ok {
@@ -280,14 +340,14 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	}
 	// Subscribe before the initial snapshot so no transition between
 	// snapshot and subscription is lost.
-	updates, unsubscribe := job.Watch()
+	sub, unsubscribe := s.hub.subscribe(job)
 	defer unsubscribe()
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
-	send := func(st engine.Status) {
+	sendStatus := func(st engine.Status) {
 		data, err := json.Marshal(st)
 		if err != nil {
 			return
@@ -296,8 +356,63 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 		fl.Flush()
 	}
 
+	// cursor is the next series index this client needs; a reconnect
+	// resumes from the Last-Event-ID it saw.
+	var cursor uint64
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		if v, err := strconv.ParseUint(lei, 10, 64); err == nil {
+			cursor = v
+		}
+	}
+	sendFrames := func(frames []obs.Frame, next uint64) {
+		if next <= cursor {
+			return
+		}
+		// Batches can overlap the backfill; emit only the unseen tail.
+		if over := uint64(len(frames)) - min(uint64(len(frames)), next-cursor); over > 0 {
+			frames = frames[over:]
+		}
+		cursor = next
+		if len(frames) == 0 {
+			return
+		}
+		data, err := json.Marshal(frames)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "id: %d\nevent: frames\ndata: %s\n\n", next, data)
+		fl.Flush()
+	}
+	// drainFrames forwards whatever batches are already queued; used
+	// before terminal status sends so frames never trail the terminal
+	// event.
+	drainFrames := func() {
+		for {
+			select {
+			case b := <-sub.frames:
+				sendFrames(b.frames, b.next)
+			default:
+				return
+			}
+		}
+	}
+	finish := func() {
+		drainFrames()
+		frames, next := job.Series().Since(cursor)
+		sendFrames(frames, next)
+		select {
+		case st := <-sub.status:
+			sendStatus(st)
+		default:
+			sendStatus(job.Snapshot())
+		}
+	}
+
+	// Backfill retained frames, then the initial snapshot.
+	frames, next := job.Series().Since(cursor)
+	sendFrames(frames, next)
 	st := job.Snapshot()
-	send(st)
+	sendStatus(st)
 	if st.State.Terminal() {
 		return
 	}
@@ -305,21 +420,19 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	defer keepalive.Stop()
 	for {
 		select {
-		case st := <-updates:
-			send(st)
+		case st := <-sub.status:
 			if st.State.Terminal() {
+				drainFrames()
+				sendStatus(st)
 				return
 			}
-		case <-job.Done():
-			// The job went terminal with no pending update (the
-			// subscription raced the final notify, or coalescing
-			// swallowed it): emit the final snapshot and end the stream.
-			select {
-			case st := <-updates:
-				send(st)
-			default:
-				send(job.Snapshot())
-			}
+			sendStatus(st)
+		case b := <-sub.frames:
+			sendFrames(b.frames, b.next)
+		case <-sub.closed:
+			// The pump exited: the job is terminal and every delivery is
+			// already queued. Flush frames, then the terminal status.
+			finish()
 			return
 		case <-keepalive.C:
 			fmt.Fprint(w, ": keepalive\n\n")
@@ -328,6 +441,40 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// series serves the job's retained observable frames as JSON: the
+// trajectory of the traced trial (coverage, frontier size, extremal
+// frontier positions per round). ?since= resumes from a cursor
+// previously returned in next, reading only newer frames.
+func (s *Server) series(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.eng.Job(r.PathValue("id"))
+	if !ok {
+		writeNotFound(w, "job", r.PathValue("id"))
+		return
+	}
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Errorf("bad since cursor %q: %v", q, err),
+				"pass the next value from a previous /series response")
+			return
+		}
+		since = v
+	}
+	ser := job.Series()
+	frames, next := ser.Since(since)
+	if frames == nil {
+		frames = []obs.Frame{}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"job":      job.ID(),
+		"frames":   frames,
+		"next":     next,
+		"capacity": ser.Cap(),
+	})
 }
 
 func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
@@ -347,64 +494,84 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// metrics renders the engine counters in the Prometheus text exposition
-// format, hand-written to keep the repo dependency-free.
-func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
-	m := s.eng.Metrics()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+// registerMetrics installs the server's function-backed collectors in
+// the registry: the historical engine counters and gauges (names
+// unchanged from the hand-written exposition they replace), the SSE hub
+// accounting, and HTTP request latency. Values are read at scrape time
+// from the engine's own atomic counters, so nothing is double-counted.
+func (s *Server) registerMetrics() {
 	counters := []struct {
 		name string
 		help string
-		val  int64
+		get  func(engine.Metrics) int64
 	}{
-		{"cobrad_jobs_submitted_total", "Jobs accepted by the engine.", m.Submitted},
-		{"cobrad_jobs_completed_total", "Jobs finished successfully.", m.Completed},
-		{"cobrad_jobs_failed_total", "Jobs finished with an error.", m.Failed},
-		{"cobrad_jobs_canceled_total", "Jobs canceled before completion.", m.Canceled},
-		{"cobrad_cache_hits_total", "Submissions served from the result cache.", m.CacheHits},
-		{"cobrad_store_hits_total", "Cache misses served from the persistent store.", m.StoreHits},
-		{"cobrad_store_errors_total", "Persistent store read/write failures.", m.StoreErrors},
-		{"cobrad_jobs_rejected_total", "Submissions rejected (queue full or shutdown).", m.Rejected},
-		{"cobrad_jobs_evicted_total", "Terminal jobs evicted from the job table by TTL.", m.Evicted},
-		{"cobrad_points_computed_total", "Jobs whose spec actually ran on this node (not cache/store/peer-served).", m.Computed},
-		{"cobrad_points_adopted_total", "Results adopted from the shared store after a cluster peer computed them.", m.Adopted},
-		{"cobrad_lease_waits_total", "Jobs that waited on a foreign point lease at least once.", m.LeaseWaits},
+		{"cobrad_jobs_submitted_total", "Jobs accepted by the engine.", func(m engine.Metrics) int64 { return m.Submitted }},
+		{"cobrad_jobs_completed_total", "Jobs finished successfully.", func(m engine.Metrics) int64 { return m.Completed }},
+		{"cobrad_jobs_failed_total", "Jobs finished with an error.", func(m engine.Metrics) int64 { return m.Failed }},
+		{"cobrad_jobs_canceled_total", "Jobs canceled before completion.", func(m engine.Metrics) int64 { return m.Canceled }},
+		{"cobrad_cache_hits_total", "Submissions served from the result cache.", func(m engine.Metrics) int64 { return m.CacheHits }},
+		{"cobrad_store_hits_total", "Cache misses served from the persistent store.", func(m engine.Metrics) int64 { return m.StoreHits }},
+		{"cobrad_store_errors_total", "Persistent store read/write failures.", func(m engine.Metrics) int64 { return m.StoreErrors }},
+		{"cobrad_jobs_rejected_total", "Submissions rejected (queue full or shutdown).", func(m engine.Metrics) int64 { return m.Rejected }},
+		{"cobrad_jobs_evicted_total", "Terminal jobs evicted from the job table by TTL.", func(m engine.Metrics) int64 { return m.Evicted }},
+		{"cobrad_points_computed_total", "Jobs whose spec actually ran on this node (not cache/store/peer-served).", func(m engine.Metrics) int64 { return m.Computed }},
+		{"cobrad_points_adopted_total", "Results adopted from the shared store after a cluster peer computed them.", func(m engine.Metrics) int64 { return m.Adopted }},
+		{"cobrad_lease_waits_total", "Jobs that waited on a foreign point lease at least once.", func(m engine.Metrics) int64 { return m.LeaseWaits }},
 	}
 	for _, c := range counters {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.val)
+		get := c.get
+		s.reg.NewCounterFunc(c.name, c.help, func() float64 { return float64(get(s.eng.Metrics())) })
 	}
 	gauges := []struct {
 		name string
 		help string
-		val  int
+		get  func(engine.Metrics) int
 	}{
-		{"cobrad_jobs_queued", "Jobs waiting in the priority queue.", m.Queued},
-		{"cobrad_jobs_running", "Jobs executing on the worker pool.", m.Running},
-		{"cobrad_workers", "Worker pool size.", m.Workers},
-		{"cobrad_queue_capacity", "Maximum pending queue depth.", m.QueueDepth},
-		{"cobrad_cache_entries", "Result cache entries resident.", m.CacheLen},
-		{"cobrad_cache_capacity", "Result cache entry capacity.", m.CacheCap},
-		{"cobrad_jobs_tracked", "Jobs resident in the job table.", m.Jobs},
-		{"cobrad_store_entries", "Records resident in the persistent store.", m.StoreEntries},
-	}
-	if s.cl != nil {
-		alive := 0
-		if nodes, err := s.cl.Nodes(); err == nil {
-			for _, n := range nodes {
-				if n.Alive {
-					alive++
-				}
-			}
-		}
-		gauges = append(gauges, struct {
-			name string
-			help string
-			val  int
-		}{"cobrad_cluster_nodes_alive", "Cluster members with a recent heartbeat.", alive})
+		{"cobrad_jobs_queued", "Jobs waiting in the priority queue.", func(m engine.Metrics) int { return m.Queued }},
+		{"cobrad_jobs_running", "Jobs executing on the worker pool.", func(m engine.Metrics) int { return m.Running }},
+		{"cobrad_workers", "Worker pool size.", func(m engine.Metrics) int { return m.Workers }},
+		{"cobrad_queue_capacity", "Maximum pending queue depth.", func(m engine.Metrics) int { return m.QueueDepth }},
+		{"cobrad_cache_entries", "Result cache entries resident.", func(m engine.Metrics) int { return m.CacheLen }},
+		{"cobrad_cache_capacity", "Result cache entry capacity.", func(m engine.Metrics) int { return m.CacheCap }},
+		{"cobrad_jobs_tracked", "Jobs resident in the job table.", func(m engine.Metrics) int { return m.Jobs }},
+		{"cobrad_store_entries", "Records resident in the persistent store.", func(m engine.Metrics) int { return m.StoreEntries }},
 	}
 	for _, g := range gauges {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.val)
+		get := g.get
+		s.reg.NewGaugeFunc(g.name, g.help, func() float64 { return float64(get(s.eng.Metrics())) })
 	}
+	if s.cl != nil {
+		s.reg.NewGaugeFunc("cobrad_cluster_nodes_alive", "Cluster members with a recent heartbeat.", func() float64 {
+			alive := 0
+			if nodes, err := s.cl.Nodes(); err == nil {
+				for _, n := range nodes {
+					if n.Alive {
+						alive++
+					}
+				}
+			}
+			return float64(alive)
+		})
+	}
+	s.reg.NewGaugeFunc("cobrad_hub_subscribers", "SSE subscribers currently attached to the event hub.", func() float64 {
+		return float64(s.hub.subscribers.Load())
+	})
+	s.reg.NewGaugeFunc("cobrad_hub_pumps", "Jobs with a live event pump.", func() float64 {
+		return float64(s.hub.pumpCount())
+	})
+	s.reg.NewCounterFunc("cobrad_hub_frames_dropped_total", "Frame batches dropped to slow SSE subscribers.", func() float64 {
+		return float64(s.hub.dropped.Load())
+	})
+	s.httpDur = s.reg.NewHistogram("cobrad_http_request_duration_seconds", "HTTP request latency.", metrics.DurationBuckets)
+}
+
+// metrics renders every registered collector in the Prometheus text
+// exposition format (0.0.4), dependency-free via internal/obs/metrics:
+// sorted families, # HELP / # TYPE preambles, histograms with
+// cumulative buckets.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -113,6 +113,9 @@ func (p *Process) CoveredCount() int { return p.nCovered }
 // internal state and must not be modified.
 func (p *Process) Positions() []int32 { return p.pos }
 
+// MaxSteps returns the effective per-run round cap.
+func (p *Process) MaxSteps() int { return p.cfg.MaxSteps }
+
 // Step executes one round (which with probability 1/2 is skipped when
 // lazy).
 func (p *Process) Step() {

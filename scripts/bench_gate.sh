@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Bench regression gate: measure the engine microbenchmarks with
+# cmd/benchjson, then hold the gated hot path (CobraStepExpander) to
+# within 15% of the newest committed BENCH_<date>.json baseline (see
+# scripts/benchgate for the comparator).
+#
+# Run from the repository root:
+#
+#   ./scripts/bench_gate.sh
+#
+# BENCHTIME (default 1s) trades gate latency against measurement noise;
+# BENCHGATE_FLAGS passes extra flags (e.g. -max-regress 0.25) through to
+# the comparator.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+
+go run ./cmd/benchjson -benchtime "${BENCHTIME:-1s}" -out "$fresh"
+go run ./scripts/benchgate -fresh "$fresh" ${BENCHGATE_FLAGS:-}

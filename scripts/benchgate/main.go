@@ -1,0 +1,169 @@
+// Command benchgate compares a fresh benchmark measurement against the
+// latest committed BENCH_<date>.json baseline and fails when a gated
+// benchmark has regressed beyond the allowed fraction. It is the
+// regression half of the perf harness: cmd/benchjson records baselines,
+// benchgate holds new code to them.
+//
+// Run from the repository root (the Makefile and CI use the wrapper):
+//
+//	./scripts/bench_gate.sh          # measure + compare in one step
+//	go run ./scripts/benchgate -fresh fresh.json
+//
+// The baseline defaults to the newest BENCH_<date>.json in the
+// repository root (strictly dated files only; ad-hoc snapshots such as
+// BENCH_<date>_pre.json are ignored). Only the benchmarks named by
+// -gate fail the run — the remaining shared benchmarks are reported for
+// context, because absolute ns/op comparisons across different machines
+// are noisy. The gated set is kept to the steady-state step kernel,
+// whose cost is dominated by per-round work rather than allocator or
+// I/O noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// result mirrors one cmd/benchjson measurement.
+type result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Iters   int     `json:"iterations"`
+}
+
+// baseline mirrors the cmd/benchjson document.
+type baseline struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	Benchtime string   `json:"benchtime"`
+	Results   []result `json:"results"`
+}
+
+// datedBaseline matches committed baseline files and nothing else:
+// BENCH_2026-07-27.json is a baseline, BENCH_2026-07-27_pre.json is an
+// ad-hoc snapshot and must not silently become the reference.
+var datedBaseline = regexp.MustCompile(`^BENCH_\d{4}-\d{2}-\d{2}\.json$`)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline BENCH_<date>.json (default: newest committed one in -root)")
+	freshPath := flag.String("fresh", "", "fresh measurement to compare (required; produced by cmd/benchjson)")
+	root := flag.String("root", ".", "repository root to scan for baselines")
+	gate := flag.String("gate", "CobraStepExpander", "comma-separated benchmark names that fail the run on regression")
+	maxRegress := flag.Float64("max-regress", 0.15, "allowed fractional ns/op regression for gated benchmarks")
+	flag.Parse()
+
+	if *freshPath == "" {
+		fatal(fmt.Errorf("benchgate: -fresh is required (run cmd/benchjson first, or use scripts/bench_gate.sh)"))
+	}
+	if *baselinePath == "" {
+		p, err := latestBaseline(*root)
+		if err != nil {
+			fatal(err)
+		}
+		*baselinePath = p
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchgate: baseline %s (%s, benchtime %s) vs fresh (%s, benchtime %s)\n",
+		filepath.Base(*baselinePath), base.GoVersion, base.Benchtime, fresh.GoVersion, fresh.Benchtime)
+
+	gated := make(map[string]bool)
+	for _, name := range strings.Split(*gate, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			gated[name] = true
+		}
+	}
+
+	baseBy := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	failed := 0
+	seen := make(map[string]bool)
+	for _, fr := range fresh.Results {
+		seen[fr.Name] = true
+		br, ok := baseBy[fr.Name]
+		if !ok || br.NsPerOp <= 0 {
+			fmt.Printf("  %-28s %12.0f ns/op  (no baseline)\n", fr.Name, fr.NsPerOp)
+			continue
+		}
+		delta := fr.NsPerOp/br.NsPerOp - 1
+		mark := " "
+		if gated[fr.Name] {
+			mark = "*"
+			if delta > *maxRegress {
+				mark = "!"
+				failed++
+			}
+		}
+		fmt.Printf("%s %-28s %12.0f -> %10.0f ns/op  %+6.1f%%\n", mark, fr.Name, br.NsPerOp, fr.NsPerOp, 100*delta)
+	}
+	// A gate over a benchmark the fresh run never measured is a harness
+	// bug, not a pass: fail loudly instead of green-lighting nothing.
+	for name := range gated {
+		if !seen[name] {
+			fmt.Fprintf(os.Stderr, "benchgate: gated benchmark %s missing from fresh results\n", name)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — %d gated benchmark(s) regressed more than %.0f%% (or went missing)\n",
+			failed, 100**maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK — gated benchmarks within %.0f%% of baseline\n", 100**maxRegress)
+}
+
+// latestBaseline returns the newest strictly-dated BENCH_<date>.json in
+// root. The date is the filename, so lexicographic order is
+// chronological order.
+func latestBaseline(root string) (string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return "", fmt.Errorf("benchgate: scan %s: %w", root, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && datedBaseline.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return "", fmt.Errorf("benchgate: no BENCH_<date>.json baseline in %s (run make bench-baseline)", root)
+	}
+	sort.Strings(names)
+	return filepath.Join(root, names[len(names)-1]), nil
+}
+
+func load(path string) (baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return baseline{}, fmt.Errorf("benchgate: %w", err)
+	}
+	var doc baseline
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return baseline{}, fmt.Errorf("benchgate: parse %s: %w", path, err)
+	}
+	if len(doc.Results) == 0 {
+		return baseline{}, fmt.Errorf("benchgate: %s has no results", path)
+	}
+	return doc, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
