@@ -119,6 +119,60 @@ func BenchmarkCobraStepExpanderSparse(b *testing.B) {
 	b.ReportMetric(float64(w.ActiveCount()), "active")
 }
 
+// BenchmarkCobraStepPowerLaw measures one cobra round at steady state
+// on a 10k-vertex power-law graph with the default irregular sampler
+// (per-vertex offset + fixed-point multiply): irregular degrees take
+// the same O(1)-per-draw dense path as regular graphs.
+func BenchmarkCobraStepPowerLaw(b *testing.B) {
+	g := PowerLaw(10000, 2.5, 2, 40, 7)
+	w := NewCobraWalk(g, CobraConfig{K: 2}, NewRand(1))
+	w.Reset(0)
+	for i := 0; i < 60; i++ {
+		w.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+	b.ReportMetric(float64(w.ActiveCount()), "active")
+}
+
+// BenchmarkCobraStepPowerLawAlias is BenchmarkCobraStepPowerLaw with
+// draws routed through the Walker alias table (Config.UseAlias): kept
+// in the gated set so the opt-in sampler's cost stays measured against
+// the default.
+func BenchmarkCobraStepPowerLawAlias(b *testing.B) {
+	g := PowerLaw(10000, 2.5, 2, 40, 7)
+	w := NewCobraWalk(g, CobraConfig{K: 2, UseAlias: true}, NewRand(1))
+	w.Reset(0)
+	for i := 0; i < 60; i++ {
+		w.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+	b.ReportMetric(float64(w.ActiveCount()), "active")
+}
+
+// BenchmarkCobraStepPowerLawSparse is BenchmarkCobraStepPowerLaw pinned
+// to the sparse list kernel — the pre-dense, per-vertex modulo path
+// irregular graphs used to take. The dense samplers are measured
+// against this.
+func BenchmarkCobraStepPowerLawSparse(b *testing.B) {
+	g := PowerLaw(10000, 2.5, 2, 40, 7)
+	w := NewCobraWalk(g, CobraConfig{K: 2, DenseTheta: -1}, NewRand(1))
+	w.Reset(0)
+	for i := 0; i < 60; i++ {
+		w.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+	b.ReportMetric(float64(w.ActiveCount()), "active")
+}
+
 // BenchmarkCobraCoverGrid measures a full cover run on the paper's
 // [0,32]² grid.
 func BenchmarkCobraCoverGrid(b *testing.B) {
@@ -147,6 +201,59 @@ func BenchmarkWaltStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Step()
+	}
+}
+
+// BenchmarkWaltStepDense measures one non-lazy Walt round with the
+// count-based dense kernel forced on every round (θ >= n): the pure
+// dense round cost, without lazy-coin skips diluting the average.
+func BenchmarkWaltStepDense(b *testing.B) {
+	g, err := RandomRegular(10000, 5, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewWaltAtVertex(g, 5000, 0, WaltConfig{DenseTheta: 10000}, NewRand(1))
+	for i := 0; i < 60; i++ {
+		p.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+// BenchmarkCobraCoverNoActiveList measures a full expander cover in the
+// default bitset-resident frontier mode (no per-round active-list
+// materialization); BenchmarkCobraCoverEagerFrontier is the same cover
+// with EagerFrontier set, pinning the cost the default mode avoids.
+func BenchmarkCobraCoverNoActiveList(b *testing.B) {
+	g, err := RandomRegular(10000, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewCobraWalk(g, CobraConfig{K: 2}, NewTrialRand(4, i))
+		w.Reset(0)
+		if _, ok := w.RunUntilCovered(); !ok {
+			b.Fatal("cover failed")
+		}
+	}
+}
+
+// BenchmarkCobraCoverEagerFrontier: see BenchmarkCobraCoverNoActiveList.
+func BenchmarkCobraCoverEagerFrontier(b *testing.B) {
+	g, err := RandomRegular(10000, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewCobraWalk(g, CobraConfig{K: 2, EagerFrontier: true}, NewTrialRand(4, i))
+		w.Reset(0)
+		if _, ok := w.RunUntilCovered(); !ok {
+			b.Fatal("cover failed")
+		}
 	}
 }
 

@@ -115,6 +115,30 @@ func main() {
 				w.Step()
 			}
 		}},
+		{"CobraStepPowerLaw", func(b *testing.B) {
+			g := repro.PowerLaw(10000, 2.5, 2, 40, 7)
+			w := steadyWalk(g, repro.CobraConfig{K: 2})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		}},
+		{"CobraStepPowerLawAlias", func(b *testing.B) {
+			g := repro.PowerLaw(10000, 2.5, 2, 40, 7)
+			w := steadyWalk(g, repro.CobraConfig{K: 2, UseAlias: true})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		}},
+		{"CobraStepPowerLawSparse", func(b *testing.B) {
+			g := repro.PowerLaw(10000, 2.5, 2, 40, 7)
+			w := steadyWalk(g, repro.CobraConfig{K: 2, DenseTheta: -1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		}},
 		{"CobraCoverGrid", func(b *testing.B) {
 			g := repro.Grid(2, 33)
 			b.ResetTimer()
@@ -149,6 +173,42 @@ func main() {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p.Step()
+			}
+		}},
+		{"WaltStepDense", func(b *testing.B) {
+			g, err := repro.RandomRegular(10000, 5, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := repro.NewWaltAtVertex(g, 5000, 0, repro.WaltConfig{DenseTheta: 10000}, repro.NewRand(1))
+			for i := 0; i < 60; i++ {
+				p.Step()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Step()
+			}
+		}},
+		{"CobraCoverNoActiveList", func(b *testing.B) {
+			g := expander()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := repro.NewCobraWalk(g, repro.CobraConfig{K: 2}, repro.NewTrialRand(4, i))
+				w.Reset(0)
+				if _, ok := w.RunUntilCovered(); !ok {
+					b.Fatal("cover failed")
+				}
+			}
+		}},
+		{"CobraCoverEagerFrontier", func(b *testing.B) {
+			g := expander()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := repro.NewCobraWalk(g, repro.CobraConfig{K: 2, EagerFrontier: true}, repro.NewTrialRand(4, i))
+				w.Reset(0)
+				if _, ok := w.RunUntilCovered(); !ok {
+					b.Fatal("cover failed")
+				}
 			}
 		}},
 		{"GossipPush", func(b *testing.B) {

@@ -7,7 +7,10 @@
 // use inside simulation hot loops.
 package bitset
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 const wordBits = 64
 
@@ -248,6 +251,55 @@ func (s *Set) AppendTo(dst []int32) []int32 {
 		}
 	}
 	return dst
+}
+
+// lsbGather packs the low bit of each byte of a 64-bit word into the top
+// byte when used as a multiplier: byte q of x (holding 0 or 1) lands at
+// bit 56+q of x*lsbGather, so (x*lsbGather)>>56 gathers eight marks into
+// eight bits. All partial products occupy distinct bit positions mod 64,
+// so no carries can corrupt the gathered byte.
+const lsbGather = 0x0102040810204080
+
+// FromMarks overwrites s with exactly the elements whose byte in mark is
+// nonzero, zeroes mark, and returns the number of elements. len(mark)
+// must equal Len(), and every byte of mark must be 0 or 1. It is the
+// frontier-pack primitive of the dense walk kernels: their samplers
+// record membership with plain byte stores — no per-sample
+// read-modify-write, no dedup branch — and one sequential pass here
+// gathers the bytes into bitset words.
+func (s *Set) FromMarks(mark []byte) int {
+	if len(mark) != s.n {
+		panic("bitset: FromMarks length mismatch")
+	}
+	pop := 0
+	nw := s.n >> 6
+	for wi := 0; wi < nw; wi++ {
+		b := mark[wi<<6 : wi<<6+64 : wi<<6+64]
+		x := (binary.LittleEndian.Uint64(b) * lsbGather) >> 56
+		x |= (binary.LittleEndian.Uint64(b[8:]) * lsbGather) >> 56 << 8
+		x |= (binary.LittleEndian.Uint64(b[16:]) * lsbGather) >> 56 << 16
+		x |= (binary.LittleEndian.Uint64(b[24:]) * lsbGather) >> 56 << 24
+		x |= (binary.LittleEndian.Uint64(b[32:]) * lsbGather) >> 56 << 32
+		x |= (binary.LittleEndian.Uint64(b[40:]) * lsbGather) >> 56 << 40
+		x |= (binary.LittleEndian.Uint64(b[48:]) * lsbGather) >> 56 << 48
+		x |= (binary.LittleEndian.Uint64(b[56:]) * lsbGather) >> 56 << 56
+		s.words[wi] = x
+		pop += bits.OnesCount64(x)
+	}
+	if base := nw << 6; base < s.n {
+		var x uint64
+		for i := base; i < s.n; i++ {
+			if mark[i] != 0 {
+				x |= 1 << uint(i-base)
+			}
+		}
+		s.words[nw] = x
+		pop += bits.OnesCount64(x)
+	}
+	for i := range mark {
+		mark[i] = 0
+	}
+	return pop
 }
 
 // NextAfter returns the smallest element >= i, or -1 if there is none.

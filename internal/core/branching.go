@@ -74,8 +74,10 @@ type GeneralWalk struct {
 	maxSteps int
 	rnd      *rng.Source
 	blk      *rng.Block // buffered draws for the dense kernel
+	mark     []byte     // dense-round membership marks, all-zero between rounds
 
-	denseCut int // run the dense kernel when len(active) > denseCut
+	denseCut int  // run the dense kernel when len(active) > denseCut
+	useAlias bool // route irregular dense draws through the alias table
 	active   []int32
 	next     []int32
 	nextSet  *bitset.Set
@@ -110,6 +112,20 @@ func NewGeneral(g *graph.Graph, branch BranchingFunc, maxSteps int, rnd *rng.Sou
 		nextSet:  bitset.New(g.N()),
 		covered:  bitset.New(g.N()),
 	}
+}
+
+// SetDenseTheta reconfigures the kernel-switch density θ (see
+// Config.DenseTheta: 0 selects DefaultDenseTheta, negative pins the walk
+// to the sparse kernel, θ >= N forces the dense kernel). Call it before
+// stepping; it does not retroactively affect rounds already executed.
+func (w *GeneralWalk) SetDenseTheta(theta int) {
+	w.denseCut = DenseCutoff(w.g.N(), theta)
+}
+
+// SetUseAlias opts irregular dense rounds into the graph's alias table
+// (see Config.UseAlias for the tradeoff). Call it before stepping.
+func (w *GeneralWalk) SetUseAlias(useAlias bool) {
+	w.useAlias = useAlias
 }
 
 // Reset restarts the walk with a single pebble at start.

@@ -41,6 +41,26 @@ type Config struct {
 	// order than sparse rounds, so runs that enter dense mode are
 	// distribution-equivalent, not byte-identical, to sparse-only runs.
 	DenseTheta int
+	// EagerFrontier restores the pre-bitset-only behavior of
+	// materializing the active-vertex list after every dense round. By
+	// default dense rounds skip that: the frontier stays bitset-resident
+	// across consecutive dense rounds and the list is materialized (in
+	// the same ascending order AppendTo would have produced) only when a
+	// sparse round or an accessor actually needs it, so callers that
+	// never read the list between steps — cover and hitting runs — save
+	// an O(|frontier|) decode and append per round. The two modes are
+	// draw-for-draw identical; the toggle exists for A/B benchmarking.
+	EagerFrontier bool
+	// UseAlias routes dense rounds on irregular graphs through the
+	// graph's Walker alias table (graph.AliasTable) instead of the
+	// default offset/fixed-point-multiply sampler. Both are O(1) per
+	// draw; measurement on 10k-vertex power-law graphs shows the
+	// multiply sampler ahead (the alias slot table is ~3x larger than
+	// the adjacency it replaces and costs an extra draw word per
+	// vertex), so the alias path is opt-in — see the kernel-selection
+	// notes in docs/ARCHITECTURE.md. Regular graphs never consult the
+	// alias table and ignore this field.
+	UseAlias bool
 }
 
 // DefaultMaxSteps returns the safety cap used when Config.MaxSteps is
@@ -60,16 +80,28 @@ func DefaultMaxSteps(n int) int {
 // Walk is a running cobra walk on a fixed graph. It is not safe for
 // concurrent use; parallel trials each construct their own Walk.
 type Walk struct {
-	g   *graph.Graph
-	cfg Config
-	rnd *rng.Source
-	blk *rng.Block // buffered draws for the dense kernel, created lazily
+	g       *graph.Graph
+	cfg     Config
+	rnd     *rng.Source
+	blk     *rng.Block // buffered draws for the dense kernel, created lazily
+	draws   []uint64   // whole-round draw scratch for the dense kernel
+	draws32 []uint32   // pre-split half-draw scratch for the fused kernels (rng.Block.Fill32)
 
-	denseCut  int         // run the dense kernel when len(active) > denseCut
-	active    []int32     // current frontier (unique vertices)
-	next      []int32     // next frontier under construction
-	nextSet   *bitset.Set // membership for next
-	covered   *bitset.Set
+	denseCut int         // run the dense kernel when the frontier exceeds it
+	active   []int32     // current frontier (unique vertices), unless activeIsBits
+	next     []int32     // next frontier under construction
+	nextSet  *bitset.Set // membership for next
+	covered  *bitset.Set
+
+	// Bitset-only frontier state: after a dense round the frontier lives
+	// in activeSet with population nActive and the active list stays
+	// empty until a sparse round or an accessor materializes it (unless
+	// Config.EagerFrontier re-enables per-round materialization).
+	activeSet    *bitset.Set
+	activeIsBits bool
+	nActive      int
+	mark         []byte // dense-round membership marks, all-zero between rounds
+
 	nCovered  int
 	steps     int
 	messages  int64 // neighbor samples drawn (protocol message cost)
@@ -93,7 +125,7 @@ func New(g *graph.Graph, cfg Config, rnd *rng.Source) *Walk {
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = DefaultMaxSteps(g.N())
 	}
-	return &Walk{
+	w := &Walk{
 		g:        g,
 		cfg:      cfg,
 		rnd:      rnd,
@@ -103,6 +135,12 @@ func New(g *graph.Graph, cfg Config, rnd *rng.Source) *Walk {
 		nextSet:  bitset.New(g.N()),
 		covered:  bitset.New(g.N()),
 	}
+	if w.denseCut < g.N() {
+		// Dense rounds are reachable: the frontier bitset is packed from
+		// the mark array every dense round (eager mode decodes it too).
+		w.activeSet = bitset.New(g.N())
+	}
+	return w
 }
 
 // SetRand rebinds the walk to a new random source, discarding any
@@ -129,6 +167,8 @@ func (w *Walk) ResetSet(starts []int32) {
 	w.active = w.active[:0]
 	w.next = w.next[:0]
 	w.nextSet.Clear()
+	w.activeIsBits = false
+	w.nActive = 0
 	w.covered.Clear()
 	w.nCovered = 0
 	w.steps = 0
@@ -166,15 +206,30 @@ func (w *Walk) CoveredCount() int { return w.nCovered }
 func (w *Walk) Covered(v int32) bool { return w.covered.Contains(int(v)) }
 
 // ActiveCount returns the current number of active vertices.
-func (w *Walk) ActiveCount() int { return len(w.active) }
+func (w *Walk) ActiveCount() int { return w.frontierSize() }
+
+// frontierSize returns the current frontier population regardless of
+// which representation (list or bitset) currently holds it.
+func (w *Walk) frontierSize() int {
+	if w.activeIsBits {
+		return w.nActive
+	}
+	return len(w.active)
+}
 
 // MaxSteps returns the effective per-run round cap (the configured value,
 // or DefaultMaxSteps when the config left it zero).
 func (w *Walk) MaxSteps() int { return w.cfg.MaxSteps }
 
 // AppendActive appends the current active vertices to dst and returns the
-// extended slice.
+// extended slice. While the frontier is bitset-resident (after a dense
+// round, unless Config.EagerFrontier) it is decoded in ascending vertex
+// order, which is also the order eager mode materializes dense frontiers
+// in.
 func (w *Walk) AppendActive(dst []int32) []int32 {
+	if w.activeIsBits {
+		return w.activeSet.AppendTo(dst)
+	}
 	return append(dst, w.active...)
 }
 
@@ -189,9 +244,17 @@ func (w *Walk) MessagesSent() int64 { return w.messages }
 // kernel (see kernel.go); smaller rounds run the sparse list kernel,
 // whose draw sequence is byte-stable for a fixed seed.
 func (w *Walk) Step() {
-	if len(w.active) > w.denseCut {
-		w.stepDense()
+	size := w.frontierSize()
+	if size > w.denseCut {
+		w.stepDense(size)
 		return
+	}
+	if w.activeIsBits {
+		// Dense-to-sparse transition in bitset-only mode: materialize the
+		// list in ascending order — the order eager mode hands out — so
+		// the sparse draw sequence is unchanged.
+		w.active = w.activeSet.AppendTo(w.active[:0])
+		w.activeIsBits = false
 	}
 	g, k := w.g, w.cfg.K
 	w.messages += int64(k) * int64(len(w.active))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/graph"
@@ -138,7 +139,7 @@ func TestDenseKernelSemantics(t *testing.T) {
 		for round := 0; round < 25; round++ {
 			wantMsgs += int64(tc.k) * int64(len(prev))
 			w.Step()
-			cur := append([]int32(nil), w.active...)
+			cur := w.AppendActive(nil)
 			if len(cur) == 0 {
 				t.Fatalf("%s: empty frontier at round %d", tc.name, round)
 			}
@@ -226,6 +227,94 @@ func TestDenseSparseDistributionEquivalence(t *testing.T) {
 		if diff := math.Abs(ms - md); diff > 3*se {
 			t.Fatalf("%s: sparse mean %.2f vs dense mean %.2f differ by %.2f > 3se (%.2f)",
 				tc.name, ms, md, diff, 3*se)
+		}
+	}
+}
+
+// TestAliasKernelDistributionEquivalence covers the alias satellite:
+// on irregular graphs (power-law and grid) the dense kernel's default
+// offset/multiply sampler, the opt-in alias-table sampler (UseAlias),
+// and the sparse kernel must all draw cover times from the same
+// distribution. Means over the trial set must agree pairwise within 3
+// standard errors.
+func TestAliasKernelDistributionEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distribution test needs many trials")
+	}
+	const trials = 250
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"powerlaw", graph.PowerLaw(400, 2.5, 2, 40, 13)},
+		{"grid", graph.Grid(2, 17)},
+	} {
+		run := func(cfg Config, offset uint64) []float64 {
+			out := make([]float64, trials)
+			w := New(tc.g, cfg, rng.New(0))
+			for i := 0; i < trials; i++ {
+				w.rnd.Seed(rng.Stream(offset, i))
+				w.Reset(0)
+				steps, ok := w.RunUntilCovered()
+				if !ok {
+					t.Fatalf("%s: cover cap exceeded", tc.name)
+				}
+				out[i] = float64(steps)
+			}
+			return out
+		}
+		samples := map[string][]float64{
+			"multiply": run(Config{K: 2, DenseTheta: tc.g.N()}, 3001),
+			"alias":    run(Config{K: 2, DenseTheta: tc.g.N(), UseAlias: true}, 3002),
+			"sparse":   run(sparseCfg(2), 3003),
+		}
+		names := []string{"multiply", "alias", "sparse"}
+		for i, a := range names {
+			for _, b := range names[i+1:] {
+				ma, mb := stats.Mean(samples[a]), stats.Mean(samples[b])
+				sea := stats.Summarize(samples[a]).Std / math.Sqrt(trials)
+				seb := stats.Summarize(samples[b]).Std / math.Sqrt(trials)
+				se := math.Sqrt(sea*sea + seb*seb)
+				if diff := math.Abs(ma - mb); diff > 3*se {
+					t.Fatalf("%s: %s mean %.2f vs %s mean %.2f differ by %.2f > 3se (%.2f)",
+						tc.name, a, ma, b, mb, diff, 3*se)
+				}
+			}
+		}
+	}
+}
+
+// TestEagerFrontierByteIdentity pins the bitset-resident-frontier
+// satellite: EagerFrontier only changes when the frontier list is
+// materialized, so with the same seed the two modes must agree round
+// for round on the frontier contents and coverage.
+func TestEagerFrontierByteIdentity(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.MustRandomRegular(300, 5, 3),
+		graph.PowerLaw(300, 2.5, 2, 40, 13),
+	} {
+		lazy := New(g, Config{K: 2}, rng.New(42))
+		eager := New(g, Config{K: 2, EagerFrontier: true}, rng.New(42))
+		lazy.Reset(0)
+		eager.Reset(0)
+		for round := 0; round < 60; round++ {
+			lazy.Step()
+			eager.Step()
+			lf := lazy.AppendActive(nil)
+			ef := eager.AppendActive(nil)
+			if len(lf) != len(ef) {
+				t.Fatalf("round %d: frontier sizes %d vs %d", round, len(lf), len(ef))
+			}
+			sort.Slice(lf, func(i, j int) bool { return lf[i] < lf[j] })
+			sort.Slice(ef, func(i, j int) bool { return ef[i] < ef[j] })
+			for i := range lf {
+				if lf[i] != ef[i] {
+					t.Fatalf("round %d: frontiers diverge at %d: %d vs %d", round, i, lf[i], ef[i])
+				}
+			}
+			if lazy.CoveredCount() != eager.CoveredCount() {
+				t.Fatalf("round %d: covered %d vs %d", round, lazy.CoveredCount(), eager.CoveredCount())
+			}
 		}
 	}
 }

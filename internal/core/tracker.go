@@ -191,6 +191,14 @@ func (t *GridTracker) RunToTarget(maxSteps int) (steps int, ok bool) {
 // arbitrary graphs.
 func MinActiveDistance(w *Walk, dist []int32) int32 {
 	best := int32(-1)
+	if w.activeIsBits {
+		w.activeSet.ForEach(func(i int) {
+			if best == -1 || dist[i] < best {
+				best = dist[i]
+			}
+		})
+		return best
+	}
 	for _, v := range w.active {
 		if best == -1 || dist[v] < best {
 			best = dist[v]

@@ -64,6 +64,8 @@ type Process struct {
 	infected    []int32     // current infected vertices (unique)
 	next        []int32     // next round's infected under construction
 	nextSet     *bitset.Set // membership for next
+	mark        []byte      // dense-round membership marks, all-zero between rounds
+	draws       []uint64    // whole-round draw scratch for the dense kernel
 	everSet     *bitset.Set // ever-infected (exposure)
 	everCount   int
 	rounds      int
@@ -183,8 +185,13 @@ func (p *Process) stepDense() {
 	if p.blk == nil {
 		p.blk = rng.NewBlock(p.rnd)
 	}
-	core.SampleFrontierDense(p.g, p.infected, p.cfg.K, p.nextSet, p.blk)
-	p.totalInfect += int64(p.nextSet.OnesCount())
+	if p.mark == nil {
+		p.mark = core.AllocMark(p.g.N())
+	}
+	core.SampleFrontierDense(p.g, p.infected, p.cfg.K, p.mark, p.blk, &p.draws)
+	// nextSet doubles as the sparse round's dedup scratch, so it is
+	// cleared again after the frontier list is materialized.
+	p.totalInfect += int64(p.nextSet.FromMarks(p.mark[:p.g.N()]))
 	p.everCount += p.everSet.UnionCount(p.nextSet)
 	p.next = p.nextSet.AppendTo(p.next[:0])
 	p.nextSet.Clear()

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// aliasMass reconstructs each neighbor's total probability mass for
+// vertex v directly from the table: every slot carries 1/s of the
+// vertex's mass, split between prim (cut/2^32) and alt (the rest).
+func aliasMass(t *AliasTable, v int32) map[int32]float64 {
+	offs := t.Offsets()
+	mass := make(map[int32]float64)
+	s := float64(offs[v+1] - offs[v])
+	for i := offs[v]; i < offs[v+1]; i++ {
+		sl := t.slots[i]
+		p := float64(sl.cut) / math.Exp2(32)
+		mass[sl.prim] += p / s
+		mass[sl.alt] += (1 - p) / s
+	}
+	return mass
+}
+
+func TestAliasTableExactMass(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"star", Star(50)},
+		{"grid", Grid(2, 7)},
+		{"powerlaw", PowerLaw(300, 2.5, 2, 40, 11)},
+		{"regular-odd", MustRandomRegular(60, 5, 3)},
+	} {
+		at := BuildAliasTable(tc.g)
+		for v := int32(0); v < int32(tc.g.N()); v++ {
+			d := tc.g.Degree(v)
+			if d == 0 {
+				continue
+			}
+			mass := aliasMass(at, v)
+			want := 1 / float64(d)
+			for _, u := range tc.g.Neighbors(v) {
+				// Cut thresholds are 32-bit fixed point, so each
+				// neighbor's mass is exact to ~2^-32 per slot.
+				if math.Abs(mass[u]-want) > 1e-6 {
+					t.Fatalf("%s: vertex %d neighbor %d mass %.8f, want %.8f",
+						tc.name, v, u, mass[u], want)
+				}
+				delete(mass, u)
+			}
+			for u, m := range mass {
+				if m != 0 {
+					t.Fatalf("%s: vertex %d has mass %.8f on non-neighbor %d", tc.name, v, m, u)
+				}
+			}
+		}
+	}
+}
+
+func TestAliasSlotCountsArePow2(t *testing.T) {
+	g := PowerLaw(200, 2.2, 1, 64, 7)
+	at := BuildAliasTable(g)
+	offs := at.Offsets()
+	for v := int32(0); v < int32(g.N()); v++ {
+		s := offs[v+1] - offs[v]
+		if s&(s-1) != 0 {
+			t.Fatalf("vertex %d has %d slots, not a power of two", v, s)
+		}
+		if d := g.Degree(v); s < d || (d > 0 && s >= 2*d) {
+			t.Fatalf("vertex %d: degree %d but %d slots", v, d, s)
+		}
+	}
+	if at.Slots() != int(offs[g.N()]) {
+		t.Fatalf("Slots() %d disagrees with offsets %d", at.Slots(), offs[g.N()])
+	}
+}
+
+func TestAliasSampleChiSquare(t *testing.T) {
+	// Sampling through the table must be chi-square-uniform over the
+	// neighbor list, including for the star hub (large degree, pow2+1
+	// shapes) and odd degrees.
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+		v    int32
+	}{
+		{"star-hub", Star(100), 0},
+		{"odd-degree", MustRandomRegular(40, 5, 9), 3},
+		{"powerlaw-heavy", PowerLaw(300, 2.5, 2, 40, 11), 0},
+	} {
+		g := tc.g
+		at := BuildAliasTable(g)
+		d := int(g.Degree(tc.v))
+		if d < 2 {
+			t.Fatalf("%s: test vertex has degree %d", tc.name, d)
+		}
+		idx := make(map[int32]int, d)
+		for i, u := range g.Neighbors(tc.v) {
+			idx[u] = i
+		}
+		r := rng.New(77)
+		const draws = 200000
+		counts := make([]int, d)
+		for i := 0; i < draws; i++ {
+			u := at.Sample(tc.v, r.Uint64())
+			j, ok := idx[u]
+			if !ok {
+				t.Fatalf("%s: sampled non-neighbor %d", tc.name, u)
+			}
+			counts[j]++
+		}
+		expected := float64(draws) / float64(d)
+		stat := 0.0
+		for _, c := range counts {
+			diff := float64(c) - expected
+			stat += diff * diff / expected
+		}
+		// Wilson-Hilferty critical value at significance 1e-4.
+		df := float64(d - 1)
+		z := 3.719
+		x := 1 - 2/(9*df) + z*math.Sqrt(2/(9*df))
+		if crit := df * x * x * x; stat > crit {
+			t.Fatalf("%s: chi-square %.1f exceeds critical %.1f (df %d)", tc.name, stat, crit, d-1)
+		}
+	}
+}
+
+func TestAliasSample2MatchesSample(t *testing.T) {
+	g := PowerLaw(200, 2.2, 1, 64, 7)
+	at := BuildAliasTable(g)
+	r := rng.New(5)
+	for i := 0; i < 5000; i++ {
+		v := int32(r.Intn(g.N()))
+		if g.Degree(v) == 0 {
+			continue
+		}
+		w1, w2 := r.Uint64(), r.Uint64()
+		u1, u2 := at.Sample2(v, w1, w2)
+		if u1 != at.Sample(v, w1) || u2 != at.Sample(v, w2) {
+			t.Fatalf("Sample2(%d) = (%d,%d) disagrees with Sample", v, u1, u2)
+		}
+	}
+}
+
+func TestGraphAliasCached(t *testing.T) {
+	g := Star(10)
+	if a, b := g.Alias(), g.Alias(); a != b {
+		t.Fatal("Graph.Alias must build once and cache")
+	}
+}

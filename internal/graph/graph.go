@@ -9,7 +9,10 @@
 // int32 indices in [0, N()).
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Graph is an immutable undirected graph in CSR form. The neighbor list
 // of vertex v is Adj()[Offsets()[v]:Offsets()[v+1]].
@@ -25,6 +28,82 @@ type Graph struct {
 	metaDone bool
 	regDeg   int32
 	degPow2  bool
+
+	// Alias table for O(1) uniform neighbor draws on irregular graphs,
+	// built on first use (typically the first dense walk step) and
+	// shared by every walk on the graph. Guarded by aliasOnce because
+	// parallel trials request it concurrently.
+	aliasOnce sync.Once
+	alias     *AliasTable
+
+	// Power-of-two-padded copy of adj for the dense regular-graph
+	// kernels, built on first use and shared by every walk on the
+	// graph: padding the length to a power of two lets the kernels
+	// index it as adjPad[i&(len(adjPad)-1)] — provably in bounds (no
+	// per-load check) and an identity for every real index. Guarded by
+	// adjPadOnce because parallel trials request it concurrently.
+	adjPadOnce sync.Once
+	adjPad     []int32
+
+	// adjPad16 is adjPad narrowed to uint16, available only when every
+	// vertex id fits (N() <= 65536). Halving the element width halves
+	// the kernels' hottest cache footprint — the adjacency gather —
+	// which is worth a second copy of the graph on the sizes where it
+	// applies. Empty (not nil) marks "built, too wide".
+	adjPad16Once sync.Once
+	adjPad16     []uint16
+}
+
+// Alias returns the graph's Walker alias table for O(1) uniform neighbor
+// sampling (see AliasTable), building it on first call. The build is
+// O(n + m) and happens once per graph; concurrent callers share one
+// table. Regular graphs do not need it — the walk kernels use the
+// mask/multiply fast paths instead — but it is valid for any graph.
+func (g *Graph) Alias() *AliasTable {
+	g.aliasOnce.Do(func() { g.alias = BuildAliasTable(g) })
+	return g.alias
+}
+
+// AdjPow2 returns the adjacency array padded with zeros to the next
+// power-of-two length (minimum 1), built lazily and cached. The dense
+// kernels' masked indexing never reaches the padding — every index they
+// form is below len(Adj()) — so the pad values are irrelevant; zeros
+// keep the memory safe to read regardless.
+func (g *Graph) AdjPow2() []int32 {
+	g.adjPadOnce.Do(func() {
+		n := 1
+		for n < len(g.adj) {
+			n <<= 1
+		}
+		g.adjPad = make([]int32, n)
+		copy(g.adjPad, g.adj)
+	})
+	return g.adjPad
+}
+
+// AdjPow2Narrow is AdjPow2 with uint16 elements, for graphs whose
+// vertex ids all fit in 16 bits (N() <= 65536). It returns nil for
+// wider graphs; callers fall back to AdjPow2. Built lazily and cached,
+// same concurrency contract as AdjPow2.
+func (g *Graph) AdjPow2Narrow() []uint16 {
+	g.adjPad16Once.Do(func() {
+		if g.N() > 1<<16 {
+			g.adjPad16 = []uint16{}
+			return
+		}
+		n := 1
+		for n < len(g.adj) {
+			n <<= 1
+		}
+		g.adjPad16 = make([]uint16, n)
+		for i, v := range g.adj {
+			g.adjPad16[i] = uint16(v)
+		}
+	})
+	if len(g.adjPad16) == 0 && len(g.adj) > 0 {
+		return nil
+	}
+	return g.adjPad16
 }
 
 // finalize computes the cached degree metadata. Builders call it once at

@@ -20,6 +20,9 @@ func init() {
 			{Name: "cover_fraction", Type: "float", Default: 1.0, Min: limit(0), Max: limit(1), Doc: "coverage target in (0,1]; 1 = full cover"},
 			{Name: "max_steps", Type: "int", Default: 0, Min: limit(0), Doc: "per-trial round cap; 0 selects the core default"},
 			{Name: "start", Type: "int", Default: 0, Min: limit(0), Doc: "start vertex"},
+			{Name: "dense_theta", Type: "int", Default: 0, Doc: "frontier size at which the dense kernel takes over; 0 selects the core default, negative pins the byte-stable sparse kernel"},
+			{Name: "alias", Type: "bool", Default: false, Doc: "route irregular dense rounds through the graph's Walker alias table instead of the default offset/multiply sampler"},
+			{Name: "eager_frontier", Type: "bool", Default: false, Doc: "maintain the explicit active list every round instead of the default frontier-bitset-only mode"},
 		},
 	}})
 	Register(generalProcess{base{
@@ -33,6 +36,8 @@ func init() {
 			{Name: "period", Type: "int", Default: 2, Min: limit(1), Doc: "rounds between k-way bursts (periodic)"},
 			{Name: "max_steps", Type: "int", Default: 0, Min: limit(0), Doc: "per-trial round cap; 0 selects the core default"},
 			{Name: "start", Type: "int", Default: 0, Min: limit(0), Doc: "start vertex"},
+			{Name: "dense_theta", Type: "int", Default: 0, Doc: "frontier size at which the dense kernel takes over; 0 selects the core default, negative pins the sparse kernel"},
+			{Name: "alias", Type: "bool", Default: false, Doc: "route irregular dense rounds through the graph's Walker alias table instead of the default offset/multiply sampler"},
 		},
 	}})
 }
@@ -66,7 +71,13 @@ func (c cobraProcess) Run(ctx context.Context, r Run) (*Result, error) {
 	r.progress()(0, r.Trials)
 	values, err := sim.RunTrialsPooledContext(ctx, r.Trials, r.Seed,
 		func() sim.TrialFunc {
-			w := core.New(r.Graph, core.Config{K: k, MaxSteps: r.Params.Int("max_steps", 0)}, rng.New(0))
+			w := core.New(r.Graph, core.Config{
+				K:             k,
+				MaxSteps:      r.Params.Int("max_steps", 0),
+				DenseTheta:    r.Params.Int("dense_theta", 0),
+				UseAlias:      r.Params.Bool("alias", false),
+				EagerFrontier: r.Params.Bool("eager_frontier", false),
+			}, rng.New(0))
 			var frontier []int32 // traced-trial scratch
 			return func(trial int, src *rng.Source) (float64, error) {
 				w.SetRand(src)
@@ -160,6 +171,8 @@ func (g generalProcess) Run(ctx context.Context, r Run) (*Result, error) {
 				// one walk bound to it on first use serves every trial.
 				if w == nil {
 					w = core.NewGeneral(r.Graph, branch, maxSteps, src)
+					w.SetDenseTheta(r.Params.Int("dense_theta", 0))
+					w.SetUseAlias(r.Params.Bool("alias", false))
 				}
 				w.Reset(start)
 				var steps int

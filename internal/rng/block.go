@@ -31,6 +31,42 @@ func (r *Source) Fill(dst []uint64) {
 func rotl23(x uint64) uint64 { return x<<23 | x>>(64-23) }
 func rotl45(x uint64) uint64 { return x<<45 | x>>(64-45) }
 
+// Fill32 overwrites dst with the next ⌈len(dst)/2⌉ outputs of the
+// generator split into 32-bit halves, low half first — the exact halves
+// len(dst) successive Next32 calls on a fresh Block would yield. When
+// len(dst) is odd the final output's high half is discarded (the word
+// is still consumed). Pre-splitting lets half-consuming kernels replace
+// a variable shift and parity bookkeeping per draw with one indexed
+// 32-bit load.
+func (r *Source) Fill32(dst []uint32) {
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	i := 0
+	for ; i+1 < len(dst); i += 2 {
+		w := rotl23(s0+s3) + s0
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl45(s3)
+		dst[i] = uint32(w)
+		dst[i+1] = uint32(w >> 32)
+	}
+	if i < len(dst) {
+		w := rotl23(s0+s3) + s0
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl45(s3)
+		dst[i] = uint32(w)
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}
+
 // Block is a buffered reader over a Source: it refills BlockSize 64-bit
 // outputs at a time and serves them one word — or one 32-bit half — per
 // draw. The draw sequence is deterministic: a Block consumes exactly the
@@ -74,6 +110,43 @@ func (b *Block) Next() uint64 {
 	return v
 }
 
+// Fill overwrites dst with the next len(dst) 64-bit outputs of the
+// buffered stream — exactly the words len(dst) successive Next calls
+// would return. Any buffered words are drained first; the remainder is
+// generated directly into dst with Source.Fill, so large batches skip
+// the per-word buffer copy entirely. The unrolled dense kernels size
+// their draw batches to the unroll factor and fetch them through this
+// in one call per chunk.
+func (b *Block) Fill(dst []uint64) {
+	n := copy(dst, b.buf[b.i:])
+	b.i += n
+	if rest := dst[n:]; len(rest) > 0 {
+		b.src.Fill(rest)
+	}
+}
+
+// Fill32 overwrites dst with the next 32-bit halves of the buffered
+// stream — exactly what len(dst) successive Next32 calls would return
+// when no half-word is pending (the dense drivers never mix Next32 with
+// Fill32, so none ever is). Buffered whole words are drained first; the
+// remainder comes straight from Source.Fill32. As there, an odd
+// len(dst) consumes the final word and discards its high half.
+func (b *Block) Fill32(dst []uint32) {
+	for len(dst) > 0 && b.i < BlockSize {
+		w := b.buf[b.i]
+		b.i++
+		dst[0] = uint32(w)
+		if len(dst) == 1 {
+			return
+		}
+		dst[1] = uint32(w >> 32)
+		dst = dst[2:]
+	}
+	if len(dst) > 0 {
+		b.src.Fill32(dst)
+	}
+}
+
 // Next32 returns the next 32 buffered bits: each 64-bit output serves
 // two consecutive Next32 calls (low half first).
 func (b *Block) Next32() uint32 {
@@ -112,6 +185,25 @@ func (b *Block) IndexPow2(n int32) int32 {
 		panic("rng: IndexPow2 needs a positive power of two")
 	}
 	return int32(b.Next32() & uint32(n-1))
+}
+
+// PairIndex returns two uniform indices in [0, n) from a single 32-bit
+// half-draw by fixed-point multiply reuse: the high 32 bits of r*n give
+// the first index and the discarded low 32 bits — uniform on [0, 2^32)
+// up to the same n/2^32 bias — are multiplied again for the second.
+// It is the testable specification of the one-half-per-vertex sampling
+// that core's dense K=2 fast paths inline (halving the randomness a
+// dense round consumes); the joint chi-square test validates the scheme
+// through it. The joint bias is O(n/2^32) per outcome, the same order as
+// Index. It panics if n <= 0 or n >= 2^16 (the reuse needs n^2 < 2^32
+// worth of resolution; larger fan-outs use the alias path instead).
+func (b *Block) PairIndex(n int32) (int32, int32) {
+	if n <= 0 || n >= 1<<16 {
+		panic("rng: PairIndex needs 0 < n < 65536")
+	}
+	p := uint64(b.Next32()) * uint64(n)
+	i1 := int32(p >> 32)
+	return i1, int32(uint64(uint32(p)) * uint64(n) >> 32)
 }
 
 // TwoIndex returns two independent uniform indices in [0, n) from a

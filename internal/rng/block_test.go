@@ -20,6 +20,76 @@ func TestFillMatchesUint64Sequence(t *testing.T) {
 	}
 }
 
+func TestSourceFill32MatchesHalfSequence(t *testing.T) {
+	// Fill32 must yield exactly the 32-bit halves of the Uint64 sequence,
+	// low half first, for both even and odd lengths — and an odd length
+	// must still consume the final word so later draws stay aligned.
+	for _, n := range []int{0, 1, 2, 7, 64, 129} {
+		a, b := New(uint64(40+n)), New(uint64(40+n))
+		buf := make([]uint32, n)
+		a.Fill32(buf)
+		for i := 0; i < n; i += 2 {
+			w := b.Uint64()
+			if buf[i] != uint32(w) {
+				t.Fatalf("n=%d: half %d = %#x, want low half %#x", n, i, buf[i], uint32(w))
+			}
+			if i+1 < n && buf[i+1] != uint32(w>>32) {
+				t.Fatalf("n=%d: half %d = %#x, want high half %#x", n, i+1, buf[i+1], uint32(w>>32))
+			}
+		}
+		// State must have advanced identically: next draws agree too.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: generator state diverged after Fill32", n)
+		}
+	}
+}
+
+func TestBlockFill32MatchesNext32(t *testing.T) {
+	// Block.Fill32 must return exactly what successive Next32 calls on a
+	// fresh Block would, across buffer-drain boundaries, regardless of
+	// how the stream is chopped into batches. Odd batches consume the
+	// final word (its high half is discarded — Next32's pending-half
+	// state is not shared with Fill32, matching the dense drivers, which
+	// never mix the two).
+	for _, sizes := range [][]int{
+		{2 * BlockSize},                // straight through a refill
+		{3, 5, 2*BlockSize + 4},        // drain a partial buffer first
+		{1, 1, 2, 7, BlockSize, 1, 64}, // odd batches drop high halves
+		{0, 2, 0, 2 * BlockSize},       // empty batches are no-ops
+		{2*BlockSize - 1, 3},           // odd batch ending mid-buffer
+	} {
+		ref := New(123)
+		blk := NewBlock(New(123))
+		words := 0 // 64-bit words the batches should have consumed
+		for _, n := range sizes {
+			buf := make([]uint32, n)
+			blk.Fill32(buf)
+			for i := 0; i < n; i += 2 {
+				w := ref.Uint64()
+				if buf[i] != uint32(w) {
+					t.Fatalf("sizes=%v n=%d: half %d = %#x, want %#x", sizes, n, i, buf[i], uint32(w))
+				}
+				if i+1 < n && buf[i+1] != uint32(w>>32) {
+					t.Fatalf("sizes=%v n=%d: half %d = %#x, want %#x", sizes, n, i+1, buf[i+1], uint32(w>>32))
+				}
+			}
+			words += (n + 1) / 2
+		}
+		// The block must sit exactly words words into its source stream:
+		// draining it word-by-word and continuing must match a reference
+		// advanced by the same count.
+		ref2 := New(123)
+		for i := 0; i < words; i++ {
+			ref2.Uint64()
+		}
+		for i := 0; i < BlockSize+3; i++ {
+			if got, want := blk.Next(), ref2.Uint64(); got != want {
+				t.Fatalf("sizes=%v: post-Fill32 draw %d = %#x, want %#x", sizes, i, got, want)
+			}
+		}
+	}
+}
+
 func TestBlockConsumesSourceSequence(t *testing.T) {
 	ref := New(7)
 	blk := NewBlock(New(7))
@@ -119,6 +189,23 @@ func TestTwoIndexUniformAndIndependent(t *testing.T) {
 	}
 }
 
+func TestPairIndexUniformAndIndependent(t *testing.T) {
+	// Both indices of a PairIndex draw come from a single 32-bit half,
+	// the second from the low bits the first multiply discarded. The
+	// pair (a, b) must still be jointly chi-square-uniform over n*n
+	// outcomes for the degree shapes the half-draw kernels use.
+	for _, n := range []int{5, 12, 30} {
+		blk := NewBlock(New(uint64(555 + n)))
+		stat := chiSquare(200000, n*n, func() int {
+			a, b := blk.PairIndex(int32(n))
+			return int(a)*n + int(b)
+		})
+		if crit := chi2Crit(n*n - 1); stat > crit {
+			t.Fatalf("PairIndex(%d) joint chi-square %.1f exceeds critical %.1f", n, stat, crit)
+		}
+	}
+}
+
 func TestBlockBoolBalance(t *testing.T) {
 	blk := NewBlock(New(9))
 	ones := 0
@@ -141,6 +228,8 @@ func TestIndexPanics(t *testing.T) {
 		"Pow2NotPow2":  func() { blk.IndexPow2(6) },
 		"Pow2Zero":     func() { blk.IndexPow2(0) },
 		"TwoIndexZero": func() { blk.TwoIndex(0) },
+		"PairZero":     func() { blk.PairIndex(0) },
+		"PairTooBig":   func() { blk.PairIndex(1 << 16) },
 	} {
 		func() {
 			defer func() {

@@ -1,0 +1,125 @@
+package walt
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// These goldens pin the byte-level behavior of the sparse Walt kernel
+// (DenseTheta: -1): exact cover times and FNV-1a fingerprints of pebble
+// trajectories for fixed seeds, captured before the dense kernel was
+// introduced. Any change to the sparse rules' draw order or bucket
+// iteration breaks them.
+
+func fnvMix(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	return h
+}
+
+const fnvOffset = 1469598103934665603
+
+// stepFingerprint hashes each round's position vector with FNV-1a and
+// folds the per-round hashes into one outer FNV-1a chain.
+func stepFingerprint(p *Process, steps int) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < steps; i++ {
+		p.Step()
+		inner := uint64(fnvOffset)
+		for _, v := range p.Positions() {
+			inner = fnvMix(inner, uint64(uint32(v)))
+		}
+		h = fnvMix(h, inner)
+	}
+	return h
+}
+
+func TestSparseKernelCoverGolden(t *testing.T) {
+	cases := []struct {
+		name    string
+		g       *graph.Graph
+		pebbles int
+		lazy    bool
+		seed    uint64
+		want    int
+	}{
+		{"cycle64-8-lazy", graph.Cycle(64), 8, true, 3, 897},
+		{"cycle64-8-nonlazy", graph.Cycle(64), 8, false, 4, 432},
+		{"grid9-20-lazy", graph.Grid(2, 9), 20, true, 5, 121},
+		{"reg200-50-lazy", graph.MustRandomRegular(200, 4, 5), 50, true, 6, 72},
+		{"reg200-50-nonlazy", graph.MustRandomRegular(200, 4, 5), 50, false, 7, 52},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewAtVertex(tc.g, tc.pebbles, 0, Config{Lazy: tc.lazy, DenseTheta: -1}, rng.New(tc.seed))
+			steps, ok := p.CoverTime()
+			if !ok {
+				t.Fatal("cover time hit MaxSteps")
+			}
+			if steps != tc.want {
+				t.Fatalf("cover time = %d, want golden %d", steps, tc.want)
+			}
+		})
+	}
+}
+
+func TestSparseKernelTrajectoryGolden(t *testing.T) {
+	g := graph.MustRandomRegular(200, 4, 5)
+	p := NewAtVertex(g, 50, 0, Config{Lazy: true, DenseTheta: -1}, rng.New(11))
+	h := stepFingerprint(p, 30)
+	if h != 0x715c5fc44c0e5ad8 {
+		t.Fatalf("trajectory fingerprint = %#x, want 0x715c5fc44c0e5ad8", h)
+	}
+	if p.CoveredCount() != 96 {
+		t.Fatalf("covered = %d, want golden 96", p.CoveredCount())
+	}
+}
+
+func TestSparseKernelRuleTwoGolden(t *testing.T) {
+	g := graph.MustRandomRegular(200, 4, 5)
+	p := New(g, []int32{0, 0, 0, 0, 0, 0, 0, 1, 1, 2}, Config{DenseTheta: -1}, rng.New(13))
+	h := stepFingerprint(p, 20)
+	if h != 0x81f2ceef34373d32 {
+		t.Fatalf("rule-2 fingerprint = %#x, want 0x81f2ceef34373d32", h)
+	}
+	if p.CoveredCount() != 100 {
+		t.Fatalf("covered = %d, want golden 100", p.CoveredCount())
+	}
+}
+
+// TestDenseSparseCoverEquivalence checks that the dense count-based
+// kernel and the sparse per-pebble kernel draw cover times from the same
+// distribution: mean cover times over independent trials must agree
+// within 3 standard errors. (They cannot be byte-compared — the kernels
+// consume randomness in different orders by design.)
+func TestDenseSparseCoverEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	g := graph.MustRandomRegular(150, 4, 9)
+	const trials = 60
+	run := func(theta int, salt uint64) []float64 {
+		out := make([]float64, trials)
+		for i := 0; i < trials; i++ {
+			p := NewAtVertex(g, 30, 0, Config{Lazy: true, DenseTheta: theta}, rng.NewStream(salt, i))
+			steps, ok := p.CoverTime()
+			if !ok {
+				t.Fatal("cover time hit MaxSteps")
+			}
+			out[i] = float64(steps)
+		}
+		return out
+	}
+	sparse := run(-1, 31)
+	dense := run(g.N(), 32) // force the dense kernel on every round
+	ms, hs := stats.MeanCI(sparse)
+	md, hd := stats.MeanCI(dense)
+	// MeanCI half-widths are 1.96 stderr; 3 sigma is (3/1.96) of that.
+	tol := 3.0 / 1.96 * (hs + hd)
+	if diff := ms - md; diff > tol || diff < -tol {
+		t.Fatalf("dense/sparse cover means differ: sparse %.1f±%.1f dense %.1f±%.1f", ms, hs, md, hd)
+	}
+}

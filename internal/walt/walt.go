@@ -21,8 +21,10 @@ package walt
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitset"
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -34,10 +36,29 @@ type Config struct {
 	Lazy bool
 	// MaxSteps caps runs; zero selects a generous default.
 	MaxSteps int
+	// DenseTheta is the kernel-switch density, mirroring
+	// core.Config.DenseTheta: a round whose occupied-vertex count
+	// exceeds N/θ runs the count-based dense kernel (see stepDense),
+	// which is distribution-equivalent to the sparse rules but not
+	// byte-identical (it consumes randomness in a different order and
+	// batches rule-2 coin flips). Zero selects core.DefaultDenseTheta;
+	// negative pins the byte-stable sparse kernel on every round.
+	DenseTheta int
 }
 
 // Process is a running Walt process. Pebble i's order is its index:
 // lower index = lower order (higher priority under rule 2).
+//
+// The process runs in one of two representations. Sparse rounds keep
+// pos authoritative and replay the per-pebble rules exactly (byte-stable
+// for a fixed seed). Dense rounds — taken when the occupied-vertex count
+// exceeds the DenseTheta cutover — keep only per-vertex pebble counts:
+// within a bucket the pebbles are exchangeable (rule 1 moves each
+// independently; rule 2 routes every non-designated pebble by a fair
+// coin), so the vertex-count process is a Markov chain with the same law
+// as the label-marginal of the sparse rules, and cover/hitting times are
+// distribution-identical. Pebble labels are rematerialized on demand in
+// ascending vertex order.
 type Process struct {
 	g   *graph.Graph
 	cfg Config
@@ -51,6 +72,17 @@ type Process struct {
 	covered  *bitset.Set
 	nCovered int
 	steps    int
+
+	denseCut  int  // dense kernel when occCount > denseCut
+	occCount  int  // occupied-vertex count driving the kernel switch
+	denseMode bool // cnt/occ authoritative (true) vs pos (false)
+	posDirty  bool // dense mode: pos is stale relative to cnt
+
+	cnt     []int32     // vertex -> pebble count (dense mode)
+	cntNext []int32     // next round's counts under construction
+	occ     *bitset.Set // vertices with cnt > 0
+	occNext *bitset.Set // next round's occupancy
+	mark    []byte      // dense-round destination marks, all-zero between rounds
 }
 
 // New creates a Walt process with pebble i starting at positions[i].
@@ -75,6 +107,7 @@ func New(g *graph.Graph, positions []int32, cfg Config, rnd *rng.Source) *Proces
 		next:     make([]int32, len(positions)),
 		occupied: make([]int32, 0, len(positions)),
 		covered:  bitset.New(g.N()),
+		denseCut: core.DenseCutoff(g.N(), cfg.DenseTheta),
 	}
 	for i := range p.head {
 		p.head[i] = -1
@@ -87,6 +120,7 @@ func New(g *graph.Graph, positions []int32, cfg Config, rnd *rng.Source) *Proces
 			p.nCovered++
 		}
 	}
+	p.occCount = p.nCovered // covered == distinct start vertices here
 	return p
 }
 
@@ -110,8 +144,31 @@ func (p *Process) Steps() int { return p.steps }
 func (p *Process) CoveredCount() int { return p.nCovered }
 
 // Positions returns the current pebble positions; the slice aliases
-// internal state and must not be modified.
-func (p *Process) Positions() []int32 { return p.pos }
+// internal state and must not be modified. After a dense round, pebble
+// identities are exchangeable: positions are materialized in ascending
+// vertex order, so per-index trajectories are only meaningful under
+// sparse-pinned configs (DenseTheta < 0).
+func (p *Process) Positions() []int32 {
+	if p.denseMode && p.posDirty {
+		p.materialize()
+		p.posDirty = false
+	}
+	return p.pos
+}
+
+// materialize rebuilds pos from the dense per-vertex counts, assigning
+// pebble indices in ascending vertex order. It does not modify the
+// dense state.
+func (p *Process) materialize() {
+	idx := 0
+	cnt := p.cnt
+	p.occ.ForEach(func(v int) {
+		for j := int32(0); j < cnt[v]; j++ {
+			p.pos[idx] = int32(v)
+			idx++
+		}
+	})
+}
 
 // MaxSteps returns the effective per-run round cap.
 func (p *Process) MaxSteps() int { return p.cfg.MaxSteps }
@@ -122,6 +179,18 @@ func (p *Process) Step() {
 	p.steps++
 	if p.cfg.Lazy && p.rnd.Bool() {
 		return
+	}
+	if p.occCount > p.denseCut {
+		p.stepDense()
+		return
+	}
+	if p.denseMode {
+		// Hand the authoritative state back to pos: materialize labels
+		// and zero the count array for the next sparse-to-dense switch.
+		p.materialize()
+		p.occ.ForEach(func(v int) { p.cnt[v] = 0 })
+		p.denseMode = false
+		p.posDirty = false
 	}
 	g := p.g
 	// Bucket pebbles by vertex in ascending order: iterate in reverse
@@ -163,6 +232,164 @@ func (p *Process) Step() {
 			}
 		}
 		p.head[v] = -1 // reset bucket for the next round
+	}
+	// The kernel switch uses this round's source-vertex count as its
+	// occupancy estimate; it lags the true (destination) count by one
+	// round, which is fine for a density heuristic.
+	p.occCount = len(p.occupied)
+}
+
+// stepDense executes one non-lazy round on the count representation:
+// per occupied vertex, rule 1 draws one or two neighbors; rule 2 draws
+// u and w and routes the remaining c-2 pebbles by fair coins batched 64
+// per word — the popcount of a masked draw is exactly the
+// Binomial(c-2, 1/2) count moving to u. Destinations are recorded as
+// count increments plus mark bytes, gathered into the occupancy bitset
+// by one bitset.FromMarks pass; coverage merges word-parallel. Draws
+// happen in ascending vertex order, so a dense round's stream differs
+// from the sparse kernel's (distribution-equivalent, not byte-stable).
+func (p *Process) stepDense() {
+	g := p.g
+	n := g.N()
+	if p.cnt == nil {
+		// Power-of-two lengths let the round bodies index with a mask,
+		// which the compiler proves in-bounds (no per-access checks).
+		sz := len(core.AllocMark(n))
+		p.cnt = make([]int32, sz)
+		p.cntNext = make([]int32, sz)
+		p.occ = bitset.New(n)
+		p.occNext = bitset.New(n)
+		p.mark = core.AllocMark(n)
+	}
+	if !p.denseMode {
+		p.occ.Clear()
+		for _, v := range p.pos {
+			p.cnt[v]++
+			p.occ.Add(int(v))
+		}
+		p.denseMode = true
+	}
+	if reg, deg := g.IsRegular(); reg && deg > 0 && deg < 1<<16 {
+		p.denseRoundRegular(deg)
+	} else {
+		p.denseRoundGeneral()
+	}
+	p.occCount = p.occNext.FromMarks(p.mark[:n])
+	p.nCovered += p.covered.UnionCount(p.occNext)
+	p.cnt, p.cntNext = p.cntNext, p.cnt
+	p.occ, p.occNext = p.occNext, p.occ
+	p.posDirty = true
+}
+
+// denseRoundRegular is the dense round body for regular graphs with
+// degree < 2^16: the degree is hoisted, neighbors come from the
+// power-of-two-padded adjacency with masked (bounds-check-free) loads,
+// and a vertex holding two or more pebbles draws both designated
+// destinations from a single 32-bit half by fixed-point multiply reuse
+// (the scheme specified by rng.Block.PairIndex).
+func (p *Process) denseRoundRegular(deg int32) {
+	blk := p.blk
+	cnt, cntNext, mark := p.cnt, p.cntNext, p.mark
+	cm, nm, mm := len(cnt)-1, len(cntNext)-1, len(mark)-1
+	adj := p.g.AdjPow2()
+	am := len(adj) - 1
+	if cm < 0 || nm < 0 || mm < 0 || am < 0 {
+		return
+	}
+	d := uint64(deg)
+	// One 64-bit word serves two occupied vertices (low half first);
+	// keeping the pending half in locals avoids Block's per-call
+	// buffered-half bookkeeping. A leftover half at round end is
+	// discarded, which is fine: dense rounds promise distribution
+	// equivalence, not byte stability.
+	var buf uint64
+	var has bool
+	for wi, w := range p.occ.Words() {
+		base := int32(wi << 6)
+		for w != 0 {
+			v := int(base+int32(bits.TrailingZeros64(w))) & cm
+			w &= w - 1
+			c := cnt[v]
+			cnt[v] = 0
+			var r32 uint32
+			if has {
+				r32 = uint32(buf >> 32)
+				has = false
+			} else {
+				buf = blk.Next()
+				r32 = uint32(buf)
+				has = true
+			}
+			b := int32(v) * deg
+			r := uint64(r32) * d
+			u := int(adj[int(b+int32(r>>32))&am])
+			if c == 1 {
+				cntNext[u&nm]++
+				mark[u&mm] = 1
+				continue
+			}
+			t := int(adj[int(b+int32(uint64(uint32(r))*d>>32))&am])
+			cntNext[u&nm]++
+			cntNext[t&nm]++
+			mark[u&mm] = 1
+			mark[t&mm] = 1
+			if c == 2 {
+				continue
+			}
+			rest := c - 2
+			toU := int32(0)
+			for ; rest >= 64; rest -= 64 {
+				toU += int32(bits.OnesCount64(blk.Next()))
+			}
+			if rest > 0 {
+				toU += int32(bits.OnesCount64(blk.Next() & (1<<uint(rest) - 1)))
+			}
+			cntNext[u&nm] += toU
+			cntNext[t&nm] += c - 2 - toU
+		}
+	}
+}
+
+// denseRoundGeneral is the dense round body for irregular graphs (and
+// degrees >= 2^16): per-vertex degrees from the offset array, one
+// 32-bit half per neighbor draw.
+func (p *Process) denseRoundGeneral() {
+	g := p.g
+	blk := p.blk
+	cnt, cntNext, mark := p.cnt, p.cntNext, p.mark
+	for wi, w := range p.occ.Words() {
+		base := int32(wi << 6)
+		for w != 0 {
+			v := base + int32(bits.TrailingZeros64(w))
+			w &= w - 1
+			c := cnt[v]
+			cnt[v] = 0
+			deg := g.Degree(v)
+			u := g.Neighbor(v, blk.Index(deg))
+			if c == 1 {
+				cntNext[u]++
+				mark[u] = 1
+				continue
+			}
+			t := g.Neighbor(v, blk.Index(deg))
+			cntNext[u]++
+			cntNext[t]++
+			mark[u] = 1
+			mark[t] = 1
+			if c == 2 {
+				continue
+			}
+			rest := c - 2
+			toU := int32(0)
+			for ; rest >= 64; rest -= 64 {
+				toU += int32(bits.OnesCount64(blk.Next()))
+			}
+			if rest > 0 {
+				toU += int32(bits.OnesCount64(blk.Next() & (1<<uint(rest) - 1)))
+			}
+			cntNext[u] += toU
+			cntNext[t] += c - 2 - toU
+		}
 	}
 }
 

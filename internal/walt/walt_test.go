@@ -27,7 +27,10 @@ func TestPebbleCountInvariant(t *testing.T) {
 
 func TestPebblesMoveAlongEdges(t *testing.T) {
 	g := graph.Cycle(12)
-	p := NewAtVertex(g, 5, 0, Config{Lazy: false}, rng.New(3))
+	// Tracks individual pebble trajectories across rounds, which is only
+	// meaningful on the sparse kernel: dense rounds treat pebbles as
+	// exchangeable and rematerialize labels in vertex order.
+	p := NewAtVertex(g, 5, 0, Config{Lazy: false, DenseTheta: -1}, rng.New(3))
 	prev := append([]int32(nil), p.Positions()...)
 	for i := 0; i < 200; i++ {
 		p.Step()
@@ -45,7 +48,9 @@ func TestPebblesMoveAlongEdges(t *testing.T) {
 
 func TestLazySometimesFreezes(t *testing.T) {
 	g := graph.Cycle(12)
-	p := NewAtVertex(g, 3, 0, Config{Lazy: true}, rng.New(5))
+	// Per-index position comparison needs stable pebble labels, so the
+	// sparse kernel is pinned (see TestPebblesMoveAlongEdges).
+	p := NewAtVertex(g, 3, 0, Config{Lazy: true, DenseTheta: -1}, rng.New(5))
 	frozen := 0
 	prev := append([]int32(nil), p.Positions()...)
 	for i := 0; i < 300; i++ {

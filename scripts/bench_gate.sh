@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
 # Bench regression gate: measure the engine microbenchmarks with
-# cmd/benchjson, then hold the gated hot path (CobraStepExpander) to
-# within 15% of the newest committed BENCH_<date>.json baseline (see
-# scripts/benchgate for the comparator).
+# cmd/benchjson, then hold every benchmark in the newest committed
+# BENCH_<date>.json baseline to within 15% (see scripts/benchgate for
+# the comparator).
 #
 # Run from the repository root:
 #
 #   ./scripts/bench_gate.sh
 #
 # BENCHTIME (default 1s) trades gate latency against measurement noise;
-# BENCHGATE_FLAGS passes extra flags (e.g. -max-regress 0.25) through to
-# the comparator.
+# BENCHGATE_FLAGS passes extra flags (e.g. -max-regress 0.25 or
+# -allow-new SomeNewBench) through to the comparator; BENCHGATE_REPORT,
+# if set, receives a copy of the comparison table (for CI artifacts).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,4 +19,8 @@ fresh="$(mktemp)"
 trap 'rm -f "$fresh"' EXIT
 
 go run ./cmd/benchjson -benchtime "${BENCHTIME:-1s}" -out "$fresh"
+if [ -n "${BENCHGATE_REPORT:-}" ]; then
+    go run ./scripts/benchgate -fresh "$fresh" ${BENCHGATE_FLAGS:-} 2>&1 | tee "$BENCHGATE_REPORT"
+    exit "${PIPESTATUS[0]}"
+fi
 go run ./scripts/benchgate -fresh "$fresh" ${BENCHGATE_FLAGS:-}
