@@ -54,7 +54,7 @@ vet:
 
 # Coverage over the durability core, gated at the CI threshold.
 cover:
-	$(GO) test -coverprofile=coverage.out ./internal/engine/ ./internal/store/
+	$(GO) test -coverprofile=coverage.out ./internal/engine/ ./internal/store/ ./internal/graphstore/
 	./scripts/coverage_gate.sh coverage.out 80
 
 # End-to-end smoke: two-node cobrad cluster over one data dir, sweep

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/graphstore"
 )
 
 // benchExperiment runs one registry experiment per iteration and reports
@@ -291,6 +292,47 @@ func BenchmarkJointWalk(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		j.Step()
+	}
+}
+
+// BenchmarkGraphResolveCold measures a graph artifact store miss: every
+// iteration opens a fresh memory-only store, so each resolve pays the
+// full regular:4096,5 configuration-model build.
+func BenchmarkGraphResolveCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gs, err := graphstore.Open(graphstore.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := gs.Resolve("regular:4096,5", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gs.Release(g)
+	}
+}
+
+// BenchmarkGraphResolveWarm measures the steady-state hit path of the
+// graph artifact store: the graph is resident, so a resolve is a
+// fingerprint hash plus a refcount. The cold/warm ratio is the store's
+// reason to exist.
+func BenchmarkGraphResolveWarm(b *testing.B) {
+	gs, err := graphstore.Open(graphstore.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := gs.Resolve("regular:4096,5", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gs.Release(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := gs.Resolve("regular:4096,5", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gs.Release(g)
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/graphstore"
 )
 
 // result is one benchmark measurement in the emitted JSON.
@@ -230,6 +231,44 @@ func main() {
 					b.Fatal(err)
 				}
 			}
+		}},
+		{"GraphResolveCold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gs, err := graphstore.Open(graphstore.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				g, err := gs.Resolve("regular:4096,5", 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gs.Release(g)
+			}
+		}},
+		{"GraphResolveWarm", func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "benchjson-graphs-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			gs, err := graphstore.Open(graphstore.Options{Dir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := gs.Resolve("regular:4096,5", 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gs.Release(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := gs.Resolve("regular:4096,5", 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gs.Release(g)
+			}
+			b.StopTimer()
+			os.RemoveAll(dir)
 		}},
 	}
 

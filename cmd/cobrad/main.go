@@ -36,7 +36,11 @@
 // results remain reachable by resubmission). -store-max-bytes and
 // -store-max-age bound the store itself: a background sweep evicts
 // expired records first, then the oldest records until the size cap is
-// met, so a long-running daemon's disk footprint stays bounded.
+// met, so a long-running daemon's disk footprint stays bounded. Graphs
+// resolve through a content-addressed artifact store under
+// <data-dir>/graphs: built once per (spec, seed) fingerprint, then
+// mmapped by every process sharing the directory; -graph-cache-bytes
+// bounds its disk footprint.
 //
 // Several cobrad instances sharing one -data-dir form a cluster. Start
 // each with -cluster (coordinator, runner, or peer) and they drain a
@@ -67,12 +71,14 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/graphstore"
 	"repro/internal/obs/metrics"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -90,6 +96,7 @@ func main() {
 		storeMaxBytes = flag.Int64("store-max-bytes", 0, "persistent store size cap in bytes; oldest records evicted beyond it (0 disables)")
 		storeMaxAge   = flag.Duration("store-max-age", 0, "persistent store record retention; older records evicted (0 disables)")
 		storeGCEvery  = flag.Duration("store-gc-interval", time.Minute, "how often the store GC sweep runs")
+		graphCacheMax = flag.Int64("graph-cache-bytes", 0, "graph artifact store size cap in bytes; oldest artifacts evicted beyond it (0 disables)")
 		clusterMode   = flag.String("cluster", "off", "cluster role: off|coordinator|runner|peer (requires -data-dir)")
 		nodeID        = flag.String("node-id", "", "cluster node identity (default <hostname>-<pid>)")
 		leaseTTL      = flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "point lease TTL; a dead node's work is reclaimed after this long")
@@ -117,7 +124,7 @@ func main() {
 		Registry:   reg,
 	}
 	gcStop := make(chan struct{})
-	var gcDone chan struct{}
+	var gcDone, graphGCDone chan struct{}
 	var cl *cluster.Cluster
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir)
@@ -133,6 +140,25 @@ func main() {
 			st.SetLimits(store.Limits{MaxBytes: *storeMaxBytes, MaxAge: *storeMaxAge})
 			gcDone = make(chan struct{})
 			go storeGCLoop(st, *storeGCEvery, gcStop, gcDone)
+		}
+		// Graph artifacts live beside the result records: every node
+		// sharing this -data-dir serves decoded CSR graphs from the same
+		// mmapped files instead of rebuilding them.
+		gs, err := graphstore.Open(graphstore.Options{Dir: filepath.Join(*dataDir, "graphs")})
+		if err != nil {
+			fatal(err)
+		}
+		if skipped := gs.Skipped(); skipped > 0 {
+			log.Printf("cobrad: graph store scan skipped %d invalid artifact files", skipped)
+		}
+		gstats := gs.Stats()
+		log.Printf("cobrad: graph artifact store at %s (%d artifacts, %d bytes)",
+			filepath.Join(*dataDir, "graphs"), gstats.DiskFiles, gstats.DiskBytes)
+		opts.Graphs = gs
+		if *graphCacheMax > 0 {
+			gs.SetLimits(store.Limits{MaxBytes: *graphCacheMax})
+			graphGCDone = make(chan struct{})
+			go graphGCLoop(gs, *storeGCEvery, gcStop, graphGCDone)
 		}
 		if *clusterMode != "off" {
 			cl, err = cluster.Join(st, cluster.Config{
@@ -241,6 +267,9 @@ func main() {
 	if gcDone != nil {
 		<-gcDone
 	}
+	if graphGCDone != nil {
+		<-graphGCDone
+	}
 	if cl != nil {
 		cl.Leave()
 	}
@@ -263,6 +292,30 @@ func storeGCLoop(st *store.Store, interval time.Duration, stop <-chan struct{}, 
 		if removed > 0 {
 			log.Printf("cobrad: store gc evicted %d records (%d bytes); %d records (%d bytes) remain",
 				removed, freed, st.Len(), st.TotalBytes())
+		}
+	}
+	sweep()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			sweep()
+		}
+	}
+}
+
+// graphGCLoop mirrors storeGCLoop for the graph artifact store.
+func graphGCLoop(gs *graphstore.Store, interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	sweep := func() {
+		removed, freed := gs.GC(time.Now())
+		if removed > 0 {
+			st := gs.Stats()
+			log.Printf("cobrad: graph gc evicted %d artifacts (%d bytes); %d artifacts (%d bytes) remain",
+				removed, freed, st.DiskFiles, st.DiskBytes)
 		}
 	}
 	sweep()

@@ -8,17 +8,22 @@
 //
 //	graphinfo -graph hypercube:8
 //	graphinfo -graph regular:1024,5 -seed 7
+//	graphinfo -graph regular:4096,5 -data-dir /var/lib/cobrad -verify
+//	graphinfo -graph powerlaw:5000,2.5,2,100 -stats
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/cli"
 	"repro/internal/graph"
+	"repro/internal/graphstore"
 	"repro/internal/spectral"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -26,18 +31,47 @@ func main() {
 		graphSpec = flag.String("graph", "grid:2,17", "graph specification (family:params); families: "+strings.Join(cli.Families(), " "))
 		seed      = flag.Uint64("seed", 1, "seed for random families")
 		dot       = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+		dataDir   = flag.String("data-dir", "", "cobrad data directory; resolve the graph through its artifact store")
+		degStats  = flag.Bool("stats", false, "print the degree histogram")
+		verify    = flag.Bool("verify", false, "checksum the stored artifact (requires -data-dir)")
 	)
 	flag.Parse()
 
-	g, err := cli.ParseGraph(*graphSpec, *seed)
+	// Resolve through the same artifact store cobrad uses when a data
+	// directory is given: a warm artifact is mmapped, a cold one is
+	// built and persisted for the daemons sharing the directory.
+	gsOpts := graphstore.Options{}
+	if *dataDir != "" {
+		gsOpts.Dir = filepath.Join(*dataDir, "graphs")
+	}
+	gs, err := graphstore.Open(gsOpts)
 	if err != nil {
 		fatal(err)
 	}
+	g, tier, err := gs.ResolveTier(*graphSpec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	defer gs.Release(g)
 	if *dot {
 		if err := graph.WriteDOT(os.Stdout, g); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *verify {
+		if *dataDir == "" {
+			fatal(fmt.Errorf("graphinfo: -verify requires -data-dir"))
+		}
+		digest, err := gs.VerifyArtifact(*graphSpec, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("artifact     %s\n", digest)
+		fmt.Printf("fingerprint  %s\n", graphstore.Fingerprint(*graphSpec, *seed))
+	}
+	if *dataDir != "" {
+		fmt.Printf("served from  %s\n", tier)
 	}
 
 	fmt.Printf("graph        %s\n", g.Name())
@@ -49,6 +83,9 @@ func main() {
 	} else {
 		fmt.Printf("degree       min %d, max %d, mean %.2f\n",
 			g.MinDegree(), g.MaxDegree(), 2*float64(g.M())/float64(g.N()))
+	}
+	if *degStats {
+		printDegreeHistogram(g)
 	}
 	connected := graph.IsConnected(g)
 	fmt.Printf("connected    %v\n", connected)
@@ -75,6 +112,39 @@ func main() {
 		if mt, ok := spectral.MixingTime(g, 0.25, 1000000); ok {
 			fmt.Printf("mixing time  %d lazy steps to TV ≤ 1/4 (worst start)\n", mt)
 		}
+	}
+}
+
+// printDegreeHistogram renders the degree distribution as at most 16
+// equal-width bins with a proportional bar chart.
+func printDegreeHistogram(g *graph.Graph) {
+	n := g.N()
+	degs := make([]float64, n)
+	for v := int32(0); v < int32(n); v++ {
+		degs[v] = float64(g.Degree(v))
+	}
+	lo, hi := float64(g.MinDegree()), float64(g.MaxDegree())
+	if lo == hi {
+		fmt.Printf("degrees      all %d vertices have degree %d\n", n, int(lo))
+		return
+	}
+	bins := int(hi-lo) + 1
+	if bins > 16 {
+		bins = 16
+	}
+	counts := stats.Histogram(degs, lo, hi+1, bins)
+	width := (hi + 1 - lo) / float64(bins)
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	fmt.Printf("degrees      histogram (%d bins)\n", bins)
+	for i, c := range counts {
+		bLo, bHi := lo+float64(i)*width, lo+float64(i+1)*width
+		bar := strings.Repeat("#", c*40/peak)
+		fmt.Printf("  [%4d,%4d)  %7d  %s\n", int(bLo), int(bHi), c, bar)
 	}
 }
 

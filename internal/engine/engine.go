@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/graphstore"
 	"repro/internal/obs"
 	"repro/internal/obs/metrics"
 	"repro/internal/store"
@@ -73,6 +74,12 @@ type Options struct {
 	// NodeID, when set, stamps every job status with the identity of
 	// the node that tracks it (the "node" field of the v1 Status).
 	NodeID string
+	// Graphs, when non-nil, is the graph artifact store every spec run
+	// resolves its topology through (see internal/graphstore): one build
+	// per graph fingerprint process-wide, artifacts shared on disk when
+	// the store has a directory. Nil selects a private memory-only store,
+	// so builds are still deduplicated within the engine.
+	Graphs *graphstore.Store
 	// Cluster, when non-nil, makes job execution lease-aware: workers
 	// arbitrate each point through the shared store (adopt a stored
 	// result, else claim the point's lease, else wait for the holder),
@@ -162,6 +169,8 @@ type Engine struct {
 	storeHits, storeErrors, evicted                             atomic.Int64
 	computed, adopted, leaseWaits                               atomic.Int64
 
+	graphs *graphstore.Store
+
 	log        *slog.Logger
 	jobLatency *metrics.Histogram  // seconds per completed job
 	roundDur   *metrics.Histogram  // seconds per observed simulation round
@@ -182,6 +191,11 @@ func New(opts Options) *Engine {
 	}
 	if e.log == nil {
 		e.log = slog.New(slog.DiscardHandler)
+	}
+	e.graphs = opts.Graphs
+	if e.graphs == nil {
+		// Memory-only store: Open without a directory cannot fail.
+		e.graphs, _ = graphstore.Open(graphstore.Options{})
 	}
 	if r := opts.Registry; r != nil {
 		e.jobLatency = r.NewHistogram("cobrad_job_duration_seconds",
@@ -539,6 +553,9 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	}
 }
 
+// Graphs returns the engine's graph artifact store (never nil).
+func (e *Engine) Graphs() *graphstore.Store { return e.graphs }
+
 // Metrics returns a snapshot of the engine counters.
 func (e *Engine) Metrics() Metrics {
 	e.mu.Lock()
@@ -731,6 +748,7 @@ type Job struct {
 	prePersisted                bool
 	leaseWaited                 bool
 	resumed                     int
+	graphBuildsAvoided          int
 	submitted, started          time.Time
 	finished                    time.Time
 	parent                      *Job
@@ -864,6 +882,10 @@ type Status struct {
 	// persistent store at submission time — the points a resumed sweep
 	// did not have to schedule. Zero for point jobs.
 	Resumed int `json:"resumed,omitempty"`
+	// GraphBuildsAvoided counts graph resolutions this job (or, for a
+	// sweep, its children) served from the graph artifact store's memory
+	// or disk tier instead of rebuilding the topology.
+	GraphBuildsAvoided int `json:"graph_builds_avoided,omitempty"`
 	// Parent is the sweep job this point job belongs to, if any.
 	Parent string `json:"parent,omitempty"`
 	// Children are the point-job IDs of a sweep job, in point order.
@@ -880,20 +902,21 @@ func (j *Job) Snapshot() Status {
 // snapshotLocked builds the status; j.mu must be held.
 func (j *Job) snapshotLocked() Status {
 	s := Status{
-		ID:          j.id,
-		Kind:        j.spec.Kind(),
-		State:       j.state,
-		Priority:    j.priority,
-		CacheHit:    j.cacheHit,
-		Fingerprint: j.fingerprint,
-		Done:        j.progressDone,
-		Total:       j.progressTotal,
-		SubmittedAt: j.submitted,
-		StartedAt:   j.started,
-		FinishedAt:  j.finished,
-		Node:        j.node,
-		Trace:       j.trace,
-		Resumed:     j.resumed,
+		ID:                 j.id,
+		Kind:               j.spec.Kind(),
+		State:              j.state,
+		Priority:           j.priority,
+		CacheHit:           j.cacheHit,
+		Fingerprint:        j.fingerprint,
+		Done:               j.progressDone,
+		Total:              j.progressTotal,
+		SubmittedAt:        j.submitted,
+		StartedAt:          j.started,
+		FinishedAt:         j.finished,
+		Node:               j.node,
+		Trace:              j.trace,
+		Resumed:            j.resumed,
+		GraphBuildsAvoided: j.graphBuildsAvoided,
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()

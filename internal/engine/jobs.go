@@ -8,8 +8,8 @@ import (
 	"encoding/json"
 	"fmt"
 
-	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/graphstore"
 	"repro/internal/obs"
 	"repro/internal/process"
 	"repro/internal/sim"
@@ -175,10 +175,12 @@ func runCobraProcess(ctx context.Context, graphSpec string, graphSeed uint64, pa
 	if !ok {
 		return nil, fmt.Errorf("engine: cobra process not registered")
 	}
-	g, err := cli.ParseGraph(graphSpec, graphSeed)
+	gr := graphstore.FromContext(ctx)
+	g, err := gr.Resolve(graphSpec, graphSeed)
 	if err != nil {
 		return nil, err
 	}
+	defer gr.Release(g)
 	return proc.Run(ctx, process.Run{
 		Graph:    g,
 		Params:   params,

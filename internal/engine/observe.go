@@ -3,6 +3,8 @@ package engine
 import (
 	"context"
 
+	"repro/internal/graph"
+	"repro/internal/graphstore"
 	"repro/internal/obs"
 )
 
@@ -26,11 +28,34 @@ func (e *Engine) runSpec(j *Job) (*Output, error) {
 	if e.procRuns != nil {
 		e.procRuns.With(specProcessName(j.spec)).Inc()
 	}
+	// Every spec resolves its graphs through the engine's artifact
+	// store; the per-job wrapper counts the builds the store avoided.
+	ctx := graphstore.WithResolver(j.ctx, &jobResolver{store: e.graphs, job: j})
 	if os, ok := j.spec.(ObservableSpec); ok && j.series != nil {
-		return os.RunObserved(j.ctx, j.reportProgress, obs.NewTracer(j.series))
+		return os.RunObserved(ctx, j.reportProgress, obs.NewTracer(j.series))
 	}
-	return j.spec.Run(j.ctx, j.reportProgress)
+	return j.spec.Run(ctx, j.reportProgress)
 }
+
+// jobResolver adapts the engine's graph store to the context Resolver
+// contract, attributing warm (mem/disk tier) resolutions to the job so
+// sweeps can surface build-avoided counts in their status.
+type jobResolver struct {
+	store *graphstore.Store
+	job   *Job
+}
+
+func (r *jobResolver) Resolve(spec string, seed uint64) (*graph.Graph, error) {
+	g, tier, err := r.store.ResolveTier(spec, seed)
+	if err == nil && tier != graphstore.TierBuild {
+		r.job.mu.Lock()
+		r.job.graphBuildsAvoided++
+		r.job.mu.Unlock()
+	}
+	return g, err
+}
+
+func (r *jobResolver) Release(g *graph.Graph) { r.store.Release(g) }
 
 // specProcessName labels a spec for the per-process run counter: the
 // registered process name when the spec has one, the job kind otherwise.

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/cli"
+	"repro/internal/graphstore"
 	"repro/internal/obs"
 	"repro/internal/process"
 )
@@ -66,10 +66,16 @@ func (s *ProcessSpec) RunObserved(ctx context.Context, progress func(done, total
 	if !ok {
 		return nil, fmt.Errorf("engine: process: unknown process %q", s.Process)
 	}
-	g, err := cli.ParseGraph(s.Graph, s.GraphSeed)
+	// Resolve the topology through the graph artifact store when an
+	// engine is in the path (direct build otherwise). The decoded CSR is
+	// identical to a fresh graph.Build, so result streams are
+	// byte-identical regardless of the serving tier.
+	gr := graphstore.FromContext(ctx)
+	g, err := gr.Resolve(s.Graph, s.GraphSeed)
 	if err != nil {
 		return nil, err
 	}
+	defer gr.Release(g)
 	res, err := proc.Run(ctx, process.Run{
 		Graph:    g,
 		Params:   s.Params,

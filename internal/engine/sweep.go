@@ -460,6 +460,17 @@ func (e *Engine) runSweep(parent *Job, spec *SweepSpec, pts []sweepPoint) {
 	// time a child ends in failure or individual cancellation.
 	onChildDone := func(ev sweepChildEvent) {
 		terminal++
+		// Fold the child's warm graph resolutions into the parent so the
+		// sweep status surfaces how many topology builds the artifact
+		// store saved across the whole grid.
+		ev.job.mu.Lock()
+		avoided := ev.job.graphBuildsAvoided
+		ev.job.mu.Unlock()
+		if avoided > 0 {
+			parent.mu.Lock()
+			parent.graphBuildsAvoided += avoided
+			parent.mu.Unlock()
+		}
 		if firstErr != nil || canceled {
 			return
 		}

@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// roundTrip encodes g and decodes the bytes, failing the test on error.
+func roundTrip(t *testing.T, g *Graph) *Graph {
+	t.Helper()
+	data := EncodeBinary(g)
+	if err := VerifyBinary(data); err != nil {
+		t.Fatalf("VerifyBinary(%s): %v", g, err)
+	}
+	out, err := DecodeBinary(data)
+	if err != nil {
+		t.Fatalf("DecodeBinary(%s): %v", g, err)
+	}
+	return out
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	rr, err := RandomRegular(256, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := []*Graph{
+		Cycle(12),
+		Grid(2, 9),
+		Star(17),
+		Hypercube(6),
+		rr,
+		PowerLaw(300, 2.5, 2, 50, 7),
+	}
+	for _, g := range graphs {
+		out := roundTrip(t, g)
+		if out.Name() != g.Name() {
+			t.Errorf("name: got %q, want %q", out.Name(), g.Name())
+		}
+		if out.N() != g.N() || out.M() != g.M() {
+			t.Errorf("%s: decoded n=%d m=%d, want n=%d m=%d", g.Name(), out.N(), out.M(), g.N(), g.M())
+		}
+		for v := int32(0); v < int32(g.N()); v++ {
+			a, b := g.Neighbors(v), out.Neighbors(v)
+			if len(a) != len(b) {
+				t.Fatalf("%s: vertex %d degree %d != %d", g.Name(), v, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: vertex %d neighbor %d: %d != %d", g.Name(), v, i, a[i], b[i])
+				}
+			}
+		}
+		if err := out.Validate(); err != nil {
+			t.Errorf("%s: decoded graph invalid: %v", g.Name(), err)
+		}
+	}
+}
+
+// TestArtifactMetadataRoundTrip pins that the cached degree metadata and
+// the lazily built tables survive the round trip without recomputation.
+func TestArtifactMetadataRoundTrip(t *testing.T) {
+	reg, err := RandomRegular(128, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irr := Star(50)
+
+	for _, tc := range []struct {
+		g       *Graph
+		regular bool
+		deg     int32
+		pow2    bool
+	}{
+		{reg, true, 4, true},
+		{irr, false, 0, false},
+	} {
+		out := roundTrip(t, tc.g)
+		if !out.metaDone {
+			t.Fatalf("%s: decoded graph lost metaDone", tc.g.Name())
+		}
+		gotReg, gotDeg := out.IsRegular()
+		if gotReg != tc.regular || gotDeg != tc.deg {
+			t.Errorf("%s: IsRegular = (%v, %d), want (%v, %d)", tc.g.Name(), gotReg, gotDeg, tc.regular, tc.deg)
+		}
+		if out.DegreeIsPow2() != tc.pow2 {
+			t.Errorf("%s: DegreeIsPow2 = %v, want %v", tc.g.Name(), out.DegreeIsPow2(), tc.pow2)
+		}
+		// The narrow table was embedded in the artifact (both graphs fit
+		// 16-bit ids), so it must match a freshly built one exactly.
+		want := tc.g.AdjPow2Narrow()
+		got := out.AdjPow2Narrow()
+		if len(got) != len(want) {
+			t.Fatalf("%s: narrow length %d, want %d", tc.g.Name(), len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: narrow[%d] = %d, want %d", tc.g.Name(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestArtifactEmptyGraph(t *testing.T) {
+	g := &Graph{offsets: []int32{0}, name: "empty"}
+	out := roundTrip(t, g)
+	if out.N() != 0 || out.M() != 0 || out.Name() != "empty" {
+		t.Fatalf("empty graph round trip: got n=%d m=%d name=%q", out.N(), out.M(), out.Name())
+	}
+}
+
+func TestArtifactCorruption(t *testing.T) {
+	data := EncodeBinary(Cycle(32))
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 3, artifactHeaderSize - 1, artifactHeaderSize + 5, len(data) - 1} {
+			if err := VerifyBinary(data[:cut]); err == nil {
+				t.Errorf("truncation to %d bytes not detected", cut)
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[0] = 'X'
+		if err := VerifyBinary(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Errorf("bad magic not detected: %v", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[4] = 99
+		if err := VerifyBinary(bad); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Errorf("bad version not detected: %v", err)
+		}
+	})
+	t.Run("flipped payload bit", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[len(bad)-1] ^= 1
+		if err := VerifyBinary(bad); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Errorf("payload corruption not detected: %v", err)
+		}
+	})
+}
+
+func TestBinaryDigestStable(t *testing.T) {
+	a, err := BinaryDigest(EncodeBinary(Cycle(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BinaryDigest(EncodeBinary(Cycle(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("digest not deterministic: %s vs %s", a, b)
+	}
+	c, err := BinaryDigest(EncodeBinary(Cycle(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different graphs share a digest")
+	}
+}

@@ -1,0 +1,49 @@
+package graphstore
+
+import (
+	"context"
+
+	"repro/internal/cli"
+	"repro/internal/graph"
+)
+
+// Resolver is the narrow interface specs use to obtain graphs: the
+// engine injects its store-backed resolver into every job context, and
+// code running outside an engine falls back to building directly.
+type Resolver interface {
+	// Resolve returns the graph for a cli spec and seed. Successful
+	// resolves must be paired with Release.
+	Resolve(spec string, seed uint64) (*graph.Graph, error)
+	// Release returns the reference taken by Resolve.
+	Release(g *graph.Graph)
+}
+
+// Store implements Resolver.
+var _ Resolver = (*Store)(nil)
+
+type ctxKey struct{}
+
+// WithResolver attaches r to ctx for FromContext to recover.
+func WithResolver(ctx context.Context, r Resolver) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the resolver attached to ctx, or a direct
+// builder (cli.ParseGraph, no caching, no-op Release) when none is —
+// so spec code resolves graphs uniformly whether or not an engine is
+// in the path.
+func FromContext(ctx context.Context) Resolver {
+	if r, ok := ctx.Value(ctxKey{}).(Resolver); ok && r != nil {
+		return r
+	}
+	return directBuilder{}
+}
+
+// directBuilder is the storeless fallback resolver.
+type directBuilder struct{}
+
+func (directBuilder) Resolve(spec string, seed uint64) (*graph.Graph, error) {
+	return cli.ParseGraph(spec, seed)
+}
+
+func (directBuilder) Release(*graph.Graph) {}

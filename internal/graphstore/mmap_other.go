@@ -1,0 +1,13 @@
+//go:build !unix
+
+package graphstore
+
+import "errors"
+
+// mmapFile is unavailable off unix; the store falls back to plain
+// reads, which load byte-identical graphs without page sharing.
+func mmapFile(path string) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(b []byte) {}

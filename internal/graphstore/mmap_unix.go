@@ -1,0 +1,37 @@
+//go:build unix
+
+package graphstore
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. The mapping is MAP_SHARED, so every
+// process mapping the same artifact shares one set of physical pages —
+// the point of the artifact store on a multi-node data directory. The
+// mapping stays valid after the file is unlinked (GC relies on this),
+// and must be released with munmapFile.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || size > math.MaxInt32*4 {
+		return nil, fmt.Errorf("graphstore: unmappable artifact size %d", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(b []byte) {
+	_ = syscall.Munmap(b)
+}

@@ -1,0 +1,567 @@
+// Package graphstore is the content-addressed graph artifact store: it
+// makes built graphs durable artifacts, keyed by the canonical
+// fingerprint of (graph spec, graph seed), built exactly once per
+// fingerprint per process (singleflight), serialized once per
+// fingerprint per data directory (the binary format of
+// internal/graph/artifact.go, written with the store's atomic
+// temp+rename convention), and loaded back via mmap so the adjacency
+// pages are shared copy-on-write across every worker in the process and
+// every cobrad node sharing a data directory.
+//
+// Resolution tiers, cheapest first:
+//
+//	mem   — the fingerprint is live in the in-process registry
+//	disk  — a verified artifact file was mapped (or read) back
+//	build — the generator ran; the artifact is written for next time
+//
+// Corruption never propagates: a truncated, mangled, or
+// checksum-mismatched artifact is deleted and the graph rebuilt.
+package graphstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// Fingerprint returns the content address of one graph artifact:
+// SHA-256 over the "graph" kind tag and the canonical JSON encoding of
+// the spec and seed — the same fingerprint discipline as
+// process.Fingerprint and engine.Fingerprint.
+func Fingerprint(spec string, seed uint64) string {
+	payload, err := json.Marshal(struct {
+		Graph string `json:"graph"`
+		Seed  uint64 `json:"seed"`
+	}{spec, seed})
+	if err != nil {
+		panic(fmt.Sprintf("graphstore: fingerprint marshal: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte("graph"))
+	h.Write([]byte{0})
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Tier reports where a resolve was served from.
+type Tier int
+
+const (
+	// TierBuild means the generator ran.
+	TierBuild Tier = iota
+	// TierMem means the graph was already live in the process registry.
+	TierMem
+	// TierDisk means a stored artifact was loaded (mmap or plain read).
+	TierDisk
+)
+
+// String returns the metric label for the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierMem:
+		return "mem"
+	case TierDisk:
+		return "disk"
+	default:
+		return "build"
+	}
+}
+
+// Options configures a Store. The zero value is a memory-only store
+// building through cli.ParseGraph.
+type Options struct {
+	// Dir is the artifact directory (conventionally <data-dir>/graphs).
+	// Empty selects a memory-only store: no artifacts are written or
+	// read, only the in-process registry dedups builds.
+	Dir string
+	// Limits is the disk GC policy, reusing the result store's type so
+	// cobrad configures both stores with one vocabulary.
+	Limits store.Limits
+	// DisableMmap forces the plain-read loading path. Artifacts load
+	// byte-identically either way; mmap is only the sharing/latency
+	// optimization.
+	DisableMmap bool
+	// Build generates a graph on a store miss; nil selects
+	// cli.ParseGraph. Tests inject counting builders here.
+	Build func(spec string, seed uint64) (*graph.Graph, error)
+}
+
+// entry is one live graph in the in-process registry.
+type entry struct {
+	fp     string
+	g      *graph.Graph
+	mapped []byte // non-nil when g aliases an mmap'd artifact
+	refs   int
+	// dropped marks an entry GC removed from the registry while still
+	// referenced; the final Release unmaps it.
+	dropped bool
+}
+
+// call is one in-flight build/load, awaited by concurrent resolvers of
+// the same fingerprint.
+type call struct {
+	done chan struct{}
+	err  error
+}
+
+// fileInfo is the GC accounting for one artifact file.
+type fileInfo struct {
+	size    int64
+	savedAt time.Time
+}
+
+// Store is the graph artifact store. All methods are safe for
+// concurrent use, including by multiple Store instances sharing a
+// directory (writes are atomic renames; loads verify checksums).
+type Store struct {
+	dir         string
+	disableMmap bool
+	build       func(spec string, seed uint64) (*graph.Graph, error)
+
+	mu       sync.Mutex
+	limits   store.Limits
+	mem      map[string]*entry
+	byGraph  map[*graph.Graph]*entry
+	inflight map[string]*call
+	files    map[string]fileInfo
+	skipped  int
+
+	builds, memHits, diskHits, evicted int64
+	mmapBytes                          int64
+}
+
+// Stats is a snapshot of the store's counters and footprint, the source
+// of the graphstore_* metrics.
+type Stats struct {
+	Builds     int64 `json:"builds"`
+	MemHits    int64 `json:"mem_hits"`
+	DiskHits   int64 `json:"disk_hits"`
+	Evicted    int64 `json:"evicted"`
+	MmapBytes  int64 `json:"mmap_bytes"`
+	MemEntries int   `json:"mem_entries"`
+	DiskFiles  int   `json:"disk_files"`
+	DiskBytes  int64 `json:"disk_bytes"`
+}
+
+// Open creates (if needed) and scans a graph store. The scan is
+// corruption-tolerant: it only inventories plausibly named artifact
+// files for GC accounting — content is verified at load time, where a
+// bad file costs a rebuild, never a crash. Stale temp files from
+// crashed writers are removed.
+func Open(opts Options) (*Store, error) {
+	s := &Store{
+		dir:         opts.Dir,
+		disableMmap: opts.DisableMmap,
+		build:       opts.Build,
+		limits:      opts.Limits,
+		mem:         make(map[string]*entry),
+		byGraph:     make(map[*graph.Graph]*entry),
+		inflight:    make(map[string]*call),
+		files:       make(map[string]fileInfo),
+	}
+	if s.build == nil {
+		s.build = cli.ParseGraph
+	}
+	if s.dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(s.tmpDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("graphstore: open %s: %w", s.dir, err)
+	}
+	// Clear the staging area: anything left is a crashed write that
+	// never reached its rename, so it holds no committed data.
+	if leftovers, err := os.ReadDir(s.tmpDir()); err == nil {
+		for _, f := range leftovers {
+			_ = os.Remove(filepath.Join(s.tmpDir(), f.Name()))
+		}
+	}
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("graphstore: scan %s: %w", s.dir, err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() || len(shard.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, shard.Name()))
+		if err != nil {
+			s.skipped++
+			continue
+		}
+		for _, f := range files {
+			fp, ok := fpFromFilename(f.Name())
+			if !ok || fp[:2] != shard.Name() {
+				s.skipped++
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				s.skipped++
+				continue
+			}
+			s.files[fp] = fileInfo{size: info.Size(), savedAt: info.ModTime()}
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the artifact directory ("" for memory-only stores).
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) tmpDir() string { return filepath.Join(s.dir, "tmp") }
+
+func (s *Store) path(fp string) string {
+	return filepath.Join(s.dir, fp[:2], fp+".g")
+}
+
+// fpFromFilename recovers the fingerprint from an artifact filename.
+func fpFromFilename(name string) (string, bool) {
+	const suffix = ".g"
+	if len(name) != 64+len(suffix) || name[64:] != suffix {
+		return "", false
+	}
+	fp := name[:64]
+	if _, err := hex.DecodeString(fp); err != nil {
+		return "", false
+	}
+	return fp, true
+}
+
+// Resolve returns the graph for (spec, seed), building it at most once
+// per fingerprint across all concurrent callers. The caller must pair
+// every successful Resolve with a Release.
+func (s *Store) Resolve(spec string, seed uint64) (*graph.Graph, error) {
+	g, _, err := s.ResolveTier(spec, seed)
+	return g, err
+}
+
+// ResolveTier is Resolve reporting which tier served the graph.
+func (s *Store) ResolveTier(spec string, seed uint64) (*graph.Graph, Tier, error) {
+	fp := Fingerprint(spec, seed)
+	for {
+		s.mu.Lock()
+		if e, ok := s.mem[fp]; ok {
+			e.refs++
+			s.memHits++
+			s.mu.Unlock()
+			return e.g, TierMem, nil
+		}
+		if c, ok := s.inflight[fp]; ok {
+			// Another resolver is building or loading this fingerprint:
+			// wait for it, then take the registry path (counted as a mem
+			// hit — the wait bought exactly the shared in-process graph).
+			s.mu.Unlock()
+			<-c.done
+			if c.err != nil {
+				return nil, TierBuild, c.err
+			}
+			continue
+		}
+		c := &call{done: make(chan struct{})}
+		s.inflight[fp] = c
+		s.mu.Unlock()
+
+		g, tier, err := s.populate(fp, spec, seed)
+		c.err = err
+		s.mu.Lock()
+		delete(s.inflight, fp)
+		s.mu.Unlock()
+		close(c.done)
+		return g, tier, err
+	}
+}
+
+// populate loads fp from disk or builds it, installs the entry with the
+// caller's reference, and returns the serving tier. Runs outside s.mu
+// (the inflight call excludes duplicate work on fp).
+func (s *Store) populate(fp, spec string, seed uint64) (*graph.Graph, Tier, error) {
+	if s.dir != "" {
+		if g, mapped, ok := s.loadDisk(fp); ok {
+			s.install(fp, g, mapped, TierDisk)
+			return g, TierDisk, nil
+		}
+	}
+	g, err := s.build(spec, seed)
+	if err != nil {
+		return nil, TierBuild, err
+	}
+	if s.dir != "" {
+		// Best-effort: a failed artifact write (disk full, permissions)
+		// costs the next cold resolve a rebuild, nothing else.
+		_ = s.writeArtifact(fp, g)
+	}
+	s.install(fp, g, nil, TierBuild)
+	return g, TierBuild, nil
+}
+
+// loadDisk maps (or reads) and decodes one artifact. Any failure —
+// missing file, mangled header, checksum mismatch, structural damage —
+// removes the file and reports a miss, so the caller rebuilds.
+func (s *Store) loadDisk(fp string) (*graph.Graph, []byte, bool) {
+	path := s.path(fp)
+	var data, mapped []byte
+	if !s.disableMmap {
+		if m, err := mmapFile(path); err == nil {
+			mapped = m
+			data = m
+		}
+	}
+	if data == nil {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, false
+		}
+		data = b
+	}
+	g, err := decodeVerified(data)
+	if err != nil {
+		if mapped != nil {
+			munmapFile(mapped)
+		}
+		s.dropFile(fp)
+		return nil, nil, false
+	}
+	return g, mapped, true
+}
+
+// decodeVerified is the checksum-then-decode load path.
+func decodeVerified(data []byte) (*graph.Graph, error) {
+	if err := graph.VerifyBinary(data); err != nil {
+		return nil, err
+	}
+	return graph.DecodeBinary(data)
+}
+
+// dropFile removes a bad or evicted artifact file and its accounting.
+func (s *Store) dropFile(fp string) {
+	_ = os.Remove(s.path(fp))
+	s.mu.Lock()
+	delete(s.files, fp)
+	s.mu.Unlock()
+}
+
+// writeArtifact serializes g and commits it with the temp+rename
+// convention: concurrent writers of the same fingerprint each rename a
+// complete, byte-identical file into place, so readers never observe a
+// partial artifact.
+func (s *Store) writeArtifact(fp string, g *graph.Graph) error {
+	data := graph.EncodeBinary(g)
+	tmp, err := os.CreateTemp(s.tmpDir(), fp[:8]+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("graphstore: stage %s: %w", fp[:12], err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("graphstore: write %s: %w", fp[:12], err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("graphstore: close %s: %w", fp[:12], err)
+	}
+	if err := os.MkdirAll(filepath.Dir(s.path(fp)), 0o755); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("graphstore: shard %s: %w", fp[:12], err)
+	}
+	if err := os.Rename(tmpName, s.path(fp)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("graphstore: commit %s: %w", fp[:12], err)
+	}
+	s.mu.Lock()
+	s.files[fp] = fileInfo{size: int64(len(data)), savedAt: time.Now()}
+	s.mu.Unlock()
+	return nil
+}
+
+// install registers a freshly served graph with one reference (the
+// resolving caller's) and counts the serving tier.
+func (s *Store) install(fp string, g *graph.Graph, mapped []byte, tier Tier) {
+	e := &entry{fp: fp, g: g, mapped: mapped, refs: 1}
+	s.mu.Lock()
+	s.mem[fp] = e
+	s.byGraph[g] = e
+	if mapped != nil {
+		s.mmapBytes += int64(len(mapped))
+	}
+	switch tier {
+	case TierDisk:
+		s.diskHits++
+	case TierBuild:
+		s.builds++
+	}
+	s.mu.Unlock()
+}
+
+// Release returns one reference taken by Resolve. Graphs stay resident
+// after their last reference (the warm tier); GC reclaims evicted
+// entries once their references drain. Releasing a graph the store does
+// not track is a no-op, so callers can release unconditionally.
+func (s *Store) Release(g *graph.Graph) {
+	if g == nil {
+		return
+	}
+	s.mu.Lock()
+	e, ok := s.byGraph[g]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	e.refs--
+	var unmap []byte
+	if e.refs <= 0 && e.dropped {
+		delete(s.byGraph, g)
+		if e.mapped != nil {
+			unmap = e.mapped
+			s.mmapBytes -= int64(len(e.mapped))
+		}
+	}
+	s.mu.Unlock()
+	if unmap != nil {
+		munmapFile(unmap)
+	}
+}
+
+// SetLimits replaces the GC policy.
+func (s *Store) SetLimits(l store.Limits) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limits = l
+}
+
+// Limits returns the installed GC policy.
+func (s *Store) Limits() store.Limits {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.limits
+}
+
+// GC applies the installed limits to the artifact files as of now,
+// mirroring the result store's policy: artifacts older than MaxAge are
+// evicted first, then — if the survivors still exceed MaxBytes — the
+// oldest survivors until the store fits (fingerprint as the
+// deterministic tie-break). Evicting a fingerprint also drops its
+// registry entry: unreferenced graphs are unmapped immediately;
+// referenced ones keep serving (an unlinked mapping stays valid) and
+// unmap when their references drain. Memory-only stores have no files
+// and GC is a no-op.
+func (s *Store) GC(now time.Time) (removed int, freed int64) {
+	s.mu.Lock()
+	limits := s.limits
+	if s.dir == "" || (limits.MaxBytes <= 0 && limits.MaxAge <= 0) {
+		s.mu.Unlock()
+		return 0, 0
+	}
+	type victim struct {
+		fp string
+		fileInfo
+	}
+	live := make([]victim, 0, len(s.files))
+	var victims []victim
+	var liveBytes int64
+	for fp, fi := range s.files {
+		if limits.MaxAge > 0 && now.Sub(fi.savedAt) > limits.MaxAge {
+			victims = append(victims, victim{fp, fi})
+			continue
+		}
+		live = append(live, victim{fp, fi})
+		liveBytes += fi.size
+	}
+	if limits.MaxBytes > 0 && liveBytes > limits.MaxBytes {
+		sort.Slice(live, func(a, b int) bool {
+			if !live[a].savedAt.Equal(live[b].savedAt) {
+				return live[a].savedAt.Before(live[b].savedAt)
+			}
+			return live[a].fp < live[b].fp
+		})
+		for _, v := range live {
+			if liveBytes <= limits.MaxBytes {
+				break
+			}
+			victims = append(victims, v)
+			liveBytes -= v.size
+		}
+	}
+	s.mu.Unlock()
+
+	for _, v := range victims {
+		s.dropFile(v.fp)
+		var unmap []byte
+		s.mu.Lock()
+		s.evicted++
+		if e, ok := s.mem[v.fp]; ok {
+			delete(s.mem, v.fp)
+			if e.refs <= 0 {
+				delete(s.byGraph, e.g)
+				if e.mapped != nil {
+					unmap = e.mapped
+					s.mmapBytes -= int64(len(e.mapped))
+				}
+			} else {
+				e.dropped = true
+			}
+		}
+		s.mu.Unlock()
+		if unmap != nil {
+			munmapFile(unmap)
+		}
+		removed++
+		freed += v.size
+	}
+	return removed, freed
+}
+
+// VerifyArtifact reads the stored artifact for (spec, seed) — never
+// building one — and returns its verified payload digest.
+func (s *Store) VerifyArtifact(spec string, seed uint64) (string, error) {
+	if s.dir == "" {
+		return "", fmt.Errorf("graphstore: memory-only store holds no artifacts")
+	}
+	fp := Fingerprint(spec, seed)
+	data, err := os.ReadFile(s.path(fp))
+	if err != nil {
+		return "", fmt.Errorf("graphstore: no artifact for %q seed %d (fingerprint %.12s): %w", spec, seed, fp, err)
+	}
+	digest, err := graph.BinaryDigest(data)
+	if err != nil {
+		return "", fmt.Errorf("graphstore: artifact %.12s: %w", fp, err)
+	}
+	return digest, nil
+}
+
+// Skipped returns how many files the opening scan ignored as
+// implausible artifact names.
+func (s *Store) Skipped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
+}
+
+// Stats returns a snapshot of the counters and footprint.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Builds:     s.builds,
+		MemHits:    s.memHits,
+		DiskHits:   s.diskHits,
+		Evicted:    s.evicted,
+		MmapBytes:  s.mmapBytes,
+		MemEntries: len(s.mem),
+		DiskFiles:  len(s.files),
+	}
+	for _, fi := range s.files {
+		st.DiskBytes += fi.size
+	}
+	return st
+}

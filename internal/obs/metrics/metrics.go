@@ -103,6 +103,11 @@ type metric struct {
 	fn      func() float64 // function-backed counter or gauge
 	hist    *Histogram
 	vec     *CounterVec
+
+	// vecFn backs a function-valued counter vector: scrape reads the
+	// whole label-value -> value map at once. vecLabel names the label.
+	vecFn    func() map[string]float64
+	vecLabel string
 }
 
 // Registry holds metric families and renders them. The zero value is
@@ -179,6 +184,15 @@ func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
 	return m.vec
 }
 
+// NewCounterVecFunc registers a single-label counter family whose
+// samples are read from fn at scrape time: fn returns the full
+// label-value -> count map, rendered in sorted label order — how
+// counters that already live behind another package's mutex are exposed
+// without double accounting.
+func (r *Registry) NewCounterVecFunc(name, help, label string, fn func() map[string]float64) {
+	r.register(&metric{name: name, help: help, typ: "counter", vecFn: fn, vecLabel: label})
+}
+
 // WritePrometheus renders every family in the text exposition format,
 // sorted by family name, each preceded by its # HELP and # TYPE lines.
 // Output is deterministic for a fixed set of values, so conformance
@@ -207,6 +221,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s %d\n", m.name, m.gauge.Value())
 		case m.fn != nil:
 			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.fn()))
+		case m.vecFn != nil:
+			samples := m.vecFn()
+			values := make([]string, 0, len(samples))
+			for v := range samples {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				fmt.Fprintf(&b, "%s{%s=%q} %s\n", m.name, m.vecLabel, v, formatFloat(samples[v]))
+			}
 		case m.vec != nil:
 			m.vec.mu.Lock()
 			values := make([]string, 0, len(m.vec.kids))

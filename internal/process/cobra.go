@@ -24,6 +24,8 @@ func init() {
 			{Name: "alias", Type: "bool", Default: false, Doc: "route irregular dense rounds through the graph's Walker alias table instead of the default offset/multiply sampler"},
 			{Name: "eager_frontier", Type: "bool", Default: false, Doc: "maintain the explicit active list every round instead of the default frontier-bitset-only mode"},
 		},
+		results: uniformResults("per-trial rounds to reach the coverage target",
+			ResultField{Name: "messages_mean", Kind: "summary", Doc: "mean neighbor samples drawn per trial"}),
 	}})
 	Register(generalProcess{base{
 		name: "general",
@@ -39,6 +41,7 @@ func init() {
 			{Name: "dense_theta", Type: "int", Default: 0, Doc: "frontier size at which the dense kernel takes over; 0 selects the core default, negative pins the sparse kernel"},
 			{Name: "alias", Type: "bool", Default: false, Doc: "route irregular dense rounds through the graph's Walker alias table instead of the default offset/multiply sampler"},
 		},
+		results: uniformResults("per-trial rounds to cover the graph"),
 	}})
 }
 

@@ -22,6 +22,8 @@ func validParams(t *testing.T, name string) Params {
 		return Params{"pebbles": 3.0}
 	case "push", "pull", "push-pull", "simple-walk", "lazy-walk":
 		return Params{}
+	case "biased-walk", "metropolis-walk":
+		return Params{"target": 6.0}
 	default:
 		t.Fatalf("no conformance fixture for process %q — add one", name)
 		return nil
@@ -67,6 +69,25 @@ func TestConformanceRegistryShape(t *testing.T) {
 		}
 		if _, ok := Get(info.Name); !ok {
 			t.Errorf("catalog lists unregistered process %q", info.Name)
+		}
+		// Every process declares its result schema: a values field plus
+		// the uniform summary scalars, in that order.
+		if len(info.Results) < 6 {
+			t.Errorf("%s: result schema has %d fields, want >= 6: %+v", info.Name, len(info.Results), info.Results)
+			continue
+		}
+		if info.Results[0].Kind != "values" {
+			t.Errorf("%s: first result field is %+v, want kind values", info.Name, info.Results[0])
+		}
+		for i, want := range []string{"values", "mean", "ci95", "max", "n", "m"} {
+			if info.Results[i].Name != want {
+				t.Errorf("%s: result field %d is %q, want %q", info.Name, i, info.Results[i].Name, want)
+			}
+		}
+		for _, rf := range info.Results {
+			if rf.Doc == "" || (rf.Kind != "values" && rf.Kind != "summary" && rf.Kind != "meta") {
+				t.Errorf("%s: malformed result field %+v", info.Name, rf)
+			}
 		}
 	}
 }
@@ -281,5 +302,15 @@ func TestConformanceFingerprintStability(t *testing.T) {
 	const golden = "0cf2dd30f79b2904a518a529d08fef2b564aec12d01d2143f7103c1728a560d8"
 	if got := Fingerprint("cobra", Params{"k": 2.0}); got != golden {
 		t.Errorf("golden cobra fingerprint drifted:\n got %s\nwant %s", got, golden)
+	}
+
+	// Same pins for the Section-5 hitting-time processes.
+	for name, want := range map[string]string{
+		"biased-walk":     "f2c595a5219f09dfed1c67d54867a721c5a98aed559de40df146acc10cb9e827",
+		"metropolis-walk": "cd31f4fcaa755ac2f4ebdb7b646c3c412a84356fae6b68eac2f7e40b7f70ca58",
+	} {
+		if got := Fingerprint(name, Params{"target": 6.0}); got != want {
+			t.Errorf("golden %s fingerprint drifted:\n got %s\nwant %s", name, got, want)
+		}
 	}
 }

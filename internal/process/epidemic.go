@@ -20,6 +20,8 @@ func init() {
 			{Name: "max_steps", Type: "int", Default: 0, Min: limit(0), Doc: "per-trial round cap; 0 selects a generous default"},
 			{Name: "start", Type: "int", Default: 0, Min: limit(0), Doc: "patient-zero vertex"},
 		},
+		results: uniformResults("per-trial rounds until full exposure or extinction",
+			ResultField{Name: "survival_rate", Kind: "summary", Doc: "fraction of trials reaching full exposure before extinction"}),
 	}})
 }
 

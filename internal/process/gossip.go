@@ -25,6 +25,8 @@ func init() {
 				{Name: "max_steps", Type: "int", Default: 0, Min: limit(0), Doc: "per-trial round cap; 0 selects a generous default"},
 				{Name: "start", Type: "int", Default: 0, Min: limit(0), Doc: "vertex holding the rumor initially"},
 			},
+			results: uniformResults("per-trial rounds to inform every vertex",
+				ResultField{Name: "messages_mean", Kind: "summary", Doc: "mean messages sent per trial"}),
 		}, mode: mode})
 	}
 }

@@ -86,6 +86,35 @@ type ParamSpec struct {
 // limit is a convenience constructor for ParamSpec.Min / ParamSpec.Max.
 func limit(v float64) *float64 { return &v }
 
+// ResultField describes one field of a process result — the output half
+// of the self-describing schema served by GET /v1/processes, so clients
+// can interpret Result payloads without reading Go source.
+type ResultField struct {
+	// Name is the field key: "values" for the per-trial array, the
+	// summary key for summary scalars, the meta key for annotations.
+	Name string `json:"name"`
+	// Kind is where the field lives in a Result: "values", "summary",
+	// or "meta".
+	Kind string `json:"kind"`
+	// Doc is a one-line description.
+	Doc string `json:"doc"`
+}
+
+// uniformResults builds the result schema every process shares — the
+// per-trial values array and the uniform summary scalars — with
+// process-specific extras appended.
+func uniformResults(valuesDoc string, extras ...ResultField) []ResultField {
+	out := []ResultField{
+		{Name: "values", Kind: "values", Doc: valuesDoc},
+		{Name: "mean", Kind: "summary", Doc: "mean of the per-trial values"},
+		{Name: "ci95", Kind: "summary", Doc: "95% confidence half-width of the mean"},
+		{Name: "max", Kind: "summary", Doc: "maximum per-trial value"},
+		{Name: "n", Kind: "summary", Doc: "graph vertex count"},
+		{Name: "m", Kind: "summary", Doc: "graph edge count"},
+	}
+	return append(out, extras...)
+}
+
 // Run is one deterministic batch of work handed to Process.Run: Trials
 // independent trials of the process on Graph, trial i seeded with
 // stream i of Seed.
@@ -138,6 +167,9 @@ type Process interface {
 	Doc() string
 	// ParamSpecs is the parameter schema, in display order.
 	ParamSpecs() []ParamSpec
+	// ResultSpecs is the result schema: every field Run emits, in
+	// display order.
+	ResultSpecs() []ResultField
 	// Validate rejects malformed params (schema violations and
 	// process-specific semantic constraints).
 	Validate(p Params) error
@@ -150,9 +182,10 @@ type Process interface {
 // Info is the discovery view of one registered process, the element
 // type of GET /v1/processes.
 type Info struct {
-	Name   string      `json:"name"`
-	Doc    string      `json:"doc"`
-	Params []ParamSpec `json:"params"`
+	Name    string        `json:"name"`
+	Doc     string        `json:"doc"`
+	Params  []ParamSpec   `json:"params"`
+	Results []ResultField `json:"results"`
 }
 
 // CheckParams validates p against a parameter schema: unknown names,
@@ -271,15 +304,17 @@ func Fingerprint(name string, p Params) string {
 // constraints beyond the schema override Validate and call CheckParams
 // first.
 type base struct {
-	name   string
-	doc    string
-	params []ParamSpec
+	name    string
+	doc     string
+	params  []ParamSpec
+	results []ResultField
 }
 
-func (b base) Name() string            { return b.name }
-func (b base) Doc() string             { return b.doc }
-func (b base) ParamSpecs() []ParamSpec { return append([]ParamSpec(nil), b.params...) }
-func (b base) Validate(p Params) error { return CheckParams(b.params, p) }
+func (b base) Name() string               { return b.name }
+func (b base) Doc() string                { return b.doc }
+func (b base) ParamSpecs() []ParamSpec    { return append([]ParamSpec(nil), b.params...) }
+func (b base) ResultSpecs() []ResultField { return append([]ResultField(nil), b.results...) }
+func (b base) Validate(p Params) error    { return CheckParams(b.params, p) }
 
 // startVertex resolves the shared "start" parameter against a graph.
 func startVertex(r Run) (int32, error) {

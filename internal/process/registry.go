@@ -68,7 +68,7 @@ func Catalog() []Info {
 	procs := All()
 	out := make([]Info, len(procs))
 	for i, p := range procs {
-		out[i] = Info{Name: p.Name(), Doc: p.Doc(), Params: p.ParamSpecs()}
+		out[i] = Info{Name: p.Name(), Doc: p.Doc(), Params: p.ParamSpecs(), Results: p.ResultSpecs()}
 	}
 	return out
 }

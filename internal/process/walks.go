@@ -29,6 +29,7 @@ func init() {
 			{Name: "max_steps", Type: "int", Default: 0, Min: limit(0), Doc: "per-trial step cap; 0 selects a generous default"},
 			{Name: "start", Type: "int", Default: 0, Min: limit(0), Doc: "start vertex"},
 		},
+		results: uniformResults("per-trial steps to visit every vertex"),
 	}})
 	Register(lazyWalkProcess{base{
 		name: "lazy-walk",
@@ -37,6 +38,7 @@ func init() {
 			{Name: "max_steps", Type: "int", Default: 0, Min: limit(0), Doc: "per-trial step cap; 0 selects a generous default"},
 			{Name: "start", Type: "int", Default: 0, Min: limit(0), Doc: "start vertex"},
 		},
+		results: uniformResults("per-trial steps to visit every vertex"),
 	}})
 	Register(parallelWalkProcess{base{
 		name: "parallel-walk",
@@ -46,6 +48,7 @@ func init() {
 			{Name: "max_steps", Type: "int", Default: 0, Min: limit(0), Doc: "per-trial round cap; 0 selects a generous default"},
 			{Name: "start", Type: "int", Default: 0, Min: limit(0), Doc: "start vertex of every walker"},
 		},
+		results: uniformResults("per-trial rounds for the trajectory union to cover the graph"),
 	}})
 }
 

@@ -21,6 +21,7 @@ func init() {
 			{Name: "start", Type: "int", Default: 0, Min: limit(0), Doc: "vertex holding all pebbles initially"},
 			{Name: "dense_theta", Type: "int", Default: 0, Doc: "occupied-vertex count at which the count-based dense kernel takes over; 0 selects the core default, negative pins the byte-stable sparse kernel"},
 		},
+		results: uniformResults("per-trial rounds for the pebble population to cover the graph"),
 	}})
 }
 

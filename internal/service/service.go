@@ -562,6 +562,16 @@ func (s *Server) registerMetrics() {
 	s.reg.NewCounterFunc("cobrad_hub_frames_dropped_total", "Frame batches dropped to slow SSE subscribers.", func() float64 {
 		return float64(s.hub.dropped.Load())
 	})
+	s.reg.NewCounterFunc("graphstore_builds_total", "Graphs built from spec (artifact store misses).", func() float64 {
+		return float64(s.eng.Graphs().Stats().Builds)
+	})
+	s.reg.NewCounterVecFunc("graphstore_hits_total", "Graph resolutions served without building, by tier.", "tier", func() map[string]float64 {
+		st := s.eng.Graphs().Stats()
+		return map[string]float64{"mem": float64(st.MemHits), "disk": float64(st.DiskHits)}
+	})
+	s.reg.NewGaugeFunc("graphstore_mmap_bytes", "Bytes of graph artifacts currently memory-mapped.", func() float64 {
+		return float64(s.eng.Graphs().Stats().MmapBytes)
+	})
 	s.httpDur = s.reg.NewHistogram("cobrad_http_request_duration_seconds", "HTTP request latency.", metrics.DurationBuckets)
 }
 

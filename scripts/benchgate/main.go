@@ -54,7 +54,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "baseline BENCH_<date>.json (default: newest committed one in -root)")
 	freshPath := flag.String("fresh", "", "fresh measurement to compare (required; produced by cmd/benchjson)")
 	root := flag.String("root", ".", "repository root to scan for baselines")
-	gate := flag.String("gate", "CobraStepExpander", "comma-separated benchmark names that fail the run on regression")
+	gate := flag.String("gate", "CobraStepExpander,GraphResolveWarm", "comma-separated benchmark names that fail the run on regression")
 	maxRegress := flag.Float64("max-regress", 0.15, "allowed fractional ns/op regression for gated benchmarks")
 	flag.Parse()
 

@@ -151,6 +151,13 @@ sleep 3  # past the 3x-heartbeat liveness window
 ctl_a nodes -json | jq -e '.nodes[] | select(.id=="b") | .alive == false' >/dev/null \
   || fail "killed runner still reported alive: $(ctl_a nodes -json)"
 
+echo "e2e: seeding a graph artifact on the coordinator"
+ctl_a submit -process cobra -graph regular:1024,5 -graph-seed 42 -trials 2 -seed 5 -param k=2 -watch -json >/dev/null \
+  || fail "artifact-seeding job failed"
+[ -n "$(find "${DATA}/graphs" -name '*.g' 2>/dev/null)" ] \
+  || fail "no graph artifacts persisted under ${DATA}/graphs"
+JOURNAL_BASE="$(journal_total)"  # 12 sweep points + the seeding job
+
 echo "e2e: full restart — fresh peer on the same data dir"
 stop_daemon "${PID_A}"
 start_daemon c "${PORT_C}" peer; PID_C="${DAEMON_PID}"
@@ -173,7 +180,8 @@ COMPUTED_AFTER="$(awk '/^cobrad_points_computed_total/ {print $2}' <<<"${METRICS
 COMPLETED_AFTER="$(awk '/^cobrad_jobs_completed_total/ {print $2}' <<<"${METRICS}")"
 [ "${COMPUTED_AFTER}" -eq 0 ] || fail "restarted node computed ${COMPUTED_AFTER} points, want 0"
 [ "${COMPLETED_AFTER}" -eq 1 ] || fail "restarted node completed ${COMPLETED_AFTER} jobs, want 1 (the cache-served parent)"
-[ "$(journal_total)" -eq 12 ] || fail "journal grew to $(journal_total) records after the resubmit, want still 12"
+[ "$(journal_total)" -eq "${JOURNAL_BASE}" ] \
+  || fail "journal grew to $(journal_total) records after the resubmit, want still ${JOURNAL_BASE}"
 
 echo "e2e: service regressions — schema discovery, two-process sweep, listing determinism"
 ctl_c processes -json | jq -e '.processes[] | select(.name=="cobra") | .params | length > 0' >/dev/null \
@@ -193,6 +201,20 @@ ctl_c ps -status done -json | jq -e '[.jobs[].id] as $a | ($a | sort | reverse) 
   || fail "ps listing is not sorted most-recent-first"
 ctl_c ps -json | jq -e '[.jobs[].node] | unique == ["c"]' >/dev/null \
   || fail "job listing missing node identity"
+
+echo "e2e: graph artifact reuse — second node serves the graph from disk"
+GS_BUILDS_BEFORE="$(curl -sf "${BASE_C}/metrics" | awk '/^graphstore_builds_total/ {print $2}')"
+ART="$(ctl_c submit -process cobra -graph regular:1024,5 -graph-seed 42 -trials 2 -seed 6 -param k=2 -watch -json)" \
+  || fail "disk-served job failed"
+METRICS_C="$(curl -sf "${BASE_C}/metrics")"
+GS_BUILDS_AFTER="$(awk '/^graphstore_builds_total/ {print $2}' <<<"${METRICS_C}")"
+GS_DISK_HITS="$(grep '^graphstore_hits_total{tier="disk"}' <<<"${METRICS_C}" | awk '{print $2}')"
+[ "${GS_BUILDS_AFTER}" -eq "${GS_BUILDS_BEFORE}" ] \
+  || fail "node c rebuilt an already-stored graph (builds ${GS_BUILDS_BEFORE} -> ${GS_BUILDS_AFTER})"
+[ "${GS_DISK_HITS:-0}" -ge 1 ] \
+  || fail "node c never served a graph from disk: $(grep '^graphstore' <<<"${METRICS_C}")"
+jq -e '.job.graph_builds_avoided >= 1' <<<"${ART}" >/dev/null \
+  || fail "disk-served job did not report graph_builds_avoided: ${ART}"
 
 stop_daemon "${PID_C}"
 echo "e2e: PASS — two-node cluster drained a 12-point sweep through leased claims, survived a SIGKILL mid-sweep with every point computed exactly once (b contributed ${B_POINTS}), and a full restart served the identical sweep with zero trials re-run"
