@@ -173,6 +173,20 @@ func (c *Client) Nodes(ctx context.Context) (NodesView, error) {
 	return out, nil
 }
 
+// Journal returns the cluster's compute ledger: one entry per point a
+// node computed while holding its lease, the record behind
+// exactly-once accounting. A daemon that is not a cluster member
+// answers 503 unavailable.
+func (c *Client) Journal(ctx context.Context) ([]cluster.JournalEntry, error) {
+	var out struct {
+		Entries []cluster.JournalEntry `json:"entries"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster/journal", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Entries, nil
+}
+
 // Submit submits one job of the given kind ("process", "covertime",
 // "cobra", "experiment", "sweep"). spec may be any JSON-marshalable
 // value shaped like the corresponding engine spec — typically

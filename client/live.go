@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/retry"
 )
 
 // SeriesView is the GET /v1/jobs/{id}/series document: the retained
@@ -47,6 +48,28 @@ func (c *Client) Series(ctx context.Context, id string, since uint64) (SeriesVie
 // dropped stream before giving up.
 const followLiveReconnects = 5
 
+// followLivePolicy is FollowLive's reconnect schedule, expressed on
+// the same retryable-transport helper the cluster RPC client rides:
+// bounded attempts, exponential backoff, context-aware sleeps. Jitter
+// is zero so reconnect timing stays deterministic for tests.
+func followLivePolicy() retry.Policy {
+	return retry.Policy{
+		MaxAttempts: followLiveReconnects + 1,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+	}
+}
+
+// followLiveRetryable classifies one dropped stream: a typed API error
+// (404, 400, ...) will not heal on retry; anything else — transport
+// failures, 5xx, a stream that ended early — is worth reconnecting.
+func followLiveRetryable(err error) bool {
+	if apiErr, ok := err.(*Error); ok {
+		return apiErr.IsRetryable()
+	}
+	return true
+}
+
 // FollowLive streams the job's multiplexed SSE feed — status updates
 // plus per-round observable frame batches — until the job is terminal
 // or ctx is done. Unlike Follow, a dropped stream is reopened (up to a
@@ -56,36 +79,28 @@ const followLiveReconnects = 5
 // be nil. The terminal status is returned.
 func (c *Client) FollowLive(ctx context.Context, id string, onStatus func(engine.Status), onFrames func([]obs.Frame)) (engine.Status, error) {
 	var cursor string
-	var lastErr error
-	for attempt := 0; attempt <= followLiveReconnects; attempt++ {
-		if attempt > 0 {
-			backoff := time.Duration(100<<(attempt-1)) * time.Millisecond
-			if backoff > 2*time.Second {
-				backoff = 2 * time.Second
-			}
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-				return engine.Status{}, ctx.Err()
-			}
-		}
+	var final engine.Status
+	err := followLivePolicy().Do(ctx, followLiveRetryable, func() error {
 		st, terminal, err := c.followLiveOnce(ctx, id, &cursor, onStatus, onFrames)
 		if terminal {
-			return st, nil
-		}
-		if ctx.Err() != nil {
-			return engine.Status{}, ctx.Err()
+			final = st
+			return nil
 		}
 		if err == nil {
 			err = fmt.Errorf("client: events stream %s ended before a terminal status", id)
 		}
-		// A typed API error (404, 400, ...) will not heal on retry.
-		if apiErr, ok := err.(*Error); ok && !apiErr.IsRetryable() {
-			return engine.Status{}, apiErr
-		}
-		lastErr = err
+		return err
+	})
+	if err == nil {
+		return final, nil
 	}
-	return engine.Status{}, fmt.Errorf("client: follow %s: gave up after %d reconnects: %w", id, followLiveReconnects, lastErr)
+	if ctx.Err() != nil {
+		return engine.Status{}, ctx.Err()
+	}
+	if apiErr, ok := err.(*Error); ok && !apiErr.IsRetryable() {
+		return engine.Status{}, apiErr
+	}
+	return engine.Status{}, fmt.Errorf("client: follow %s: gave up after %d reconnects: %w", id, followLiveReconnects, err)
 }
 
 // followLiveOnce holds one SSE connection open, dispatching events and

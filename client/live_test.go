@@ -192,6 +192,51 @@ func TestFollowLiveGivesUpAfterBoundedRetries(t *testing.T) {
 	}
 }
 
+// TestFollowLiveRetrySchedule pins that FollowLive rides the shared
+// retryable-transport helper (the same retry.Policy the cluster RPC
+// client uses) with its historical schedule: reconnects+1 bounded
+// attempts, deterministic 100ms-base exponential backoff capped at 2s.
+func TestFollowLiveRetrySchedule(t *testing.T) {
+	p := followLivePolicy()
+	if got := p.Attempts(); got != followLiveReconnects+1 {
+		t.Errorf("policy attempts = %d, want %d", got, followLiveReconnects+1)
+	}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Errorf("delay after attempt %d = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestFollowLiveHonorsContextDuringBackoff pins the policy's context
+// semantics end to end: a context that expires while FollowLive sleeps
+// between reconnects aborts the wait instead of burning the budget.
+func TestFollowLiveHonorsContextDuringBackoff(t *testing.T) {
+	var conns atomic.Int64
+	c := scriptedClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "event: status\ndata: {\"id\":\"j1\",\"state\":\"running\"}\n\n")
+	}))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.FollowLive(ctx, "j1", nil, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("context expiry took %v to surface", elapsed)
+	}
+	if got := conns.Load(); got != 1 {
+		t.Errorf("connections = %d, want 1 (deadline hit during the first backoff)", got)
+	}
+}
+
 // TestFollowIgnoresNewEventTypes pins backward compatibility of the
 // plain Follow parser: id: lines and frames events from the upgraded
 // daemon are ignored, status semantics unchanged.

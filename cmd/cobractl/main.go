@@ -10,6 +10,7 @@
 //
 //	processes            list registered processes with parameter schemas
 //	nodes                list cluster members and their liveness
+//	journal              list the cluster's exactly-once compute ledger
 //	submit               submit one job and (optionally) watch it to completion
 //	sweep                submit a server-side sweep across processes × families × ks × sizes
 //	watch <job-id>       stream a job's live status (SSE) until terminal;
@@ -90,6 +91,8 @@ func main() {
 		err = cmdProcesses(ctx, server, rest)
 	case "nodes":
 		err = cmdNodes(ctx, server, rest)
+	case "journal":
+		err = cmdJournal(ctx, server, rest)
 	case "submit":
 		err = cmdSubmit(ctx, server, rest)
 	case "sweep":
@@ -123,6 +126,7 @@ usage: cobractl [-server URL] <command> [flags] [args]
 commands:
   processes            list registered processes with parameter schemas
   nodes                list cluster members (ID, role, liveness)
+  journal              list which node computed each key (the exactly-once ledger)
   submit               submit one job (-process/-graph/-param, or -kind/-spec)
   sweep                submit a sweep (-processes/-family/-sizes/-ks, or -spec)
   watch <job-id>       stream live status until terminal (-live adds observable sparklines)
@@ -265,6 +269,39 @@ func cmdNodes(ctx context.Context, server string, args []string) error {
 		}
 		fmt.Printf("%-24s %-12s %-22s %-6v %s\n",
 			n.ID, n.Role, addr, n.Alive, n.LastSeen.Format(time.RFC3339))
+	}
+	return nil
+}
+
+func cmdJournal(ctx context.Context, server string, args []string) error {
+	fs, srv, asJSON := newFlagSet("journal", server)
+	node := fs.String("node", "", "filter: entries computed by this node")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := dial(*srv)
+	if err != nil {
+		return err
+	}
+	entries, err := c.Journal(ctx)
+	if err != nil {
+		return err
+	}
+	if *node != "" {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.Node == *node {
+				kept = append(kept, e)
+			}
+		}
+		entries = kept
+	}
+	if *asJSON {
+		return printJSON(map[string]any{"entries": entries})
+	}
+	fmt.Printf("%-64s %-24s %s\n", "KEY", "NODE", "COMPUTED")
+	for _, e := range entries {
+		fmt.Printf("%-64s %-24s %s\n", e.Key, e.Node, e.CompletedAt.Format(time.RFC3339))
 	}
 	return nil
 }

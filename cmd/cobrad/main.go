@@ -55,6 +55,20 @@
 //	cobrad -addr :8081 -data-dir /shared/cobrad -cluster runner      -node-id b &
 //	curl -s localhost:8080/v1/nodes
 //
+// A runner (or peer) can instead join over the network, with no shared
+// filesystem at all: point it at a disk-backed clustered daemon with
+// -cluster-url. Results, lease claims, journal records, sweep
+// announcements, cancellations, and node heartbeats then travel as
+// /v1/cluster/* RPCs against the coordinator, which arbitrates them on
+// the same store its local workers use — the exactly-once guarantees
+// are identical to the shared-directory cluster. A -data-dir on such a
+// runner is optional and used only for the graph artifact cache; its
+// results live on the coordinator.
+//
+//	cobrad -addr :8080 -data-dir /var/lib/cobrad -cluster coordinator -node-id a &
+//	cobrad -addr :8081 -cluster runner -cluster-url http://127.0.0.1:8080 -node-id b &
+//	curl -s localhost:8080/v1/cluster/journal
+//
 // cobrad shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, lets in-flight HTTP requests finish, then drains the job
 // queue up to -drain before cancelling whatever is left.
@@ -97,7 +111,8 @@ func main() {
 		storeMaxAge   = flag.Duration("store-max-age", 0, "persistent store record retention; older records evicted (0 disables)")
 		storeGCEvery  = flag.Duration("store-gc-interval", time.Minute, "how often the store GC sweep runs")
 		graphCacheMax = flag.Int64("graph-cache-bytes", 0, "graph artifact store size cap in bytes; oldest artifacts evicted beyond it (0 disables)")
-		clusterMode   = flag.String("cluster", "off", "cluster role: off|coordinator|runner|peer (requires -data-dir)")
+		clusterMode   = flag.String("cluster", "off", "cluster role: off|coordinator|runner|peer (requires -data-dir or -cluster-url)")
+		clusterURL    = flag.String("cluster-url", "", "coordinator base URL; join the cluster over HTTP instead of a shared -data-dir (runner/peer roles only)")
 		nodeID        = flag.String("node-id", "", "cluster node identity (default <hostname>-<pid>)")
 		leaseTTL      = flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "point lease TTL; a dead node's work is reclaimed after this long")
 		logLevel      = flag.String("log-level", "info", "structured log level: debug|info|warn|error")
@@ -105,8 +120,17 @@ func main() {
 		pprofAddr     = flag.String("pprof-addr", "127.0.0.1:6060", "pprof listen address (with -pprof)")
 	)
 	flag.Parse()
-	if *clusterMode != "off" && *dataDir == "" {
-		fatal(errors.New("cobrad: -cluster requires -data-dir (the shared directory is the cluster)"))
+	if *clusterURL != "" {
+		switch *clusterMode {
+		case "runner", "peer":
+		case "off":
+			fatal(errors.New("cobrad: -cluster-url requires -cluster runner or -cluster peer"))
+		default:
+			fatal(fmt.Errorf("cobrad: -cluster %s cannot join over -cluster-url: the coordinator is the node the URL points at", *clusterMode))
+		}
+	}
+	if *clusterMode != "off" && *clusterURL == "" && *dataDir == "" {
+		fatal(errors.New("cobrad: -cluster requires -data-dir (the shared directory is the cluster) or -cluster-url (join the coordinator over http)"))
 	}
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -125,21 +149,47 @@ func main() {
 	}
 	gcStop := make(chan struct{})
 	var gcDone, graphGCDone chan struct{}
-	var cl *cluster.Cluster
+	var backend cluster.Backend // the cluster membership, whatever its transport
+	var cs *cluster.Server      // non-nil on disk-backed clustered daemons: serves /v1/cluster/* mutations
 	if *dataDir != "" {
-		st, err := store.Open(*dataDir)
-		if err != nil {
-			fatal(err)
-		}
-		if skipped := st.Skipped(); skipped > 0 {
-			log.Printf("cobrad: store scan skipped %d invalid record files in %s", skipped, *dataDir)
-		}
-		log.Printf("cobrad: persistent store at %s (%d records, %d bytes)", *dataDir, st.Len(), st.TotalBytes())
-		opts.Store = st
-		if *storeMaxBytes > 0 || *storeMaxAge > 0 {
-			st.SetLimits(store.Limits{MaxBytes: *storeMaxBytes, MaxAge: *storeMaxAge})
-			gcDone = make(chan struct{})
-			go storeGCLoop(st, *storeGCEvery, gcStop, gcDone)
+		// With -cluster-url, the local directory holds only the graph
+		// artifact cache: results, leases, and the journal live on the
+		// coordinator.
+		if *clusterURL == "" {
+			st, err := store.Open(*dataDir)
+			if err != nil {
+				fatal(err)
+			}
+			if skipped := st.Skipped(); skipped > 0 {
+				log.Printf("cobrad: store scan skipped %d invalid record files in %s", skipped, *dataDir)
+			}
+			log.Printf("cobrad: persistent store at %s (%d records, %d bytes)", *dataDir, st.Len(), st.TotalBytes())
+			opts.Store = st
+			if *storeMaxBytes > 0 || *storeMaxAge > 0 {
+				st.SetLimits(store.Limits{MaxBytes: *storeMaxBytes, MaxAge: *storeMaxAge})
+				gcDone = make(chan struct{})
+				go storeGCLoop(st, *storeGCEvery, gcStop, gcDone)
+			}
+			if *clusterMode != "off" {
+				cl, err := cluster.Join(st, cluster.Config{
+					NodeID:   *nodeID,
+					Role:     cluster.Role(*clusterMode),
+					Addr:     *addr,
+					LeaseTTL: *leaseTTL,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				backend = cl
+				opts.Cluster = cl
+				opts.NodeID = cl.NodeID()
+				// Any disk-backed member can arbitrate for HTTP runners:
+				// mount the coordinator-side RPC authority over the same
+				// store and membership its local workers use.
+				cs = cluster.NewServer(st, cl)
+				log.Printf("cobrad: joined cluster at %s as %s (%s, lease-ttl %v)",
+					*dataDir, cl.NodeID(), cl.Role(), cl.LeaseTTL())
+			}
 		}
 		// Graph artifacts live beside the result records: every node
 		// sharing this -data-dir serves decoded CSR graphs from the same
@@ -160,27 +210,35 @@ func main() {
 			graphGCDone = make(chan struct{})
 			go graphGCLoop(gs, *storeGCEvery, gcStop, graphGCDone)
 		}
-		if *clusterMode != "off" {
-			cl, err = cluster.Join(st, cluster.Config{
-				NodeID:   *nodeID,
-				Role:     cluster.Role(*clusterMode),
-				Addr:     *addr,
-				LeaseTTL: *leaseTTL,
-			})
-			if err != nil {
-				fatal(err)
-			}
-			opts.Cluster = cl
-			opts.NodeID = cl.NodeID()
-			log.Printf("cobrad: joined cluster at %s as %s (%s, lease-ttl %v)",
-				*dataDir, cl.NodeID(), cl.Role(), cl.LeaseTTL())
+	}
+	if *clusterURL != "" {
+		hb, err := cluster.JoinHTTP(cluster.HTTPConfig{
+			BaseURL:  *clusterURL,
+			NodeID:   *nodeID,
+			Role:     cluster.Role(*clusterMode),
+			Addr:     *addr,
+			LeaseTTL: *leaseTTL,
+		})
+		if err != nil {
+			fatal(err)
 		}
+		backend = hb
+		opts.Cluster = hb
+		opts.NodeID = hb.NodeID()
+		// The coordinator's content-addressed store, over RPC: this node
+		// needs no result directory of its own.
+		opts.Store = hb.RemoteStore()
+		log.Printf("cobrad: joined cluster at %s as %s (%s, lease-ttl %v)",
+			*clusterURL, hb.NodeID(), hb.Role(), hb.LeaseTTL())
 	}
 	eng := engine.New(opts)
 
 	svcOpts := []service.Option{service.WithRegistry(reg), service.WithLogger(logger)}
-	if cl != nil {
-		svcOpts = append(svcOpts, service.WithCluster(cl))
+	if backend != nil {
+		svcOpts = append(svcOpts, service.WithCluster(backend))
+	}
+	if cs != nil {
+		svcOpts = append(svcOpts, service.WithClusterServer(cs))
 	}
 	srv := &http.Server{
 		Addr:    *addr,
@@ -200,16 +258,31 @@ func main() {
 		}()
 	}
 
-	// Runner and peer nodes adopt sweeps announced by the rest of the
-	// cluster into their own engine, so a sweep submitted anywhere
-	// drains everywhere.
-	adoptStop := make(chan struct{})
-	var adoptDone chan struct{}
-	if cl != nil && cl.Role().Adopts() {
-		adoptDone = make(chan struct{})
-		go func() {
-			defer close(adoptDone)
-			cl.Adopt(adoptStop, func(ann cluster.Announcement) error {
+	// Every clustered node runs the watch loop: roles that adopt drain
+	// sweeps announced by the rest of the cluster into their own engine
+	// (so a sweep submitted anywhere drains everywhere), and every role
+	// applies cross-node cancellations to its local jobs. The loop is
+	// generic over the backend — it polls the shared directory or the
+	// coordinator's RPCs the same way.
+	watchStop := make(chan struct{})
+	var watchDone chan struct{}
+	if backend != nil {
+		hooks := cluster.WatchHooks{
+			Cancel: func(fp string, canceledAt time.Time) {
+				if n := eng.CancelFingerprint(fp, canceledAt); n > 0 {
+					log.Printf("cobrad: canceled %d local job(s) for %.12s (cluster cancellation)", n, fp)
+				}
+			},
+		}
+		if backend.Role().Adopts() {
+			hooks.HasResult = func(fp string) bool {
+				if opts.Store == nil {
+					return false
+				}
+				_, ok, _ := opts.Store.Get(fp)
+				return ok
+			}
+			hooks.Submit = func(ann cluster.Announcement) error {
 				if eng.HasLiveFingerprint(ann.Fingerprint) {
 					return nil // already running here (submitted directly)
 				}
@@ -229,7 +302,12 @@ func main() {
 				}
 				log.Printf("cobrad: adopted sweep %.12s from node %s", ann.Fingerprint, ann.Origin)
 				return nil
-			})
+			}
+		}
+		watchDone = make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			cluster.Watch(backend, watchStop, hooks)
 		}()
 	}
 
@@ -254,11 +332,11 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("cobrad: http shutdown: %v", err)
 	}
-	// Stop adopting before draining, so the engine is not handed new
+	// Stop watching before draining, so the engine is not handed new
 	// sweeps while it shuts down.
-	close(adoptStop)
-	if adoptDone != nil {
-		<-adoptDone
+	close(watchStop)
+	if watchDone != nil {
+		<-watchDone
 	}
 	if err := eng.Shutdown(shutdownCtx); err != nil {
 		log.Printf("cobrad: engine shutdown: %v", err)
@@ -270,8 +348,8 @@ func main() {
 	if graphGCDone != nil {
 		<-graphGCDone
 	}
-	if cl != nil {
-		cl.Leave()
+	if backend != nil {
+		backend.Leave()
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)

@@ -1,63 +1,36 @@
 package cluster
 
-import "time"
-
-// Adopt is the runner loop: it scans the shared announcement queue on
-// the cluster's poll cadence and hands each foreign, still-unfinished
-// sweep to submit exactly once. It blocks until stop closes (or the
-// node Leaves). submit typically decodes the announcement's spec and
-// submits it to the local engine; returning an error (a full queue,
-// say) leaves the announcement unadopted so the next scan retries it.
-//
-// Announcements whose sweep result already sits in the store — the
-// origin finished, or died after finishing — are retired instead of
-// adopted. Announcements from this node are always skipped: the origin
-// is already running its own sweep.
+// Adopt is the runner loop over the shared-directory backend: it scans
+// the announcement queue on the cluster's poll cadence and hands each
+// foreign, still-unfinished sweep to submit exactly once, blocking
+// until stop closes (or the node Leaves). It is Watch specialized to
+// this backend with the store as the finished-sweep check; kept for
+// callers that only want adoption with no cancellation propagation.
 func (c *Cluster) Adopt(stop <-chan struct{}, submit func(Announcement) error) {
-	seen := make(map[string]bool)
-	ticker := time.NewTicker(c.cfg.Poll)
-	defer ticker.Stop()
-	for {
-		c.adoptOnce(seen, submit)
+	merged := make(chan struct{})
+	settled := make(chan struct{})
+	defer close(settled)
+	go func() {
+		defer close(merged)
 		select {
 		case <-stop:
-			return
-		case <-c.stop:
-			return
-		case <-ticker.C:
+		case <-c.stop: // Leave() also ends adoption
+		case <-settled:
 		}
-	}
+	}()
+	Watch(c, merged, WatchHooks{HasResult: c.hasStored, Submit: submit})
 }
 
+// hasStored reports whether the aggregate for fp already sits in the
+// shared store.
+func (c *Cluster) hasStored(fp string) bool {
+	_, ok, _ := c.st.Get(fp)
+	return ok
+}
+
+// adoptOnce runs a single adoption scan; split out for tests.
 func (c *Cluster) adoptOnce(seen map[string]bool, submit func(Announcement) error) {
-	anns, err := c.Announcements()
-	if err != nil {
-		return
-	}
-	current := make(map[string]bool, len(anns))
-	for _, a := range anns {
-		current[a.Fingerprint] = true
-		if a.Origin == c.cfg.NodeID || seen[a.Fingerprint] {
-			continue
-		}
-		if _, ok, _ := c.st.Get(a.Fingerprint); ok {
-			// The sweep's aggregate is already stored: nothing to drain.
-			c.CompleteSweep(a.Fingerprint)
-			seen[a.Fingerprint] = true
-			continue
-		}
-		if err := submit(a); err != nil {
-			continue // retried on the next scan
-		}
-		seen[a.Fingerprint] = true
-	}
-	// Forget fingerprints whose announcement has been retired, so a
-	// long-lived runner re-adopts a sweep that is legitimately
-	// re-announced later (e.g. store GC evicted its records and the
-	// origin re-ran it).
-	for fp := range seen {
-		if !current[fp] {
-			delete(seen, fp)
-		}
-	}
+	w := &watcher{b: c, seen: seen,
+		h: WatchHooks{HasResult: c.hasStored, Submit: submit}}
+	w.adoptOnce()
 }

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// cancelRetention bounds how long a cancellation marker stays visible.
+// A marker only needs to outlive the poll cadence of every member by a
+// wide margin; after that it is garbage. The timestamp guard in the
+// watch loop (jobs submitted after CanceledAt are untouched) already
+// protects resubmissions, so retention is about hygiene, not safety.
+const cancelRetention = 15 * time.Minute
+
+// CancelRecord is one cross-node cancellation: every member that sees
+// it cancels its local live jobs for the fingerprint that were
+// submitted before CanceledAt — later resubmissions of the same spec
+// are deliberately spared.
+type CancelRecord struct {
+	Fingerprint string    `json:"fingerprint"`
+	Node        string    `json:"node"`
+	CanceledAt  time.Time `json:"canceled_at"`
+}
+
+func (c *Cluster) cancelsDir() string { return filepath.Join(c.clusterDir(), "cancels") }
+
+func (c *Cluster) cancelPath(fp string) string {
+	return filepath.Join(c.cancelsDir(), sanitize(fp)+".json")
+}
+
+// CancelSweep publishes a cancellation marker for fp, create-if-absent:
+// the first canceler's timestamp wins, so a duplicate cancel cannot
+// push the cutoff forward over a sweep that was since resubmitted.
+func (c *Cluster) CancelSweep(fp string) error {
+	return c.CancelSweepFrom(c.cfg.NodeID, fp)
+}
+
+// CancelSweepFrom publishes a cancellation on behalf of a remote node —
+// the coordinator-side half of POST /v1/cluster/cancels.
+func (c *Cluster) CancelSweepFrom(node, fp string) error {
+	r := CancelRecord{Fingerprint: fp, Node: node, CanceledAt: time.Now().UTC()}
+	return c.createDoc(c.cancelPath(fp), r)
+}
+
+// Cancellations returns the live cancellation records, oldest first.
+// Markers past retention are pruned in passing — any member may do it.
+func (c *Cluster) Cancellations() ([]CancelRecord, error) {
+	files, err := os.ReadDir(c.cancelsDir())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: scan cancels: %w", err)
+	}
+	now := time.Now().UTC()
+	recs := make([]CancelRecord, 0, len(files))
+	for _, f := range files {
+		path := filepath.Join(c.cancelsDir(), f.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var r CancelRecord
+		if err := json.Unmarshal(data, &r); err != nil || r.Fingerprint == "" {
+			_ = os.Remove(path) // corrupt marker: cancel nothing, drop it
+			continue
+		}
+		if now.Sub(r.CanceledAt) > cancelRetention {
+			_ = os.Remove(path)
+			continue
+		}
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(a, b int) bool {
+		if !recs[a].CanceledAt.Equal(recs[b].CanceledAt) {
+			return recs[a].CanceledAt.Before(recs[b].CanceledAt)
+		}
+		return recs[a].Fingerprint < recs[b].Fingerprint
+	})
+	return recs, nil
+}

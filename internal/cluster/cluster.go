@@ -27,7 +27,8 @@
 //	<data-dir>/leases/<key>.json              advisory point leases (store-owned)
 //	<data-dir>/cluster/nodes/<id>.json        heartbeated node records
 //	<data-dir>/cluster/sweeps/<fp>.json       sweep announcements
-//	<data-dir>/cluster/journal/<fp>-<node>-<seq>.json  compute journal
+//	<data-dir>/cluster/journal/<fp>.json      compute journal (first reporter wins)
+//	<data-dir>/cluster/cancels/<fp>.json      cross-node cancellation markers
 //	<data-dir>/cluster/tmp/                   staging for atomic writes
 package cluster
 
@@ -39,7 +40,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/store"
@@ -135,7 +135,6 @@ type Cluster struct {
 	cfg Config
 
 	started time.Time
-	seq     atomic.Int64
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -158,7 +157,7 @@ func Join(st *store.Store, cfg Config) (*Cluster, error) {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	for _, dir := range []string{c.nodesDir(), c.sweepsDir(), c.journalDir(), c.tmpDir()} {
+	for _, dir := range []string{c.nodesDir(), c.sweepsDir(), c.journalDir(), c.cancelsDir(), c.tmpDir()} {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("cluster: join %s: %w", st.Dir(), err)
 		}
@@ -282,6 +281,31 @@ func (c *Cluster) writeNodeRecord() error {
 	return c.writeDoc(c.nodePath(c.cfg.NodeID), n)
 }
 
+// RegisterNode upserts a node record on behalf of a remote member —
+// the coordinator-side half of POST /v1/cluster/nodes. LastSeen is
+// stamped with the local clock, so liveness judgments are immune to
+// remote clock skew.
+func (c *Cluster) RegisterNode(n NodeInfo) error {
+	if n.ID == "" {
+		return fmt.Errorf("cluster: register node: id required")
+	}
+	n.LastSeen = time.Now().UTC()
+	if n.StartedAt.IsZero() {
+		n.StartedAt = n.LastSeen
+	}
+	if n.Heartbeat <= 0 {
+		n.Heartbeat = c.cfg.Heartbeat
+	}
+	return c.writeDoc(c.nodePath(n.ID), n)
+}
+
+// UnregisterNode removes a remote member's record — the graceful-leave
+// half of node discovery. A killed node never calls it; its record
+// simply goes stale.
+func (c *Cluster) UnregisterNode(id string) {
+	_ = os.Remove(c.nodePath(id))
+}
+
 func (c *Cluster) heartbeatLoop() {
 	defer close(c.done)
 	ticker := time.NewTicker(c.cfg.Heartbeat)
@@ -322,9 +346,16 @@ func (c *Cluster) announcementPath(fp string) string {
 // announcing a fingerprint that is already announced (by any node) is a
 // no-op, so adoption cannot loop.
 func (c *Cluster) AnnounceSweep(fp, kind string, spec json.RawMessage, priority int) error {
+	return c.AnnounceSweepFrom(c.cfg.NodeID, fp, kind, spec, priority)
+}
+
+// AnnounceSweepFrom publishes a sweep on behalf of origin — the
+// coordinator-side half of POST /v1/cluster/sweeps, where the origin
+// is the announcing remote node, not this member.
+func (c *Cluster) AnnounceSweepFrom(origin, fp, kind string, spec json.RawMessage, priority int) error {
 	a := Announcement{
 		Fingerprint: fp,
-		Origin:      c.cfg.NodeID,
+		Origin:      origin,
 		Kind:        kind,
 		Priority:    priority,
 		Spec:        spec,
@@ -380,9 +411,19 @@ type JournalEntry struct {
 // RecordComputed journals that this node computed key. Best-effort:
 // journal writes never fail the computation they describe.
 func (c *Cluster) RecordComputed(key string) {
-	e := JournalEntry{Key: key, Node: c.cfg.NodeID, CompletedAt: time.Now().UTC()}
-	name := fmt.Sprintf("%s-%s-%d.json", sanitize(key), sanitize(c.cfg.NodeID), c.seq.Add(1))
-	_ = c.writeDoc(filepath.Join(c.journalDir(), name), e)
+	c.RecordComputedBy(key, c.cfg.NodeID)
+}
+
+// RecordComputedBy journals a computation, create-if-absent per key:
+// the first reporter wins the attribution and every later write — a
+// retried or duplicated journal RPC, or a genuine duplicate
+// computation (an expired lease reclaimed mid-flight, a claim won
+// just after the original holder released) — is a no-op. The ledger
+// is therefore exactly-once per key by construction, which is the
+// invariant the fault suites and the e2e smoke assert.
+func (c *Cluster) RecordComputedBy(key, node string) {
+	e := JournalEntry{Key: key, Node: node, CompletedAt: time.Now().UTC()}
+	_ = c.createDoc(filepath.Join(c.journalDir(), sanitize(key)+".json"), e)
 }
 
 // Journal returns every compute record, ordered by completion time.

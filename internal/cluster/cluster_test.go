@@ -182,11 +182,23 @@ func TestJournalRecordsExactlyWhatWasComputed(t *testing.T) {
 		t.Fatalf("journal = %+v", entries)
 	}
 
-	// Duplicate computation is visible, not hidden: a second record for
-	// the same key shows up as a second entry.
+	// The ledger is exactly-once per key: a duplicate computation (or
+	// a redelivered journal write) is a no-op and the first reporter
+	// keeps the attribution.
 	b.RecordComputed(fpA)
-	if entries, _ = a.Journal(); len(entries) != 3 {
-		t.Fatalf("journal after duplicate = %d entries, want 3", len(entries))
+	entries, err = a.Journal()
+	if err != nil {
+		t.Fatalf("journal after duplicate: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("journal after duplicate = %d entries, want 2", len(entries))
+	}
+	byKey = map[string]string{}
+	for _, e := range entries {
+		byKey[e.Key] = e.Node
+	}
+	if byKey[fpA] != "node-a" {
+		t.Fatalf("duplicate stole attribution: journal = %+v", entries)
 	}
 }
 

@@ -1,0 +1,222 @@
+// Package faulttransport is a deterministic fault-injection
+// http.RoundTripper for exercising the cluster RPC path: it wraps any
+// transport and, from a seeded RNG, injects dropped requests, dropped
+// responses (the server executed, the reply was lost — the case that
+// proves re-push safety), duplicated deliveries (the server executes
+// twice — the case that proves idempotency), artificial delays, and
+// mid-body disconnects. A partition gate blackholes everything while
+// toggled, modeling a network split or a coordinator outage.
+//
+// All randomness flows from the seed given at construction, so a
+// test's fault schedule replays identically run to run; counters
+// record what was actually injected so assertions can demand the
+// faults really happened.
+package faulttransport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is wrapped by every failure this transport fabricates,
+// so tests (and retry classifiers) can tell injected faults from real
+// ones.
+var ErrInjected = errors.New("faulttransport: injected fault")
+
+// Config sets the per-request fault probabilities, each in [0, 1] and
+// rolled independently.
+type Config struct {
+	// Seed feeds the RNG; the same seed yields the same schedule.
+	Seed int64
+	// DropRequest is the probability the request never reaches the
+	// server.
+	DropRequest float64
+	// DropResponse is the probability the server executes the request
+	// but the response is lost on the way back.
+	DropResponse float64
+	// Duplicate is the probability the request is delivered twice
+	// (a retrying proxy); the caller sees the second response.
+	Duplicate float64
+	// Delay is the probability a request is delayed before delivery.
+	Delay float64
+	// MaxDelay bounds an injected delay; defaults to 50ms.
+	MaxDelay time.Duration
+	// Disconnect is the probability the response body is cut after a
+	// random prefix, so the client errors mid-read.
+	Disconnect float64
+}
+
+// Transport implements http.RoundTripper with fault injection in
+// front of a real transport.
+type Transport struct {
+	cfg  Config
+	next http.RoundTripper
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	partitioned atomic.Bool
+
+	// Counters of injected faults and total traffic, for assertions.
+	Requests      atomic.Int64
+	Drops         atomic.Int64
+	ResponseDrops atomic.Int64
+	Duplicates    atomic.Int64
+	Delays        atomic.Int64
+	Disconnects   atomic.Int64
+	Partitioned   atomic.Int64
+}
+
+// New wraps next (nil selects http.DefaultTransport) in a seeded
+// fault injector.
+func New(cfg Config, next http.RoundTripper) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 50 * time.Millisecond
+	}
+	return &Transport{cfg: cfg, next: next, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SetPartitioned toggles the blackhole gate: while on, every round
+// trip fails without reaching the server.
+func (t *Transport) SetPartitioned(on bool) { t.partitioned.Store(on) }
+
+// roll draws the per-request fault decisions in one locked batch, so
+// the RNG stream consumption per request is fixed regardless of which
+// faults fire — concurrency may interleave requests, but a
+// single-threaded caller replays exactly.
+type decisions struct {
+	dropRequest  bool
+	dropResponse bool
+	duplicate    bool
+	delay        time.Duration
+	disconnect   bool
+	cutAfter     int
+}
+
+func (t *Transport) roll() decisions {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var d decisions
+	d.dropRequest = t.rng.Float64() < t.cfg.DropRequest
+	d.dropResponse = t.rng.Float64() < t.cfg.DropResponse
+	d.duplicate = t.rng.Float64() < t.cfg.Duplicate
+	if t.rng.Float64() < t.cfg.Delay {
+		d.delay = time.Duration(t.rng.Int63n(int64(t.cfg.MaxDelay) + 1))
+	}
+	d.disconnect = t.rng.Float64() < t.cfg.Disconnect
+	d.cutAfter = t.rng.Intn(512)
+	return d
+}
+
+// RoundTrip delivers one request through the fault schedule.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.Requests.Add(1)
+	if t.partitioned.Load() {
+		t.Partitioned.Add(1)
+		drainRequest(req)
+		return nil, fmt.Errorf("%w: partitioned (%s %s)", ErrInjected, req.Method, req.URL.Path)
+	}
+	d := t.roll()
+
+	// Buffer the body so dropped and duplicated deliveries can resend
+	// it; cluster RPC bodies are small by construction.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("faulttransport: buffer request body: %w", err)
+		}
+	}
+
+	if d.delay > 0 {
+		t.Delays.Add(1)
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d.delay):
+		}
+	}
+	if d.dropRequest {
+		t.Drops.Add(1)
+		return nil, fmt.Errorf("%w: request dropped (%s %s)", ErrInjected, req.Method, req.URL.Path)
+	}
+
+	resp, err := t.deliver(req, body)
+	if err != nil {
+		return nil, err
+	}
+	if d.duplicate {
+		// The first delivery happened; its response is discarded and
+		// the request is delivered again, like a retrying proxy. The
+		// server must treat the redelivery as idempotent.
+		t.Duplicates.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp, err = t.deliver(req, body); err != nil {
+			return nil, err
+		}
+	}
+	if d.dropResponse {
+		t.ResponseDrops.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: response dropped (%s %s)", ErrInjected, req.Method, req.URL.Path)
+	}
+	if d.disconnect {
+		t.Disconnects.Add(1)
+		resp.Body = &cutBody{rc: resp.Body, remain: d.cutAfter}
+	}
+	return resp, nil
+}
+
+func (t *Transport) deliver(req *http.Request, body []byte) (*http.Response, error) {
+	clone := req.Clone(req.Context())
+	if body != nil {
+		clone.Body = io.NopCloser(bytes.NewReader(body))
+		clone.ContentLength = int64(len(body))
+	}
+	return t.next.RoundTrip(clone)
+}
+
+func drainRequest(req *http.Request) {
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+}
+
+// cutBody yields remain bytes of the underlying body and then fails,
+// modeling a connection torn down mid-response.
+type cutBody struct {
+	rc     io.ReadCloser
+	remain int
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.remain <= 0 {
+		return 0, fmt.Errorf("%w: connection cut mid-body", ErrInjected)
+	}
+	if len(p) > c.remain {
+		p = p[:c.remain]
+	}
+	n, err := c.rc.Read(p)
+	c.remain -= n
+	if err == io.EOF {
+		return n, err // body ended before the cut: deliver intact
+	}
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.rc.Close() }

@@ -1,0 +1,211 @@
+package faulttransport
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func countingServer(t *testing.T, hits *atomic.Int64, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, tr *Transport, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatalf("build request: %v", err)
+	}
+	return tr.RoundTrip(req)
+}
+
+func TestCleanTransportPassesThrough(t *testing.T) {
+	var hits atomic.Int64
+	ts := countingServer(t, &hits, "ok")
+	tr := New(Config{Seed: 1}, nil)
+	resp, err := get(t, tr, ts.URL)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(data) != "ok" {
+		t.Fatalf("body = %q, %v", data, err)
+	}
+	if hits.Load() != 1 || tr.Requests.Load() != 1 {
+		t.Fatalf("hits = %d, requests = %d", hits.Load(), tr.Requests.Load())
+	}
+}
+
+// TestSeededScheduleIsDeterministic replays the same seed twice over a
+// single-threaded request sequence and demands identical fault
+// decisions.
+func TestSeededScheduleIsDeterministic(t *testing.T) {
+	var hits atomic.Int64
+	ts := countingServer(t, &hits, "ok")
+	run := func(seed int64) []bool {
+		tr := New(Config{Seed: seed, DropRequest: 0.5}, nil)
+		outcomes := make([]bool, 0, 32)
+		for i := 0; i < 32; i++ {
+			resp, err := get(t, tr, ts.URL)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at request %d: %v vs %v", i, a, b)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 32-request schedules")
+	}
+}
+
+func TestDropRequestNeverReachesServer(t *testing.T) {
+	var hits atomic.Int64
+	ts := countingServer(t, &hits, "ok")
+	tr := New(Config{Seed: 7, DropRequest: 1}, nil)
+	if _, err := get(t, tr, ts.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if hits.Load() != 0 || tr.Drops.Load() != 1 {
+		t.Fatalf("hits = %d, drops = %d", hits.Load(), tr.Drops.Load())
+	}
+}
+
+// TestDropResponseExecutesServerSide pins the lost-response case: the
+// server handled the request exactly once, the client saw an error —
+// the shape that makes idempotent re-push mandatory.
+func TestDropResponseExecutesServerSide(t *testing.T) {
+	var hits atomic.Int64
+	ts := countingServer(t, &hits, "ok")
+	tr := New(Config{Seed: 7, DropResponse: 1}, nil)
+	if _, err := get(t, tr, ts.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if hits.Load() != 1 || tr.ResponseDrops.Load() != 1 {
+		t.Fatalf("hits = %d, response drops = %d", hits.Load(), tr.ResponseDrops.Load())
+	}
+}
+
+// TestDuplicateDeliversTwice pins the redelivery case: one client
+// call, two server executions, one response returned.
+func TestDuplicateDeliversTwice(t *testing.T) {
+	var hits atomic.Int64
+	ts := countingServer(t, &hits, "ok")
+	tr := New(Config{Seed: 7, Duplicate: 1}, nil)
+	resp, err := get(t, tr, ts.URL)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if hits.Load() != 2 || tr.Duplicates.Load() != 1 {
+		t.Fatalf("hits = %d, duplicates = %d, want 2 deliveries", hits.Load(), tr.Duplicates.Load())
+	}
+}
+
+// TestDuplicatePreservesRequestBody ensures both deliveries carry the
+// full body — a redelivered mutation must not arrive truncated.
+func TestDuplicatePreservesRequestBody(t *testing.T) {
+	var bodies []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		data, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(data))
+	}))
+	t.Cleanup(ts.Close)
+	tr := New(Config{Seed: 7, Duplicate: 1}, nil)
+	req, _ := http.NewRequest(http.MethodPost, ts.URL, strings.NewReader(`{"key":"k"}`))
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 2 || bodies[0] != `{"key":"k"}` || bodies[1] != `{"key":"k"}` {
+		t.Fatalf("delivered bodies = %q", bodies)
+	}
+}
+
+func TestDisconnectCutsBodyMidRead(t *testing.T) {
+	var hits atomic.Int64
+	ts := countingServer(t, &hits, strings.Repeat("x", 1<<16))
+	tr := New(Config{Seed: 7, Disconnect: 1}, nil)
+	resp, err := get(t, tr, ts.URL)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	defer resp.Body.Close()
+	_, err = io.ReadAll(resp.Body)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("read err = %v, want mid-body cut", err)
+	}
+	if tr.Disconnects.Load() != 1 {
+		t.Fatalf("disconnects = %d", tr.Disconnects.Load())
+	}
+}
+
+func TestDelayInjectsLatency(t *testing.T) {
+	var hits atomic.Int64
+	ts := countingServer(t, &hits, "ok")
+	tr := New(Config{Seed: 9, Delay: 1, MaxDelay: 30 * time.Millisecond}, nil)
+	for i := 0; i < 8; i++ {
+		resp, err := get(t, tr, ts.URL)
+		if err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if tr.Delays.Load() != 8 {
+		t.Fatalf("delays = %d, want 8", tr.Delays.Load())
+	}
+}
+
+func TestPartitionGateBlackholes(t *testing.T) {
+	var hits atomic.Int64
+	ts := countingServer(t, &hits, "ok")
+	tr := New(Config{Seed: 7}, nil)
+	tr.SetPartitioned(true)
+	if _, err := get(t, tr, ts.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if hits.Load() != 0 || tr.Partitioned.Load() != 1 {
+		t.Fatalf("hits = %d, partitioned = %d", hits.Load(), tr.Partitioned.Load())
+	}
+	tr.SetPartitioned(false)
+	resp, err := get(t, tr, ts.URL)
+	if err != nil {
+		t.Fatalf("post-heal round trip: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("post-heal hits = %d", hits.Load())
+	}
+}

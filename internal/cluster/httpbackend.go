@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/retry"
+	"repro/internal/store"
+)
+
+// Wire types of the /v1/cluster/* protocol, shared by HTTPBackend and
+// the service handlers so the two halves cannot drift.
+type (
+	// LeaseAcquireRequest is the POST /v1/cluster/leases body.
+	LeaseAcquireRequest struct {
+		Key       string `json:"key"`
+		Holder    string `json:"holder"`
+		TTLMillis int64  `json:"ttl_ms,omitempty"`
+	}
+	// LeaseMutateRequest is the renew/release body; Token fences the
+	// mutation to the acquisition that minted it.
+	LeaseMutateRequest struct {
+		Holder    string `json:"holder"`
+		Token     int64  `json:"token"`
+		TTLMillis int64  `json:"ttl_ms,omitempty"`
+	}
+	// LeaseResponse reports the acquire/renew outcome.
+	LeaseResponse struct {
+		Acquired bool        `json:"acquired"`
+		Lease    store.Lease `json:"lease"`
+	}
+	// JournalRecordRequest is the POST /v1/cluster/journal body.
+	JournalRecordRequest struct {
+		Key  string `json:"key"`
+		Node string `json:"node"`
+	}
+	// AnnounceRequest is the POST /v1/cluster/sweeps body.
+	AnnounceRequest struct {
+		Fingerprint string          `json:"fingerprint"`
+		Origin      string          `json:"origin"`
+		Kind        string          `json:"kind"`
+		Priority    int             `json:"priority"`
+		Spec        json.RawMessage `json:"spec"`
+	}
+	// CancelRequest is the POST /v1/cluster/cancels body.
+	CancelRequest struct {
+		Fingerprint string `json:"fingerprint"`
+		Node        string `json:"node"`
+	}
+)
+
+// HTTPConfig configures a cluster member that joins over the network
+// instead of a shared data directory.
+type HTTPConfig struct {
+	// BaseURL is the coordinator's API base, e.g. "http://10.0.0.1:8080".
+	BaseURL string
+	// NodeID, Addr, LeaseTTL, Heartbeat, Poll behave exactly as in
+	// Config. Role defaults to RoleRunner and must not be
+	// RoleCoordinator — the coordinator is the node the URL points at.
+	NodeID    string
+	Role      Role
+	Addr      string
+	LeaseTTL  time.Duration
+	Heartbeat time.Duration
+	Poll      time.Duration
+	// Client optionally overrides the HTTP client — the hook where the
+	// fault-injection transport wraps in. Defaults to a 15s-timeout
+	// client.
+	Client *http.Client
+	// Retry optionally overrides the RPC retry policy. The default
+	// rides out a few seconds of coordinator outage or partition before
+	// an operation is reported failed.
+	Retry retry.Policy
+}
+
+// HTTPBackend is the network-native cluster Backend: every operation
+// is an RPC against the coordinator's /v1/cluster/* routes, arbitrated
+// coordinator-side against the same store its local workers use.
+// Node discovery replaces heartbeat files with registration RPCs: the
+// member re-POSTs its node record every heartbeat interval and the
+// coordinator stamps last-seen with its own clock, so liveness
+// (3 missed intervals) is immune to cross-machine clock skew.
+//
+// Lease claims return a fencing token that the backend holds privately
+// per key and presents on every renew/release, so delayed or
+// duplicated mutations from a lost lease are rejected server-side.
+type HTTPBackend struct {
+	cfg     Config
+	rpc     *rpcClient
+	rs      *RemoteStore
+	started time.Time
+
+	mu     sync.Mutex
+	tokens map[string]int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+var _ Backend = (*HTTPBackend)(nil)
+
+// JoinHTTP registers this process with the coordinator at
+// cfg.BaseURL and starts the heartbeat loop. The initial registration
+// is synchronous: an unreachable or non-clustered coordinator fails
+// the join instead of surfacing later as mysterious lease errors.
+// Call Leave on shutdown.
+func JoinHTTP(cfg HTTPConfig) (*HTTPBackend, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("cluster: join over http: base url required")
+	}
+	if _, err := url.Parse(cfg.BaseURL); err != nil {
+		return nil, fmt.Errorf("cluster: join over http: bad base url %q: %w", cfg.BaseURL, err)
+	}
+	if cfg.Role == "" {
+		cfg.Role = RoleRunner
+	}
+	if cfg.Role == RoleCoordinator {
+		return nil, fmt.Errorf("cluster: a coordinator owns the store; it cannot join itself over http")
+	}
+	inner, err := Config{
+		NodeID: cfg.NodeID, Role: cfg.Role, Addr: cfg.Addr,
+		LeaseTTL: cfg.LeaseTTL, Heartbeat: cfg.Heartbeat, Poll: cfg.Poll,
+	}.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 15 * time.Second}
+	}
+	policy := cfg.Retry
+	if policy.MaxAttempts == 0 && policy.BaseDelay == 0 {
+		policy = retry.Policy{MaxAttempts: 8, BaseDelay: 100 * time.Millisecond,
+			MaxDelay: time.Second, Jitter: 0.2}
+	}
+	b := &HTTPBackend{
+		cfg:     inner,
+		rpc:     newRPCClient(cfg.BaseURL, hc, policy),
+		started: time.Now().UTC(),
+		tokens:  make(map[string]int64),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	b.rs = &RemoteStore{rpc: b.rpc, known: make(map[string]struct{})}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.register(ctx); err != nil {
+		return nil, fmt.Errorf("cluster: join %s: %w", cfg.BaseURL, err)
+	}
+	go b.heartbeatLoop()
+	return b, nil
+}
+
+func (b *HTTPBackend) register(ctx context.Context) error {
+	n := NodeInfo{
+		ID: b.cfg.NodeID, Role: b.cfg.Role, Addr: b.cfg.Addr,
+		StartedAt: b.started, Heartbeat: b.cfg.Heartbeat,
+	}
+	return b.rpc.do(ctx, http.MethodPost, "/v1/cluster/nodes", n, nil)
+}
+
+func (b *HTTPBackend) heartbeatLoop() {
+	defer close(b.done)
+	ticker := time.NewTicker(b.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-ticker.C:
+			ctx, cancel := context.WithTimeout(context.Background(), b.cfg.Heartbeat*3)
+			_ = b.register(ctx) // best effort; a missed beat only ages liveness
+			cancel()
+		}
+	}
+}
+
+// Leave stops the heartbeat loop and unregisters from the coordinator
+// (best effort — a lost deregistration just leaves a record to go
+// stale).
+func (b *HTTPBackend) Leave() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	<-b.done
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = b.rpc.do(ctx, http.MethodDelete, "/v1/cluster/nodes/"+url.PathEscape(b.cfg.NodeID), nil, nil)
+}
+
+// NodeID returns this node's identity.
+func (b *HTTPBackend) NodeID() string { return b.cfg.NodeID }
+
+// Role returns this node's role.
+func (b *HTTPBackend) Role() Role { return b.cfg.Role }
+
+// LeaseTTL returns the configured lease TTL.
+func (b *HTTPBackend) LeaseTTL() time.Duration { return b.cfg.LeaseTTL }
+
+// Heartbeat returns the lease/registry renewal cadence.
+func (b *HTTPBackend) Heartbeat() time.Duration { return b.cfg.Heartbeat }
+
+// Poll returns the wait/adoption polling cadence.
+func (b *HTTPBackend) Poll() time.Duration { return b.cfg.Poll }
+
+// RemoteStore returns the coordinator-replicated result store this
+// membership reads and pushes results through.
+func (b *HTTPBackend) RemoteStore() *RemoteStore { return b.rs }
+
+// Claim attempts to take this node's lease on key via the
+// coordinator. On success the lease's fencing token is retained for
+// the renew/release that follow.
+func (b *HTTPBackend) Claim(key string) (bool, store.Lease, error) {
+	var resp LeaseResponse
+	err := b.rpc.do(context.Background(), http.MethodPost, "/v1/cluster/leases",
+		LeaseAcquireRequest{Key: key, Holder: b.cfg.NodeID, TTLMillis: b.cfg.LeaseTTL.Milliseconds()},
+		&resp)
+	if err != nil {
+		return false, store.Lease{}, err
+	}
+	if resp.Acquired {
+		b.mu.Lock()
+		b.tokens[key] = resp.Lease.Token
+		b.mu.Unlock()
+	}
+	return resp.Acquired, resp.Lease, nil
+}
+
+func (b *HTTPBackend) token(key string) (int64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.tokens[key]
+	return t, ok
+}
+
+func (b *HTTPBackend) forget(key string) {
+	b.mu.Lock()
+	delete(b.tokens, key)
+	b.mu.Unlock()
+}
+
+// Renew extends this node's lease on key. A fencing rejection — the
+// lease expired and was reclaimed while this node stalled — reports
+// store.ErrLeaseLost, exactly like the filesystem backend.
+func (b *HTTPBackend) Renew(key string) error {
+	token, ok := b.token(key)
+	if !ok {
+		return store.ErrLeaseLost
+	}
+	err := b.rpc.do(context.Background(), http.MethodPost,
+		"/v1/cluster/leases/"+url.PathEscape(key)+"/renew",
+		LeaseMutateRequest{Holder: b.cfg.NodeID, Token: token, TTLMillis: b.cfg.LeaseTTL.Milliseconds()},
+		nil)
+	if re, isRPC := err.(*rpcError); isRPC && re.Status == http.StatusConflict {
+		b.forget(key)
+		return store.ErrLeaseLost
+	}
+	return err
+}
+
+// Release drops this node's lease on key, if still held. Best effort:
+// an unreachable coordinator just lets the lease expire, and a fencing
+// rejection means the lease was already reclaimed.
+func (b *HTTPBackend) Release(key string) {
+	token, ok := b.token(key)
+	if !ok {
+		return
+	}
+	b.forget(key)
+	_ = b.rpc.do(context.Background(), http.MethodPost,
+		"/v1/cluster/leases/"+url.PathEscape(key)+"/release",
+		LeaseMutateRequest{Holder: b.cfg.NodeID, Token: token}, nil)
+}
+
+// RecordComputed journals that this node computed key. Best effort,
+// and create-if-absent server-side per key, so transport retries
+// and duplicate deliveries cannot mint duplicate ledger entries.
+func (b *HTTPBackend) RecordComputed(key string) {
+	_ = b.rpc.do(context.Background(), http.MethodPost, "/v1/cluster/journal",
+		JournalRecordRequest{Key: key, Node: b.cfg.NodeID}, nil)
+}
+
+// Journal returns the cluster-wide compute ledger.
+func (b *HTTPBackend) Journal() ([]JournalEntry, error) {
+	var resp struct {
+		Entries []JournalEntry `json:"entries"`
+	}
+	if err := b.rpc.do(context.Background(), http.MethodGet, "/v1/cluster/journal", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// AnnounceSweep publishes a sweep through the coordinator,
+// create-if-absent like the filesystem backend.
+func (b *HTTPBackend) AnnounceSweep(fp, kind string, spec json.RawMessage, priority int) error {
+	return b.rpc.do(context.Background(), http.MethodPost, "/v1/cluster/sweeps",
+		AnnounceRequest{Fingerprint: fp, Origin: b.cfg.NodeID, Kind: kind,
+			Priority: priority, Spec: spec}, nil)
+}
+
+// CompleteSweep retires a sweep's announcement; idempotent.
+func (b *HTTPBackend) CompleteSweep(fp string) {
+	_ = b.rpc.do(context.Background(), http.MethodDelete,
+		"/v1/cluster/sweeps/"+url.PathEscape(fp), nil, nil)
+}
+
+// Announcements returns the currently published sweeps, oldest first.
+func (b *HTTPBackend) Announcements() ([]Announcement, error) {
+	var resp struct {
+		Announcements []Announcement `json:"announcements"`
+	}
+	if err := b.rpc.do(context.Background(), http.MethodGet, "/v1/cluster/sweeps", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Announcements, nil
+}
+
+// CancelSweep publishes a cross-node cancellation for fp.
+func (b *HTTPBackend) CancelSweep(fp string) error {
+	return b.rpc.do(context.Background(), http.MethodPost, "/v1/cluster/cancels",
+		CancelRequest{Fingerprint: fp, Node: b.cfg.NodeID}, nil)
+}
+
+// Cancellations returns the live cancellation records.
+func (b *HTTPBackend) Cancellations() ([]CancelRecord, error) {
+	var resp struct {
+		Cancellations []CancelRecord `json:"cancellations"`
+	}
+	if err := b.rpc.do(context.Background(), http.MethodGet, "/v1/cluster/cancels", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Cancellations, nil
+}
+
+// Nodes returns the coordinator's registry view of the cluster.
+func (b *HTTPBackend) Nodes() ([]NodeInfo, error) {
+	var resp struct {
+		Nodes []NodeInfo `json:"nodes"`
+	}
+	if err := b.rpc.do(context.Background(), http.MethodGet, "/v1/cluster/nodes", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Nodes, nil
+}

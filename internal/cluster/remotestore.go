@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"context"
+	"net/url"
+	"sync"
+)
+
+// RemoteStore is the coordinator-replicated result store of an HTTP
+// cluster membership: reads and writes are RPCs against the
+// coordinator's /v1/cluster/results/{key} routes, backed by the same
+// content-addressed store its local workers use. It satisfies the
+// engine's ResultStore interface, so a runner joined over -cluster-url
+// needs no shared data directory at all.
+//
+// Pushes are safe to repeat: records are content-addressed, so a
+// re-push after a lost response rewrites identical bytes; the RPC
+// layer retries freely on that basis.
+type RemoteStore struct {
+	rpc *rpcClient
+
+	mu sync.Mutex
+	// known tracks the keys this node has observed in the remote store
+	// (hits and pushes), feeding the local store-entries gauge; it is
+	// not a cache.
+	known map[string]struct{}
+}
+
+func resultPath(key string) string {
+	return "/v1/cluster/results/" + url.PathEscape(key)
+}
+
+// Get fetches the record for key; a coordinator-side miss reports
+// found=false with no error, like a local store miss.
+func (r *RemoteStore) Get(key string) ([]byte, bool, error) {
+	data, ok, err := r.rpc.getRaw(context.Background(), resultPath(key))
+	if ok {
+		r.observe(key)
+	}
+	return data, ok, err
+}
+
+// Put pushes the record for key to the coordinator.
+func (r *RemoteStore) Put(key string, payload []byte) error {
+	if err := r.rpc.putRaw(context.Background(), resultPath(key), payload); err != nil {
+		return err
+	}
+	r.observe(key)
+	return nil
+}
+
+// Len reports how many distinct remote records this node has
+// observed — a local, session-scoped view for the metrics gauge, not
+// the coordinator's store size.
+func (r *RemoteStore) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.known)
+}
+
+func (r *RemoteStore) observe(key string) {
+	r.mu.Lock()
+	r.known[key] = struct{}{}
+	r.mu.Unlock()
+}

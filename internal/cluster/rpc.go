@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/retry"
+)
+
+// rpcError is a non-2xx response from a cluster RPC, decoded from the
+// service's uniform error envelope when one is present.
+type rpcError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *rpcError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("cluster rpc: %s (%s)", e.Message, e.Code)
+	}
+	return fmt.Sprintf("cluster rpc: http %d", e.Status)
+}
+
+// retryable reports whether the failure is worth retrying: transport
+// errors are handled by the caller; at the protocol level only server
+// trouble and backpressure are transient. Fencing rejections (409)
+// and bad requests are permanent.
+func (e *rpcError) retryable() bool {
+	return e.Status >= 500 || e.Status == http.StatusTooManyRequests
+}
+
+// errIsRetryable classifies an RPC attempt error for the retry policy:
+// anything that is not a definitive protocol rejection — transport
+// failures, 5xx, backpressure — may succeed on a later attempt.
+func errIsRetryable(err error) bool {
+	if re, ok := err.(*rpcError); ok {
+		return re.retryable()
+	}
+	return true
+}
+
+// rpcClient issues JSON RPCs against a coordinator's /v1/cluster/*
+// routes, retrying transient failures with the shared jittered
+// exponential backoff. Every mutation it is used for is idempotent
+// server-side (content-addressed puts, per-(key,node) journal records,
+// create-if-absent announcements, fenced lease ops), so retrying after
+// a lost response is always safe.
+type rpcClient struct {
+	base   string
+	hc     *http.Client
+	policy retry.Policy
+}
+
+func newRPCClient(base string, hc *http.Client, policy retry.Policy) *rpcClient {
+	return &rpcClient{base: strings.TrimRight(base, "/"), hc: hc, policy: policy}
+}
+
+// do runs one JSON round trip with retries: in (when non-nil) is the
+// request body, out (when non-nil) receives the decoded response.
+func (c *rpcClient) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("cluster rpc: marshal %s %s: %w", method, path, err)
+		}
+	}
+	return c.policy.Do(ctx, errIsRetryable, func() error {
+		data, _, err := c.roundTrip(ctx, method, path, body, "application/json")
+		if err != nil {
+			return err
+		}
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("cluster rpc: decode %s %s: %w", method, path, err)
+		}
+		return nil
+	})
+}
+
+// getRaw fetches a raw payload, mapping 404 to a miss.
+func (c *rpcClient) getRaw(ctx context.Context, path string) ([]byte, bool, error) {
+	var data []byte
+	err := c.policy.Do(ctx, errIsRetryable, func() error {
+		var err error
+		data, _, err = c.roundTrip(ctx, http.MethodGet, path, nil, "")
+		return err
+	})
+	if re, ok := err.(*rpcError); ok && re.Status == http.StatusNotFound {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// putRaw uploads a raw payload with retries.
+func (c *rpcClient) putRaw(ctx context.Context, path string, payload []byte) error {
+	return c.policy.Do(ctx, errIsRetryable, func() error {
+		_, _, err := c.roundTrip(ctx, http.MethodPut, path, payload, "application/json")
+		return err
+	})
+}
+
+// roundTrip is one attempt: the body reader is rebuilt per call so
+// retries resend the full request.
+func (c *rpcClient) roundTrip(ctx context.Context, method, path string, body []byte, contentType string) ([]byte, int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster rpc: build %s %s: %w", method, path, err)
+	}
+	if contentType != "" && body != nil {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster rpc: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 128<<20))
+	if err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("cluster rpc: read %s %s: %w", method, path, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, resp.StatusCode, decodeRPCError(resp.StatusCode, data)
+	}
+	return data, resp.StatusCode, nil
+}
+
+// decodeRPCError extracts the service error envelope, degrading to a
+// bare status when the body is not one.
+func decodeRPCError(status int, data []byte) error {
+	var envelope struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	e := &rpcError{Status: status}
+	if err := json.Unmarshal(data, &envelope); err == nil {
+		e.Code = envelope.Error.Code
+		e.Message = envelope.Error.Message
+	}
+	return e
+}

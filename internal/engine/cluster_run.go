@@ -58,11 +58,27 @@ func (e *Engine) execute(j *Job) (*Output, error) {
 			return out, nil
 		}
 		held, _, err := c.Claim(j.fingerprint)
-		if held || err != nil {
-			// Claimed — or the lease subsystem itself is failing, in
-			// which case computing locally without the lease is the
-			// safe fallback: at worst the work is duplicated.
-			return e.computeHolding(j, held)
+		if held {
+			// Claimed — but the point may have landed in the store
+			// between the read above and the claim (the previous
+			// holder persists before releasing): re-check before
+			// spending the compute.
+			if out, ok := e.loadFromStore(j.fingerprint); ok {
+				c.Release(j.fingerprint)
+				e.adopted.Add(1)
+				j.mu.Lock()
+				j.prePersisted = true
+				j.mu.Unlock()
+				j.reportProgress(1, 1)
+				return out, nil
+			}
+			return e.computeHolding(j, true)
+		}
+		if err != nil {
+			// The lease subsystem itself is failing: computing locally
+			// without the lease is the safe fallback — at worst the
+			// work is duplicated, which content addressing absorbs.
+			return e.computeHolding(j, false)
 		}
 		// Count each job at most once, across requeue cycles too.
 		j.mu.Lock()
@@ -155,10 +171,43 @@ func (e *Engine) computeHolding(j *Job, held bool) (*Output, error) {
 	j.mu.Lock()
 	j.prePersisted = true
 	j.mu.Unlock()
-	if held {
-		c.RecordComputed(j.fingerprint)
-	}
+	// Journal whether or not the lease was held: a lease-less fallback
+	// compute is still the computation that produced the stored record,
+	// and the ledger is create-if-absent per key, so a racing duplicate
+	// collapses to the first reporter.
+	c.RecordComputed(j.fingerprint)
 	return out, nil
+}
+
+// CancelFingerprint cancels every live job whose spec fingerprint is
+// fp and that was submitted before the cutoff — the receiving half of
+// cross-node sweep cancellation (the cluster watch loop calls it for
+// each cancellation record). Jobs submitted at or after the cutoff —
+// a deliberate resubmission of the same spec — are spared, so a stale
+// marker can never kill a sweep's second run. Returns how many jobs
+// were canceled.
+func (e *Engine) CancelFingerprint(fp string, before time.Time) int {
+	e.mu.Lock()
+	ids := make([]string, 0, 1)
+	for _, j := range e.order {
+		if j.fingerprint != fp {
+			continue
+		}
+		j.mu.Lock()
+		match := !j.state.Terminal() && j.submitted.Before(before)
+		j.mu.Unlock()
+		if match {
+			ids = append(ids, j.id)
+		}
+	}
+	e.mu.Unlock()
+	n := 0
+	for _, id := range ids {
+		if e.Cancel(id) {
+			n++
+		}
+	}
+	return n
 }
 
 // HasLiveFingerprint reports whether a non-terminal job with the given

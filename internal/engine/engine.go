@@ -16,7 +16,6 @@ import (
 	"repro/internal/graphstore"
 	"repro/internal/obs"
 	"repro/internal/obs/metrics"
-	"repro/internal/store"
 )
 
 // Errors returned by Submit and job accessors.
@@ -51,6 +50,20 @@ func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancele
 // table when Options.JobTTL is zero.
 const DefaultJobTTL = 15 * time.Minute
 
+// ResultStore is the persistence surface behind the engine's result
+// cache: a content-addressed record per fingerprint. *store.Store
+// implements it over the local disk; cluster.RemoteStore implements
+// it over a coordinator's /v1/cluster/results routes, so an engine
+// can run with no data directory at all. Get misses report
+// found=false with no error; Put must be idempotent per key (records
+// are content-addressed, a re-put rewrites identical bytes); Len
+// feeds the store-entries gauge and may be a local approximation.
+type ResultStore interface {
+	Get(key string) ([]byte, bool, error)
+	Put(key string, payload []byte) error
+	Len() int
+}
+
 // Options configures an Engine. Zero fields select defaults.
 type Options struct {
 	// Workers is the worker pool size; defaults to GOMAXPROCS.
@@ -61,10 +74,12 @@ type Options struct {
 	// Negative disables caching.
 	CacheSize int
 	// Store, when non-nil, backs the in-memory result cache with a
-	// disk-backed content-addressed store: successful outputs are
-	// written through on completion and consulted on cache misses, so
-	// results survive engine (and process) restarts.
-	Store *store.Store
+	// content-addressed store: successful outputs are written through
+	// on completion and consulted on cache misses, so results survive
+	// engine (and process) restarts. *store.Store gives the local
+	// disk-backed store; a cluster.RemoteStore replicates through a
+	// coordinator instead.
+	Store ResultStore
 	// JobTTL bounds how long terminal jobs stay in the job table before
 	// the janitor evicts them; zero selects DefaultJobTTL, negative
 	// disables eviction. Evicted job IDs become unknown to Job/Cancel;
@@ -84,9 +99,11 @@ type Options struct {
 	// arbitrate each point through the shared store (adopt a stored
 	// result, else claim the point's lease, else wait for the holder),
 	// so a fingerprint is computed once across every engine sharing the
-	// directory; sweeps are announced to the cluster so runner/peer
-	// nodes help drain them. Requires Store.
-	Cluster *cluster.Cluster
+	// backend; sweeps are announced to the cluster so runner/peer
+	// nodes help drain them. Requires Store. Takes any cluster.Backend:
+	// the shared-directory *cluster.Cluster or the network-native
+	// *cluster.HTTPBackend.
+	Cluster cluster.Backend
 	// Logger, when non-nil, receives structured job-lifecycle records
 	// (start, finish, state, duration) with the job's trace identifier
 	// attached. Nil discards them.

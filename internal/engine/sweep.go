@@ -544,8 +544,14 @@ submitLoop:
 		}
 	}
 
+	// Capture the cancellation verdict before finishJob: finishJob
+	// releases the parent's context as cleanup, so reading
+	// parent.ctx.Err() after it would claim every completed sweep was
+	// canceled — and publish a cancellation that kills peers' still-
+	// running copies.
+	wasCanceled := canceled || parent.ctx.Err() != nil
 	switch {
-	case canceled || parent.ctx.Err() != nil:
+	case wasCanceled:
 		e.finishJob(parent, nil, context.Canceled)
 	case firstErr != nil:
 		e.finishJob(parent, nil, firstErr)
@@ -554,6 +560,12 @@ submitLoop:
 		e.finishJob(parent, out, err)
 	}
 	if c := e.opts.Cluster; c != nil {
+		if wasCanceled {
+			// Cross-node propagation: peers draining an adopted copy of
+			// this sweep must cancel theirs too, not finish it alone.
+			// The marker's timestamp spares later resubmissions.
+			_ = c.CancelSweep(parent.fingerprint)
+		}
 		// Terminal either way: retire the announcement so runners stop
 		// adopting it. Peers already mid-drain finish their copies (and
 		// the store keeps every point they complete).

@@ -1,0 +1,122 @@
+// Package retry is the one jittered-exponential backoff shared by
+// every HTTP retry loop in the repo: the client SDK's live-stream
+// reconnects and the cluster RPC transport. Keeping a single Policy
+// type means reconnect behavior is pinned in one place — a bound
+// change or jitter tweak shows up everywhere at once, on purpose.
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Defaults, chosen to match the client SDK's historical live-stream
+// reconnect schedule: 100ms, 200ms, 400ms, ... capped at 2s.
+const (
+	DefaultAttempts  = 5
+	DefaultBaseDelay = 100 * time.Millisecond
+	DefaultMaxDelay  = 2 * time.Second
+)
+
+// Policy describes a bounded, jittered exponential backoff. The zero
+// value is usable and selects the defaults above with no jitter.
+type Policy struct {
+	// MaxAttempts bounds how many times Do tries the operation
+	// (the initial attempt included); <=0 selects DefaultAttempts.
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure; every further
+	// failure doubles it. <=0 selects DefaultBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth; <=0 selects DefaultMaxDelay.
+	MaxDelay time.Duration
+	// Jitter widens each delay to a uniform pick from
+	// [d·(1−Jitter), d·(1+Jitter)], de-synchronizing retry storms
+	// across a fleet of nodes. Clamped to [0, 1]; zero means none.
+	Jitter float64
+}
+
+// Attempts returns the effective attempt bound.
+func (p Policy) Attempts() int {
+	if p.MaxAttempts <= 0 {
+		return DefaultAttempts
+	}
+	return p.MaxAttempts
+}
+
+// Delay returns the backoff before retry number attempt (1-based: the
+// wait after the first failure is Delay(1)), jitter included.
+func (p Policy) Delay(attempt int) time.Duration {
+	base, max := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	if max <= 0 {
+		max = DefaultMaxDelay
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	// Shift with an overflow guard: past 62 doublings (or any overflow)
+	// the cap has long since won.
+	d := max
+	if attempt-1 < 62 {
+		if shifted := base << (attempt - 1); shifted > 0 && shifted < max {
+			d = shifted
+		}
+	}
+	j := p.Jitter
+	if j < 0 {
+		j = 0
+	}
+	if j > 1 {
+		j = 1
+	}
+	if j > 0 {
+		// Uniform in [d·(1−j), d·(1+j)]. The top-level rand functions
+		// are safe for concurrent use.
+		f := 1 - j + 2*j*rand.Float64()
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// Sleep waits out Delay(attempt), returning early with ctx.Err() if
+// the context is canceled first.
+func (p Policy) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(p.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs op up to Attempts times, sleeping the policy's backoff
+// between tries. It stops early — returning the operation's error —
+// when retryable reports the error permanent (a nil retryable treats
+// every error as retryable), and aborts with ctx.Err() the moment the
+// context is canceled, including mid-sleep.
+func (p Policy) Do(ctx context.Context, retryable func(error) bool, op func() error) error {
+	var last error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		last = op()
+		if last == nil {
+			return nil
+		}
+		if retryable != nil && !retryable(last) {
+			return last
+		}
+		if attempt >= p.Attempts() {
+			return last
+		}
+		if err := p.Sleep(ctx, attempt); err != nil {
+			return err
+		}
+	}
+}

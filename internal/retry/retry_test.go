@@ -1,0 +1,145 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDelayIsExponentialAndCapped(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 2 * time.Second,
+		2 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Attempt numbers far past the doubling range must not overflow.
+	if got := p.Delay(500); got != 2*time.Second {
+		t.Errorf("Delay(500) = %v, want cap", got)
+	}
+}
+
+func TestDelayJitterStaysInBounds(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5}
+	lo, hi := 50*time.Millisecond, 150*time.Millisecond
+	varied := false
+	first := p.Delay(1)
+	for i := 0; i < 200; i++ {
+		d := p.Delay(1)
+		if d < lo || d > hi {
+			t.Fatalf("jittered Delay(1) = %v outside [%v, %v]", d, lo, hi)
+		}
+		if d != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("200 jittered delays were all identical")
+	}
+}
+
+func TestZeroPolicyUsesDefaults(t *testing.T) {
+	var p Policy
+	if p.Attempts() != DefaultAttempts {
+		t.Errorf("Attempts() = %d, want %d", p.Attempts(), DefaultAttempts)
+	}
+	if got := p.Delay(1); got != DefaultBaseDelay {
+		t.Errorf("Delay(1) = %v, want %v", got, DefaultBaseDelay)
+	}
+	if got := p.Delay(50); got != DefaultMaxDelay {
+		t.Errorf("Delay(50) = %v, want %v", got, DefaultMaxDelay)
+	}
+}
+
+func TestDoStopsAfterMaxAttempts(t *testing.T) {
+	calls := 0
+	errBoom := errors.New("boom")
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	err := p.Do(context.Background(), nil, func() error { calls++; return errBoom })
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op called %d times, want 3", calls)
+	}
+}
+
+func TestDoReturnsNilOnSuccess(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	err := p.Do(context.Background(), nil, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v after %d calls, want success on call 3", err, calls)
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	calls := 0
+	errPermanent := errors.New("permanent")
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	err := p.Do(context.Background(),
+		func(err error) bool { return !errors.Is(err, errPermanent) },
+		func() error { calls++; return errPermanent })
+	if !errors.Is(err, errPermanent) || calls != 1 {
+		t.Fatalf("err = %v after %d calls, want immediate permanent stop", err, calls)
+	}
+}
+
+// TestDoHonorsContextCancellation pins the satellite requirement: a
+// canceled context aborts the retry loop mid-backoff, promptly, with
+// the context's error.
+func TestDoHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{MaxAttempts: 100, BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := p.Do(ctx, nil, func() error { calls++; return errors.New("transient") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("op called %d times, want 1 (canceled during first backoff)", calls)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("cancellation took %v to propagate", time.Since(start))
+	}
+}
+
+func TestDoSkipsOpWhenAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Policy{}.Do(ctx, nil, func() error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("err = %v, calls = %d; want canceled before first call", err, calls)
+	}
+}
+
+func TestSleepReturnsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	p := Policy{BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second}
+	start := time.Now()
+	if err := p.Sleep(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Sleep = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("Sleep held for %v past cancellation", time.Since(start))
+	}
+}

@@ -108,6 +108,13 @@ func TestRoutesInventory(t *testing.T) {
 		"GET /v1/jobs/{id}", "GET /v1/jobs/{id}/result", "GET /v1/jobs/{id}/events",
 		"GET /v1/jobs/{id}/series",
 		"DELETE /v1/jobs/{id}", "POST /v1/sweeps", "GET /v1/sweeps/{id}",
+		"GET /v1/cluster/nodes", "POST /v1/cluster/nodes", "DELETE /v1/cluster/nodes/{id}",
+		"POST /v1/cluster/leases", "POST /v1/cluster/leases/{key}/renew",
+		"POST /v1/cluster/leases/{key}/release",
+		"GET /v1/cluster/results/{key}", "PUT /v1/cluster/results/{key}",
+		"GET /v1/cluster/journal", "POST /v1/cluster/journal",
+		"GET /v1/cluster/sweeps", "POST /v1/cluster/sweeps", "DELETE /v1/cluster/sweeps/{fp}",
+		"GET /v1/cluster/cancels", "POST /v1/cluster/cancels",
 		"GET /healthz", "GET /metrics",
 	}
 	have := map[string]bool{}
@@ -122,7 +129,7 @@ func TestRoutesInventory(t *testing.T) {
 	if len(routes) != len(want) {
 		t.Errorf("Routes() has %d patterns, want %d: %v", len(routes), len(want), routes)
 	}
-	if codes := ErrorCodes(); len(codes) != 6 {
-		t.Errorf("ErrorCodes() = %v, want 6 codes", codes)
+	if codes := ErrorCodes(); len(codes) != 7 {
+		t.Errorf("ErrorCodes() = %v, want 7 codes", codes)
 	}
 }

@@ -21,7 +21,8 @@ import (
 // an http.Server.
 type Server struct {
 	eng     *engine.Engine
-	cl      *cluster.Cluster
+	cl      cluster.Backend
+	cs      *cluster.Server
 	started time.Time
 	hub     *hub
 	reg     *metrics.Registry
@@ -32,10 +33,23 @@ type Server struct {
 // Option configures a Server.
 type Option func(*Server)
 
-// WithCluster exposes a cluster membership on GET /v1/nodes. Without
-// it the endpoint reports a single-node daemon.
-func WithCluster(cl *cluster.Cluster) Option {
+// WithCluster exposes a cluster membership on GET /v1/nodes and the
+// read tier of /v1/cluster/*. Without it those endpoints report a
+// single-node daemon. Pass any Backend — the shared-directory
+// *cluster.Cluster or an *cluster.HTTPBackend (which proxies reads to
+// its coordinator).
+func WithCluster(cl cluster.Backend) Option {
 	return func(s *Server) { s.cl = cl }
+}
+
+// WithClusterServer mounts the coordinator authority behind the
+// mutation tier of /v1/cluster/* — lease CAS with fencing tokens,
+// result pushes, journal records, announcements, node registration.
+// Only a daemon that owns the cluster's store (the coordinator, or
+// any disk-backed member) should carry it; without it those routes
+// answer 503 unavailable.
+func WithClusterServer(cs *cluster.Server) Option {
+	return func(s *Server) { s.cs = cs }
 }
 
 // WithRegistry serves GET /metrics from reg. Share one registry between
@@ -90,6 +104,21 @@ func (s *Server) routes() []struct {
 		{"DELETE /v1/jobs/{id}", s.cancel},
 		{"POST /v1/sweeps", s.submitSweep},
 		{"GET /v1/sweeps/{id}", s.sweepStatus},
+		{"GET /v1/cluster/nodes", s.clusterNodes},
+		{"POST /v1/cluster/nodes", s.clusterRegisterNode},
+		{"DELETE /v1/cluster/nodes/{id}", s.clusterUnregisterNode},
+		{"POST /v1/cluster/leases", s.clusterAcquireLease},
+		{"POST /v1/cluster/leases/{key}/renew", s.clusterRenewLease},
+		{"POST /v1/cluster/leases/{key}/release", s.clusterReleaseLease},
+		{"GET /v1/cluster/results/{key}", s.clusterGetResult},
+		{"PUT /v1/cluster/results/{key}", s.clusterPutResult},
+		{"GET /v1/cluster/journal", s.clusterJournal},
+		{"POST /v1/cluster/journal", s.clusterRecordComputed},
+		{"GET /v1/cluster/sweeps", s.clusterAnnouncements},
+		{"POST /v1/cluster/sweeps", s.clusterAnnounce},
+		{"DELETE /v1/cluster/sweeps/{fp}", s.clusterCompleteSweep},
+		{"GET /v1/cluster/cancels", s.clusterCancellations},
+		{"POST /v1/cluster/cancels", s.clusterCancel},
 		{"GET /healthz", s.healthz},
 		{"GET /metrics", s.metrics},
 	}
@@ -601,6 +630,7 @@ const (
 	codeJobFailed   = "job_failed"
 	codeUnavailable = "unavailable"
 	codeInternal    = "internal"
+	codeLeaseLost   = "lease_lost"
 )
 
 // ErrorCodes returns every machine-readable code the error envelope
@@ -609,7 +639,7 @@ const (
 func ErrorCodes() []string {
 	return []string{
 		codeBadRequest, codeNotFound, codeNotFinished,
-		codeJobFailed, codeUnavailable, codeInternal,
+		codeJobFailed, codeUnavailable, codeInternal, codeLeaseLost,
 	}
 }
 
@@ -617,7 +647,8 @@ func ErrorCodes() []string {
 // of every non-2xx JSON response.
 type APIError struct {
 	// Code is a stable machine-readable identifier (bad_request,
-	// not_found, not_finished, job_failed, unavailable, internal).
+	// not_found, not_finished, job_failed, unavailable, internal,
+	// lease_lost).
 	Code string `json:"code"`
 	// Message is the human-readable error description.
 	Message string `json:"message"`

@@ -33,6 +33,15 @@ type Lease struct {
 	AcquiredAt time.Time `json:"acquired_at"`
 	// ExpiresAt is the deadline after which the lease may be reclaimed.
 	ExpiresAt time.Time `json:"expires_at"`
+	// Token fences this acquisition: it is minted once per acquire
+	// (never per renewal) and strictly increases across successive
+	// holders of the same key, because a new acquire only happens after
+	// the previous lease expired or was released. A coordinator
+	// arbitrating remote holders rejects renew/release requests carrying
+	// a stale token, so a delayed or duplicated message from a holder
+	// that already lost the lease cannot disturb the current one. The
+	// token lives in the lease file, so it survives coordinator restarts.
+	Token int64 `json:"token,omitempty"`
 }
 
 // Expired reports whether the lease's TTL has elapsed as of now.
@@ -72,12 +81,15 @@ func (s *Store) AcquireLease(key, holder string, ttl time.Duration) (Lease, bool
 	if ttl <= 0 {
 		return Lease{}, false, fmt.Errorf("store: lease ttl must be positive")
 	}
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
 	// Two attempts: a fresh claim, and — when the first finds an
 	// expired lease and wins the steal race — the claim of the freed
 	// key. A second failure means another contender won; report theirs.
 	for attempt := 0; attempt < 2; attempt++ {
 		now := time.Now().UTC()
-		lease := Lease{Key: key, Holder: holder, AcquiredAt: now, ExpiresAt: now.Add(ttl)}
+		lease := Lease{Key: key, Holder: holder, AcquiredAt: now,
+			ExpiresAt: now.Add(ttl), Token: now.UnixNano()}
 		created, err := s.createLease(lease)
 		if err != nil {
 			return Lease{}, false, err
@@ -118,7 +130,8 @@ func (s *Store) RenewLease(key, holder string, ttl time.Duration) (Lease, error)
 	if cur.Expired(now) {
 		return Lease{}, ErrLeaseLost
 	}
-	lease := Lease{Key: key, Holder: holder, AcquiredAt: cur.AcquiredAt, ExpiresAt: now.Add(ttl)}
+	lease := Lease{Key: key, Holder: holder, AcquiredAt: cur.AcquiredAt,
+		ExpiresAt: now.Add(ttl), Token: cur.Token}
 	if err := s.writeLease(lease); err != nil {
 		return Lease{}, err
 	}

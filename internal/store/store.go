@@ -53,6 +53,18 @@ type Store struct {
 	limits  Limits
 	evicted int64
 	skipped int
+
+	// leaseMu serializes lease acquisition within this Store instance.
+	// The filesystem protocol (link create, rename steal) arbitrates
+	// between processes, but its expired-lease steal is a read-then-
+	// rename: a contender descheduled between the two can rename away a
+	// lease that was stolen and re-granted in the gap, crowning two
+	// winners. In-process contenders — every worker of one daemon, and
+	// every remote claimant arbitrated by a coordinator's Server —
+	// share this mutex, so the read-steal-create sequence is atomic for
+	// them and the race is confined to independent processes sharing a
+	// data dir, where claim attempts are spread over poll intervals.
+	leaseMu sync.Mutex
 }
 
 // Open creates (if needed) and scans a store rooted at dir. The scan is

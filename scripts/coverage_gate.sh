@@ -4,8 +4,10 @@
 #
 #   ./scripts/coverage_gate.sh <profile> <min-percent>
 #
-# CI runs this over internal/engine + internal/store, the durability
-# core this repo cannot afford to regress silently.
+# CI runs this over internal/engine + internal/store + internal/graphstore
+# + internal/cluster (incl. faulttransport) + internal/retry — the
+# durability and exactly-once core this repo cannot afford to regress
+# silently.
 set -euo pipefail
 
 PROFILE="${1:?usage: coverage_gate.sh <profile> <min-percent>}"

@@ -12,7 +12,13 @@
 #      spread across both nodes, with zero duplicates;
 #   4. restart from scratch on the same data dir and resubmit the
 #      sweep: served from the store as a cache hit, byte-identical
-#      result, zero trials re-run.
+#      result, zero trials re-run;
+#   5. network-native cluster with NO shared filesystem: a coordinator
+#      and two -cluster-url runners on disjoint temp dirs, joined over
+#      loopback HTTP only; one runner is SIGKILLed mid-sweep and the
+#      survivors complete all 12 points exactly once (verified through
+#      GET /v1/cluster/journal), with the aggregate byte-identical to a
+#      clusterless single-node run of the same sweep.
 #
 # Requires: go, curl, jq, timeout. Run from the repository root:
 #
@@ -22,9 +28,15 @@ set -euo pipefail
 PORT_A="${COBRAD_PORT:-18080}"
 PORT_B=$((PORT_A + 1))
 PORT_C=$((PORT_A + 2))
+PORT_D=$((PORT_A + 3))
+PORT_E=$((PORT_A + 4))
+PORT_F=$((PORT_A + 5))
+PORT_G=$((PORT_A + 6))
 BASE_A="http://127.0.0.1:${PORT_A}"
 BASE_B="http://127.0.0.1:${PORT_B}"
 BASE_C="http://127.0.0.1:${PORT_C}"
+BASE_D="http://127.0.0.1:${PORT_D}"
+BASE_G="http://127.0.0.1:${PORT_G}"
 WORK="$(mktemp -d)"
 DATA="${WORK}/data"
 JOURNAL="${DATA}/cluster/journal"
@@ -48,24 +60,46 @@ trap cleanup EXIT
 
 fail() { echo "e2e: FAIL: $*" >&2; exit 1; }
 
-# start_daemon <name> <port> <role> -> sets DAEMON_PID (no command
-# substitution: the background pid must land in this shell's PIDS so
-# the exit trap can reap it).
-start_daemon() {
-  local name=$1 port=$2 role=$3
-  "${COBRAD}" -addr "127.0.0.1:${port}" -data-dir "${DATA}" -workers 2 \
-    -cluster "${role}" -node-id "${name}" -lease-ttl "${LEASE_TTL}" \
-    -job-ttl 10m >"${WORK}/cobrad.${name}.log" 2>&1 &
-  DAEMON_PID=$!
-  PIDS+=("${DAEMON_PID}")
+# wait_healthy <name> <port> <pid> — poll /healthz until the daemon
+# answers, failing fast if its process dies on startup.
+wait_healthy() {
+  local name=$1 port=$2 pid=$3
   for _ in $(seq 1 100); do
     if curl -sf "http://127.0.0.1:${port}/healthz" >/dev/null 2>&1; then
       return 0
     fi
-    kill -0 "${DAEMON_PID}" 2>/dev/null || { cat "${WORK}/cobrad.${name}.log" >&2; fail "daemon ${name} died on startup"; }
+    kill -0 "${pid}" 2>/dev/null || { cat "${WORK}/cobrad.${name}.log" >&2; fail "daemon ${name} died on startup"; }
     sleep 0.1
   done
   fail "daemon ${name} did not become healthy"
+}
+
+# start_daemon <name> <port> <role> [data-dir] -> sets DAEMON_PID (no
+# command substitution: the background pid must land in this shell's
+# PIDS so the exit trap can reap it).
+start_daemon() {
+  local name=$1 port=$2 role=$3 data=${4:-${DATA}}
+  "${COBRAD}" -addr "127.0.0.1:${port}" -data-dir "${data}" -workers 2 \
+    -cluster "${role}" -node-id "${name}" -lease-ttl "${LEASE_TTL}" \
+    -job-ttl 10m >"${WORK}/cobrad.${name}.log" 2>&1 &
+  DAEMON_PID=$!
+  PIDS+=("${DAEMON_PID}")
+  wait_healthy "${name}" "${port}" "${DAEMON_PID}"
+}
+
+# start_http_runner <name> <port> <coordinator-url> [data-dir] — a
+# runner that joins over the network with -cluster-url: no shared
+# filesystem; an optional private data dir holds only its graph cache.
+start_http_runner() {
+  local name=$1 port=$2 url=$3 data=${4:-}
+  local args=(-addr "127.0.0.1:${port}" -workers 2
+              -cluster runner -cluster-url "${url}"
+              -node-id "${name}" -lease-ttl "${LEASE_TTL}" -job-ttl 10m)
+  if [ -n "${data}" ]; then args+=(-data-dir "${data}"); fi
+  "${COBRAD}" "${args[@]}" >"${WORK}/cobrad.${name}.log" 2>&1 &
+  DAEMON_PID=$!
+  PIDS+=("${DAEMON_PID}")
+  wait_healthy "${name}" "${port}" "${DAEMON_PID}"
 }
 
 stop_daemon() { # graceful
@@ -217,4 +251,83 @@ jq -e '.job.graph_builds_avoided >= 1' <<<"${ART}" >/dev/null \
   || fail "disk-served job did not report graph_builds_avoided: ${ART}"
 
 stop_daemon "${PID_C}"
-echo "e2e: PASS — two-node cluster drained a 12-point sweep through leased claims, survived a SIGKILL mid-sweep with every point computed exactly once (b contributed ${B_POINTS}), and a full restart served the identical sweep with zero trials re-run"
+
+echo "e2e: network-native cluster — coordinator + two -cluster-url runners, no shared filesystem"
+DATA_D="${WORK}/net-coord"    # the coordinator's private store
+DATA_E="${WORK}/net-runner"   # disjoint: holds runner e's graph cache only
+start_daemon d "${PORT_D}" coordinator "${DATA_D}"; PID_D="${DAEMON_PID}"
+start_http_runner e "${PORT_E}" "${BASE_D}" "${DATA_E}"; PID_E="${DAEMON_PID}"
+start_http_runner f "${PORT_F}" "${BASE_D}"; PID_F="${DAEMON_PID}"
+
+ctl_d() { "${COBRACTL}" -server "${BASE_D}" "$@"; }
+net_journal() { ctl_d journal -json; }
+
+NODES_NET="$(ctl_d nodes -json | jq '[.nodes[] | select(.alive)] | length')"
+[ "${NODES_NET}" -eq 3 ] || fail "network cluster sees ${NODES_NET} alive members, want 3 (d + e + f)"
+
+echo "e2e: submitting the 12-point sweep to the network coordinator"
+NET_SUBMIT="$(ctl_d "${SWEEP_ARGS[@]}")"
+NET_JOB="$(jq -r '.sweep.id' <<<"${NET_SUBMIT}")"
+[ "${NET_JOB}" != "null" ] && [ -n "${NET_JOB}" ] || fail "network sweep rejected: ${NET_SUBMIT}"
+
+echo "e2e: waiting until the coordinator and an HTTP runner have both computed, then killing runner f"
+for i in $(seq 1 300); do
+  NET_J="$(net_journal)"
+  NET_TOTAL="$(jq '.entries | length' <<<"${NET_J}")"
+  SPREAD="$(jq '([.entries[].node] | unique) as $n | ($n | index("d") != null) and ($n | index("e") != null)' <<<"${NET_J}")"
+  if [ "${SPREAD}" = "true" ] && [ "${NET_TOTAL}" -lt 12 ]; then
+    break
+  fi
+  if [ "${NET_TOTAL}" -ge 12 ]; then
+    fail "network sweep drained before runner f could be killed mid-flight (journal=${NET_TOTAL}) — slow the points down"
+  fi
+  if [ "$i" -eq 300 ]; then
+    fail "network cluster never spread work across d and e (journal=${NET_TOTAL}); see ${WORK}/cobrad.e.log"
+  fi
+  sleep 0.1
+done
+kill -9 "${PID_F}"
+echo "e2e: runner f SIGKILLed with the sweep $(net_journal | jq '.entries | length')/12 computed"
+
+echo "e2e: watching the network sweep to completion on the coordinator"
+timeout 180 "${COBRACTL}" -server "${BASE_D}" watch "${NET_JOB}" 2>"${WORK}/watch.net.log" \
+  || { cat "${WORK}/watch.net.log" >&2; fail "network sweep did not end in done after the kill"; }
+
+echo "e2e: exactly-once accounting over /v1/cluster/journal"
+NET_J="$(net_journal)"
+NET_TOTAL="$(jq '.entries | length' <<<"${NET_J}")"
+NET_UNIQUE="$(jq '[.entries[].key] | unique | length' <<<"${NET_J}")"
+NET_NODES="$(jq '[.entries[].node] | unique | length' <<<"${NET_J}")"
+E_POINTS="$(jq '[.entries[] | select(.node=="e")] | length' <<<"${NET_J}")"
+D_POINTS="$(jq '[.entries[] | select(.node=="d")] | length' <<<"${NET_J}")"
+[ "${NET_TOTAL}" -eq 12 ] || fail "network journal has ${NET_TOTAL} records, want exactly 12 (duplicate or lost work)"
+[ "${NET_UNIQUE}" -eq 12 ] || fail "network journal spans ${NET_UNIQUE} distinct points, want 12 — some point was computed twice"
+[ "${NET_NODES}" -ge 2 ] || fail "network journal credits ${NET_NODES} node(s), want work spread over HTTP"
+[ "${E_POINTS}" -ge 1 ] && [ "${D_POINTS}" -ge 1 ] || fail "survivors d (${D_POINTS}) and e (${E_POINTS}) must both appear in the journal"
+
+echo "e2e: HTTP runner e kept nothing clustered on its disjoint dir"
+[ ! -e "${DATA_E}/cluster" ] && [ ! -e "${DATA_E}/leases" ] \
+  || fail "runner e wrote cluster state under its private dir: $(ls "${DATA_E}")"
+
+echo "e2e: killed HTTP runner drops out of coordinator-registered discovery"
+sleep 3  # past the 3-missed-heartbeats liveness window
+ctl_d nodes -json | jq -e '.nodes[] | select(.id=="f") | .alive == false' >/dev/null \
+  || fail "killed runner f still reported alive: $(ctl_d nodes -json)"
+
+echo "e2e: network aggregate vs a clusterless single-node run"
+ctl_d result "${NET_JOB}" -json | jq -S '.result' >"${WORK}/result.net.json"
+"${COBRAD}" -addr "127.0.0.1:${PORT_G}" -workers 4 -job-ttl 10m >"${WORK}/cobrad.g.log" 2>&1 &
+PID_G=$!; PIDS+=("${PID_G}")
+wait_healthy g "${PORT_G}" "${PID_G}"
+GOLD="$("${COBRACTL}" -server "${BASE_G}" "${SWEEP_ARGS[@]}")"
+GOLD_ID="$(jq -r '.sweep.id' <<<"${GOLD}")"
+timeout 180 "${COBRACTL}" -server "${BASE_G}" watch "${GOLD_ID}" 2>/dev/null \
+  || fail "single-node golden sweep did not complete"
+"${COBRACTL}" -server "${BASE_G}" result "${GOLD_ID}" -json | jq -S '.result' >"${WORK}/result.single.json"
+cmp -s "${WORK}/result.net.json" "${WORK}/result.single.json" \
+  || fail "network-cluster aggregate differs from the single-node run: $(diff "${WORK}/result.net.json" "${WORK}/result.single.json" | head)"
+
+stop_daemon "${PID_E}"
+stop_daemon "${PID_D}"
+stop_daemon "${PID_G}"
+echo "e2e: PASS — two-node cluster drained a 12-point sweep through leased claims, survived a SIGKILL mid-sweep with every point computed exactly once (b contributed ${B_POINTS}), a full restart served the identical sweep with zero trials re-run, and a no-shared-filesystem HTTP cluster completed the same sweep exactly once (d=${D_POINTS} e=${E_POINTS}) byte-identical to a single node"
